@@ -1,0 +1,103 @@
+"""E7 — D pruning: memory versus recall.
+
+Paper: "memory pressure can be alleviated by pruning the D data structure
+to only retain the most recent edges (since we desire timely results)".
+
+Two pruning knobs are swept against batch ground truth:
+
+* the retention window (time-based pruning) — retention >= tau must give
+  perfect recall; retention < tau trades recall for memory;
+* the per-target cap (size-based pruning) — viral targets lose their
+  oldest fresh edges first.
+"""
+
+import pytest
+
+from repro.baselines.batch import BatchDiamondDetector
+from repro.core import DetectionParams, MotifEngine
+from repro.graph import DynamicEdgeIndex, build_follower_snapshot
+from repro.core.diamond import DiamondDetector
+from repro.bench.workloads import bursty_workload
+
+PARAMS = DetectionParams(k=3, tau=900.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    snapshot, events = bursty_workload(
+        num_users=6_000, duration=1_200.0, background_rate=4.0, burst_actors=60
+    )
+    follows = list(snapshot.follow_edges())
+    truth = BatchDiamondDetector(follows, PARAMS).distinct_pairs(events)
+    return snapshot, events, truth
+
+
+def run_with_dynamic_index(snapshot, events, retention, cap):
+    static_index = build_follower_snapshot(snapshot)
+    dynamic_index = DynamicEdgeIndex(
+        retention=retention, max_edges_per_target=cap
+    )
+    params = PARAMS if retention >= PARAMS.tau else DetectionParams(
+        k=PARAMS.k, tau=retention
+    )
+    detector = DiamondDetector(
+        static_index, dynamic_index, params, inserts_edges=False
+    )
+    engine = MotifEngine(static_index, dynamic_index, [detector], track_latency=False)
+    pairs = set()
+    peak_memory = 0
+    for event in events:
+        for rec in engine.process(event):
+            pairs.add((rec.recipient, rec.candidate))
+        if engine.stats.events_processed % 500 == 0:
+            peak_memory = max(peak_memory, dynamic_index.memory_bytes())
+    peak_memory = max(peak_memory, dynamic_index.memory_bytes())
+    return pairs, peak_memory
+
+
+def test_retention_window_sweep(benchmark, workload, report):
+    snapshot, events, truth = workload
+    table = report.table(
+        "E7",
+        "D pruning: retention window and per-target cap vs recall",
+        ["policy", "D peak memory", "pairs found", "recall"],
+    )
+
+    results = {}
+
+    def sweep():
+        for retention in (60.0, 300.0, 900.0, 1800.0):
+            results[f"window={retention:g}s"] = run_with_dynamic_index(
+                snapshot, events, retention, cap=None
+            )
+        for cap in (8, 32, 128):
+            results[f"cap={cap}/target"] = run_with_dynamic_index(
+                snapshot, events, retention=900.0, cap=cap
+            )
+        return results
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    recalls = {}
+    for policy, (pairs, memory) in results.items():
+        recall = len(pairs & truth) / len(truth) if truth else 1.0
+        recalls[policy] = recall
+        table.add_row(
+            policy, f"{memory / 1024:.0f} KB", len(pairs), f"{recall:.1%}"
+        )
+    table.add_note(
+        f"ground truth: {len(truth)} distinct (recipient, candidate) pairs "
+        f"from batch replay with tau={PARAMS.tau:g}s, k={PARAMS.k}"
+    )
+
+    assert truth, "workload produced no ground-truth motifs"
+    # Retention >= tau keeps every fresh edge: perfect recall.
+    assert recalls["window=900s"] == 1.0
+    assert recalls["window=1800s"] == 1.0
+    # Shrinking the window can only lose motifs, monotonically.
+    assert recalls["window=60s"] <= recalls["window=300s"] <= recalls["window=900s"]
+    # The cap trades a little recall for a hard memory bound.
+    assert recalls["cap=8/target"] <= recalls["cap=128/target"]
+    cap_memory = results["cap=8/target"][1]
+    full_memory = results["window=900s"][1]
+    assert cap_memory < full_memory

@@ -1,0 +1,36 @@
+"""Benchmark-suite plumbing: the session-wide experiment reporter.
+
+Benchmarks register paper-versus-measured tables on the ``report``
+fixture; ``pytest_terminal_summary`` prints every table after the
+pytest-benchmark timing output and also writes them to
+``benchmarks/results/experiments.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import Reporter
+
+_REPORTER = Reporter()
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report() -> Reporter:
+    """The session-wide experiment table collector."""
+    return _REPORTER
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every collected experiment table and persist them."""
+    if not _REPORTER.tables:
+        return
+    text = _REPORTER.render()
+    terminalreporter.write_sep("=", "experiment results (paper vs measured)")
+    terminalreporter.write_line(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "experiments.txt").write_text(text + "\n")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Content recommendation: pushing a viral tweet while it is still hot.
+
+The paper notes the idea "applies to recommending content as well, based
+on user actions such as retweets, favorites, etc."  Here a news tweet goes
+viral (the `breaking_news` canned workload) and the **declarative**
+co-retweet motif — built on the same graph infrastructure via the motif
+catalog — pushes the tweet to users several of whose followings retweeted
+it.
+
+Run:  python examples/breaking_news.py
+"""
+
+from repro.core import MotifEngine
+from repro.gen import breaking_news
+from repro.graph import DynamicEdgeIndex, build_follower_snapshot
+from repro.motif import build_detector
+
+
+def main() -> None:
+    scenario = breaking_news(num_users=4_000, retweeters=250)
+    tweet = scenario.snapshot.num_users - 2
+    print(scenario.description)
+    print(f"viral tweet id: {tweet}; stream: {len(scenario.events)} events\n")
+
+    # Build the serving infrastructure once...
+    static_index = build_follower_snapshot(scenario.snapshot)
+    dynamic_index = DynamicEdgeIndex(retention=1800.0)
+
+    # ...and register a *declarative* motif program on it.
+    detector = build_detector(
+        "co-retweet",
+        static_index,
+        dynamic_index,
+        inserts_edges=False,
+        k=3,
+        tau=1800.0,
+    )
+    print("compiled query plan:")
+    print(detector.explain())
+    print()
+
+    engine = MotifEngine(static_index, dynamic_index, [detector])
+    recommendations = engine.process_stream(scenario.events)
+
+    tweet_recs = [r for r in recommendations if r.candidate == tweet]
+    unique_users = {r.recipient for r in tweet_recs}
+    first = min((r.created_at for r in tweet_recs), default=None)
+    print(f"raw candidates for the viral tweet: {len(tweet_recs)}")
+    print(f"distinct users reached: {len(unique_users)}")
+    if first is not None:
+        print(f"first push candidate at t={first:.0f}s after stream start "
+              "(while the burst is still running)")
+    latency = engine.stats.query_latency.snapshot()
+    print(f"\nper-event graph query latency: "
+          f"p50={latency['p50'] * 1e3:.2f}ms p99={latency['p99'] * 1e3:.2f}ms "
+          "(the paper: 'a few milliseconds')")
+    assert tweet_recs, "the viral tweet should generate recommendations"
+    print("content recommendation via the declarative engine works. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Graph-structure analysis: validating the synthetic workloads.
+
+The paper's scale claims rest on the structure of the Twitter follow graph
+(reference [7]: Myers et al., "Information network or social network? The
+structure of the Twitter follow graph", WWW 2014).  This package measures
+the structural properties that drive detection cost — degree skew,
+reciprocity, two-hop blow-up — so experiments can verify their synthetic
+graphs actually have Twitter-like shape before trusting the results.
+"""
+
+from repro.analysis.structure import (
+    GraphStructureReport,
+    analyze_structure,
+    degree_histogram,
+    estimate_power_law_exponent,
+    reciprocity,
+    two_hop_statistics,
+)
+from repro.analysis.census import (
+    MotifCounts,
+    MotifSignificance,
+    count_motifs,
+    motif_significance,
+    rewire_preserving_degrees,
+)
+
+__all__ = [
+    "GraphStructureReport",
+    "analyze_structure",
+    "degree_histogram",
+    "estimate_power_law_exponent",
+    "reciprocity",
+    "two_hop_statistics",
+    "MotifCounts",
+    "MotifSignificance",
+    "count_motifs",
+    "motif_significance",
+    "rewire_preserving_degrees",
+]

@@ -1,0 +1,29 @@
+"""Baselines: the reference implementation and the ruled-out designs.
+
+The paper says: "At the outset, we ruled out two obvious but naive
+solutions.  One could poll each user's network periodically ... however, the
+latency would be unacceptably large.  Another approach would be to keep
+track of each A's two-hop neighborhood; a rough calculation shows that this
+is impractical, even using approximate data structures such as Bloom
+filters."
+
+We implement both rejected designs faithfully enough to measure *why* they
+lose (benchmarks E9 and E10), plus an offline batch detector that serves as
+ground truth for recall experiments (E7).
+"""
+
+from repro.baselines.bloom import BloomFilter, CountingBloomFilter
+from repro.baselines.batch import BatchDiamondDetector, batch_candidates
+from repro.baselines.polling import PollingDetector, PollingReport
+from repro.baselines.twohop import TwoHopBloomDetector, TwoHopMemoryModel
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "BatchDiamondDetector",
+    "batch_candidates",
+    "PollingDetector",
+    "PollingReport",
+    "TwoHopBloomDetector",
+    "TwoHopMemoryModel",
+]

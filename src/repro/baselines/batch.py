@@ -1,0 +1,99 @@
+"""Offline batch diamond detection: the ground-truth reference.
+
+"Nearly all approaches to motif detection are based on a static graph
+snapshot and viewed as batch computations" — this module is that classical
+approach, deliberately implemented with naive data structures (dicts and
+sets, per-target sliding windows, no pruning, no sorted packing) so it
+shares no code with the online path.  Tests assert the online detector
+matches it event-for-event; the pruning benchmarks use it to measure recall.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.graph.ids import UserId
+
+
+@dataclass(frozen=True)
+class BatchCandidate:
+    """One ground-truth candidate: at *time*, *recipient* qualified for *candidate*."""
+
+    time: float
+    recipient: UserId
+    candidate: UserId
+
+
+class BatchDiamondDetector:
+    """Replay a finished stream and enumerate every diamond completion."""
+
+    def __init__(
+        self,
+        follows: list[tuple[UserId, UserId]],
+        params: DetectionParams | None = None,
+    ) -> None:
+        """Create a batch detector.
+
+        Args:
+            follows: static ``(A, B)`` follow edges.
+            params: same semantics as the online detector's parameters.
+        """
+        self.params = params or DetectionParams()
+        self._followings: dict[UserId, set[UserId]] = defaultdict(set)
+        self._followers: dict[UserId, set[UserId]] = defaultdict(set)
+        for a, b in follows:
+            self._followings[a].add(b)
+            self._followers[b].add(a)
+
+    def run(self, events: list[EdgeEvent]) -> list[BatchCandidate]:
+        """Replay *events* (any order) and return per-event candidates.
+
+        Semantics mirror the online path: at each event, the fresh distinct
+        sources of its target are computed over the trailing ``tau`` window,
+        and every A following at least ``k`` of them is emitted.  Re-firing
+        on later events produces duplicates, exactly like the raw online
+        candidate stream.
+        """
+        params = self.params
+        ordered = sorted(events, key=lambda event: event.created_at)
+        history: dict[UserId, list[tuple[float, UserId]]] = defaultdict(list)
+        output: list[BatchCandidate] = []
+
+        for event in ordered:
+            history[event.target].append((event.created_at, event.actor))
+            fresh: dict[UserId, float] = {}
+            for t, b in history[event.target]:
+                if event.created_at - params.tau <= t <= event.created_at:
+                    fresh[b] = max(fresh.get(b, t), t)
+            if len(fresh) < params.k:
+                continue
+            counts: dict[UserId, int] = defaultdict(int)
+            for b in fresh:
+                for a in self._followers.get(b, ()):
+                    counts[a] += 1
+            for a in sorted(counts):
+                if counts[a] < params.k:
+                    continue
+                if params.exclude_candidate_recipient and a == event.target:
+                    continue
+                if params.exclude_existing_followers:
+                    if a in fresh or event.target in self._followings.get(a, ()):
+                        continue
+                output.append(BatchCandidate(event.created_at, a, event.target))
+        return output
+
+    def distinct_pairs(self, events: list[EdgeEvent]) -> set[tuple[UserId, UserId]]:
+        """The deduplicated ``(recipient, candidate)`` ground truth set."""
+        return {(c.recipient, c.candidate) for c in self.run(events)}
+
+
+def batch_candidates(
+    follows: list[tuple[UserId, UserId]],
+    events: list[EdgeEvent],
+    params: DetectionParams | None = None,
+) -> list[BatchCandidate]:
+    """Convenience wrapper: build a batch detector and run it."""
+    return BatchDiamondDetector(follows, params).run(events)

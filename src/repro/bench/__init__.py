@@ -1,0 +1,25 @@
+"""Benchmark-harness helpers: experiment tables and workload builders.
+
+The benchmark suite under ``benchmarks/`` regenerates every quantitative
+claim in the paper (see DESIGN.md §6 for the experiment index).  This
+package holds the shared machinery: aligned table rendering for the
+pytest terminal summary, and the standard workloads benchmarks share.
+"""
+
+from repro.bench.report import ExperimentTable, Reporter, format_table
+from repro.bench.workloads import (
+    bench_cluster,
+    bench_engine,
+    bursty_events,
+    bursty_workload,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "Reporter",
+    "format_table",
+    "bench_cluster",
+    "bench_engine",
+    "bursty_events",
+    "bursty_workload",
+]

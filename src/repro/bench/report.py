@@ -1,0 +1,78 @@
+"""Paper-versus-measured tables for the benchmark terminal summary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's results, rendered at the end of the bench run.
+
+    Attributes:
+        experiment_id: the DESIGN.md experiment id, e.g. ``"E4"``.
+        title: what the table shows.
+        headers: column names.
+        rows: cell values (stringified on render).
+        notes: free-form caveats / paper references printed under the table.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are stringified on render)."""
+        self.rows.append(tuple(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append one caption note."""
+        self.notes.append(note)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render an :class:`ExperimentTable` with aligned columns."""
+    cells = [[str(c) for c in row] for row in table.rows]
+    widths = [len(h) for h in table.headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+
+    def line(parts: list[str]) -> str:
+        return "  ".join(part.ljust(widths[i]) for i, part in enumerate(parts))
+
+    out = [f"[{table.experiment_id}] {table.title}"]
+    out.append(line(table.headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    out.extend(f"  note: {note}" for note in table.notes)
+    return "\n".join(out)
+
+
+class Reporter:
+    """Collects experiment tables across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.tables: list[ExperimentTable] = []
+
+    def table(
+        self,
+        experiment_id: str,
+        title: str,
+        headers: list[str],
+    ) -> ExperimentTable:
+        """Create, register, and return a new table."""
+        table = ExperimentTable(experiment_id, title, headers)
+        self.tables.append(table)
+        return table
+
+    def render(self) -> str:
+        """All tables, ordered by experiment id, as one text block."""
+        ordered = sorted(
+            self.tables,
+            key=lambda t: (len(t.experiment_id), t.experiment_id),
+        )
+        return "\n\n".join(format_table(t) for t in ordered)

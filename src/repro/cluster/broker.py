@@ -1,0 +1,85 @@
+"""Brokers: fan-out / gather coordination over all partitions.
+
+"The final design is a fairly standard partitioned, replicated architecture
+with coordination handled by brokers that fan-out queries and gather
+results."  A broker receives each live edge event, fans it out to every
+partition's replica set (because D is fully replicated, every partition
+must see every event), and gathers the per-partition candidate lists.
+Partitions own disjoint A's, so gathering is pure concatenation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.replica import AllReplicasDown, ReplicaSet
+from repro.core.events import EdgeEvent
+from repro.core.recommendation import Recommendation
+from repro.util.validation import require
+
+
+@dataclass
+class BrokerStats:
+    """Coordination accounting for one broker."""
+
+    events_routed: int = 0
+    fan_out_calls: int = 0
+    gather_results: int = 0
+    partitions_lost_events: int = 0
+
+
+class Broker:
+    """Fans each event out to all partitions and gathers candidates."""
+
+    def __init__(self, replica_sets: list[ReplicaSet]) -> None:
+        """Create a broker over the given replica sets (one per partition)."""
+        require(len(replica_sets) >= 1, "a broker needs at least one partition")
+        self.replica_sets = list(replica_sets)
+        self.stats = BrokerStats()
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count behind this broker."""
+        return len(self.replica_sets)
+
+    def process_event(
+        self, event: EdgeEvent, now: float | None = None
+    ) -> tuple[list[Recommendation], float]:
+        """Route one live edge through the whole cluster.
+
+        Returns the gathered candidates and the virtual fan-out latency
+        (the slowest partition's ack, since the gather barrier waits for
+        everyone).  ``now`` is the broker's processing clock, forwarded to
+        the detectors for freshness evaluation.
+
+        Partitions whose replicas are all down lose the event — the broker
+        keeps serving the healthy shards, trading completeness for
+        availability exactly like the production system would.
+        """
+        gathered: list[Recommendation] = []
+        worst_latency = 0.0
+        self.stats.events_routed += 1
+        for replica_set in self.replica_sets:
+            self.stats.fan_out_calls += 1
+            try:
+                local, latency = replica_set.ingest(event, now)
+            except AllReplicasDown:
+                self.stats.partitions_lost_events += 1
+                continue
+            worst_latency = max(worst_latency, latency)
+            gathered.extend(local)
+        self.stats.gather_results += len(gathered)
+        return gathered, worst_latency
+
+    def query_audience(self, target: int, now: float) -> tuple[list[int], float]:
+        """Fan a read-only audience query out to all partitions and merge."""
+        audience: list[int] = []
+        worst_latency = 0.0
+        for replica_set in self.replica_sets:
+            try:
+                local, latency = replica_set.query_audience(target, now)
+            except AllReplicasDown:
+                continue
+            worst_latency = max(worst_latency, latency)
+            audience.extend(local)
+        return sorted(audience), worst_latency

@@ -1,0 +1,230 @@
+"""Cluster assembly: snapshot -> partition shards -> replicas -> broker.
+
+``Cluster.build`` performs the offline load step for every partition: it
+inverts the snapshot into per-partition S shards (disjoint A's), creates
+``replication_factor`` replicas per partition each with a private full D
+copy, wires simulated channels, and parks a broker in front.  Production
+runs 20 partitions; the partition-scaling benchmark (E5) sweeps this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.broker import Broker
+from repro.cluster.partition import PartitionServer
+from repro.cluster.partitioner import HashPartitioner, Partitioner
+from repro.cluster.replica import ReplicaSet
+from repro.cluster.rpc import SimulatedChannel
+from repro.core.detector import OnlineDetector
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.core.recommendation import Recommendation
+from repro.graph.dynamic_index import DynamicEdgeIndex
+from repro.graph.snapshot import GraphSnapshot, build_follower_snapshot
+from repro.graph.static_index import StaticFollowerIndex
+from repro.util.rng import make_rng
+from repro.util.validation import require_positive
+
+#: Builds one replica's detector programs from its (S shard, D copy).
+DetectorFactory = Callable[
+    [StaticFollowerIndex, DynamicEdgeIndex], list[OnlineDetector]
+]
+
+#: The production deployment size reported in the paper.
+PRODUCTION_PARTITIONS = 20
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of a cluster deployment.
+
+    Attributes:
+        num_partitions: S shards (paper production: 20).
+        replication_factor: replicas per partition.
+        influencer_limit: per-user cap applied during the offline load.
+        max_edges_per_target: per-C cap on stored D entries (the paper's
+            D-pruning mitigation for viral targets).
+        track_latency: make partitions record per-event detection time.
+    """
+
+    num_partitions: int = PRODUCTION_PARTITIONS
+    replication_factor: int = 1
+    influencer_limit: int | None = None
+    max_edges_per_target: int | None = None
+    track_latency: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_partitions, "num_partitions")
+        require_positive(self.replication_factor, "replication_factor")
+
+
+class Cluster:
+    """The full serving stack: broker + replicated partitions."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        partitioner: Partitioner,
+        params: DetectionParams,
+    ) -> None:
+        """Wrap prebuilt components; prefer :meth:`build`."""
+        self.broker = broker
+        self.partitioner = partitioner
+        self.params = params
+
+    @classmethod
+    def build(
+        cls,
+        snapshot: GraphSnapshot,
+        params: DetectionParams | None = None,
+        config: ClusterConfig | None = None,
+        partitioner: Partitioner | None = None,
+        channel_factory: Callable[[int, int], SimulatedChannel] | None = None,
+        detector_factory: "DetectorFactory | None" = None,
+    ) -> "Cluster":
+        """Offline-load a cluster from a snapshot.
+
+        Args:
+            snapshot: the offline ``A -> B`` follow graph.
+            params: detection parameters (production defaults if omitted).
+            config: deployment shape (20 partitions x 1 replica default).
+            partitioner: A-ownership function (stable hash by default).
+            channel_factory: ``(partition_id, replica_id) -> channel`` for
+                custom latency/failure models; zero-latency by default.
+            detector_factory: builds each replica's motif programs from its
+                ``(static_shard, dynamic_index)`` pair — this is how
+                declarative motifs (or several co-hosted programs) are
+                deployed fleet-wide.  Factories must construct detectors
+                with ``inserts_edges=False``; the engine owns the insert.
+                Defaults to one hand-coded diamond per replica.
+        """
+        params = params or DetectionParams()
+        config = config or ClusterConfig()
+        partitioner = partitioner or HashPartitioner(config.num_partitions)
+
+        replica_sets: list[ReplicaSet] = []
+        for p in range(config.num_partitions):
+            shard = build_follower_snapshot(
+                snapshot,
+                influencer_limit=config.influencer_limit,
+                include_source=lambda a, p=p: partitioner.partition_of(a) == p,
+            )
+            replicas: list[PartitionServer] = []
+            channels: list[SimulatedChannel] = []
+            for r in range(config.replication_factor):
+                detectors = None
+                dynamic_index = None
+                if detector_factory is not None:
+                    dynamic_index = DynamicEdgeIndex(
+                        retention=params.tau,
+                        max_edges_per_target=config.max_edges_per_target,
+                    )
+                    detectors = detector_factory(shard, dynamic_index)
+                replicas.append(
+                    PartitionServer(
+                        partition_id=p,
+                        replica_id=r,
+                        static_shard=shard,
+                        params=params,
+                        detectors=detectors,
+                        dynamic_index=dynamic_index,
+                        max_edges_per_target=config.max_edges_per_target,
+                        track_latency=config.track_latency,
+                    )
+                )
+                if channel_factory is not None:
+                    channels.append(channel_factory(p, r))
+                else:
+                    channels.append(SimulatedChannel(f"p{p}/r{r}"))
+            replica_sets.append(ReplicaSet(p, replicas, channels))
+        return cls(Broker(replica_sets), partitioner, params)
+
+    # ------------------------------------------------------------------
+    # Serving interface
+    # ------------------------------------------------------------------
+
+    def process_event(self, event: EdgeEvent) -> list[Recommendation]:
+        """Route one live edge through broker and partitions."""
+        recommendations, _latency = self.broker.process_event(event)
+        return recommendations
+
+    def process_stream(self, events: list[EdgeEvent]) -> list[Recommendation]:
+        """Route a whole stream; returns all gathered candidates."""
+        out: list[Recommendation] = []
+        for event in events:
+            out.extend(self.process_event(event))
+        return out
+
+    def query_audience(self, target: int, now: float) -> list[int]:
+        """Read-only audience query fanned across all partitions."""
+        audience, _latency = self.broker.query_audience(target, now)
+        return audience
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @property
+    def replica_sets(self) -> list[ReplicaSet]:
+        """The partitions behind the broker."""
+        return self.broker.replica_sets
+
+    def prune(self, now: float) -> int:
+        """Evict expired D entries on every replica."""
+        removed = 0
+        for replica_set in self.replica_sets:
+            for replica in replica_set.replicas:
+                removed += replica.prune(now)
+        return removed
+
+    def reload_snapshot(
+        self,
+        snapshot: GraphSnapshot,
+        influencer_limit: int | None = None,
+    ) -> None:
+        """Roll a new offline snapshot onto every partition replica.
+
+        The paper: "the A -> B edges are computed offline and loaded into
+        the system periodically".  Shards are rebuilt with the same
+        partitioner (ownership is stable), then each replica swaps its S
+        reference atomically; the event stream keeps flowing throughout
+        and D is untouched.
+        """
+        for p, replica_set in enumerate(self.replica_sets):
+            shard = build_follower_snapshot(
+                snapshot,
+                influencer_limit=influencer_limit,
+                include_source=lambda a, p=p: self.partitioner.partition_of(a) == p,
+            )
+            for replica in replica_set.replicas:
+                replica.reload_static(shard)
+
+    def memory_report(self) -> dict[str, int]:
+        """Aggregate S and D footprints across the fleet.
+
+        D's total grows with partitions x replicas (full replication, the
+        paper's acknowledged bottleneck); S's total stays roughly constant
+        because the shards are disjoint.
+        """
+        total = {"static_index": 0, "dynamic_index": 0}
+        for replica_set in self.replica_sets:
+            report = replica_set.memory_bytes()
+            total["static_index"] += report["static_index"]
+            total["dynamic_index"] += report["dynamic_index"]
+        return total
+
+
+def fault_injecting_channel_factory(
+    failure_rate: float, seed: int = 0
+) -> Callable[[int, int], SimulatedChannel]:
+    """Channel factory with i.i.d. injected call failures (for chaos tests)."""
+    def factory(partition_id: int, replica_id: int) -> SimulatedChannel:
+        return SimulatedChannel(
+            f"p{partition_id}/r{replica_id}",
+            failure_rate=failure_rate,
+            rng=make_rng(seed, "channel", partition_id, replica_id),
+        )
+
+    return factory

@@ -1,0 +1,62 @@
+"""Partitioning of the A's across partition servers.
+
+The paper partitions by the *source* vertices of S ("each partition holds a
+disjoint set of source vertices for the S data structure"), so every
+adjacency-list intersection is local to one partition.  The same B may
+appear in many partitions; that is by design.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.graph.ids import UserId
+from repro.util.validation import require_positive
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class Partitioner(Protocol):
+    """Assigns each A to exactly one partition."""
+
+    num_partitions: int
+
+    def partition_of(self, a: UserId) -> int:
+        """The partition index in ``[0, num_partitions)`` owning *a*."""
+        ...
+
+
+class HashPartitioner:
+    """Stable hash partitioning (production default).
+
+    Uses SplitMix64 rather than Python's ``hash`` so the assignment is
+    identical across processes and Python versions — replicas and offline
+    loaders must agree on ownership.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        require_positive(num_partitions, "num_partitions")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, a: UserId) -> int:
+        """Owner partition of *a*."""
+        return _splitmix64(a) % self.num_partitions
+
+
+class ModuloPartitioner:
+    """``a % P`` partitioning — transparent, for tests and worked examples."""
+
+    def __init__(self, num_partitions: int) -> None:
+        require_positive(num_partitions, "num_partitions")
+        self.num_partitions = num_partitions
+
+    def partition_of(self, a: UserId) -> int:
+        """Owner partition of *a*."""
+        return a % self.num_partitions

@@ -1,0 +1,176 @@
+"""Replica sets: fault tolerance and read throughput for one partition.
+
+"Note that we can replicate the partitions for both fault tolerance and
+increased query throughput."  All replicas consume the full event stream
+(keeping their private D copies identical); detection output is taken from
+the primary (lowest-index healthy replica) so one motif never produces
+duplicate notifications; read-only queries round-robin across healthy
+replicas, which is where the read-throughput scaling comes from.
+
+A replica that was down has missed stream events, so its D is stale;
+:meth:`ReplicaSet.resync` copies a healthy sibling's D state before the
+replica rejoins, mirroring how production systems bootstrap a replacement
+from a snapshot plus stream catch-up.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.partition import PartitionServer
+from repro.cluster.rpc import RpcError, SimulatedChannel
+from repro.core.events import EdgeEvent
+from repro.core.recommendation import Recommendation
+from repro.util.validation import require
+
+
+class AllReplicasDown(RuntimeError):
+    """Every replica of a partition is unavailable."""
+
+
+class ReplicaSet:
+    """All replicas of one partition behind a tiny routing layer."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        replicas: list[PartitionServer],
+        channels: list[SimulatedChannel] | None = None,
+    ) -> None:
+        """Create a replica set.
+
+        Args:
+            partition_id: the partition these replicas serve.
+            replicas: at least one :class:`PartitionServer`.
+            channels: one simulated channel per replica (defaults to
+                zero-latency, always-up channels).
+        """
+        require(len(replicas) >= 1, "a replica set needs at least one replica")
+        self.partition_id = partition_id
+        self.replicas = list(replicas)
+        if channels is None:
+            channels = [
+                SimulatedChannel(f"p{partition_id}/r{i}")
+                for i in range(len(replicas))
+            ]
+        require(
+            len(channels) == len(replicas),
+            "need exactly one channel per replica",
+        )
+        self.channels = channels
+        self._read_cursor = 0
+        #: Events each replica missed while down (forces resync to rejoin).
+        self.missed_events = [0] * len(replicas)
+
+    # ------------------------------------------------------------------
+    # Health management
+    # ------------------------------------------------------------------
+
+    def mark_down(self, replica_id: int) -> None:
+        """Take one replica out of service."""
+        self.channels[replica_id].mark_down()
+
+    def mark_up(self, replica_id: int) -> None:
+        """Return a replica to service *without* resync (stale D!).
+
+        Prefer :meth:`resync`, which repairs state before rejoining.
+        """
+        self.channels[replica_id].mark_up()
+
+    def resync(self, replica_id: int) -> None:
+        """Copy a healthy sibling's D state into the replica and rejoin.
+
+        Raises:
+            AllReplicasDown: when no healthy source replica exists.
+        """
+        source = None
+        for i, channel in enumerate(self.channels):
+            if i != replica_id and channel.available:
+                source = self.replicas[i]
+                break
+        if source is None:
+            raise AllReplicasDown(
+                f"partition {self.partition_id}: no healthy replica to resync from"
+            )
+        target = self.replicas[replica_id]
+        target.engine.dynamic_index.clone_state_from(source.engine.dynamic_index)
+        self.missed_events[replica_id] = 0
+        self.channels[replica_id].mark_up()
+
+    def healthy_replicas(self) -> list[int]:
+        """Indexes of replicas currently in service."""
+        return [i for i, ch in enumerate(self.channels) if ch.available]
+
+    # ------------------------------------------------------------------
+    # Serving interface
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self, event: EdgeEvent, now: float | None = None
+    ) -> tuple[list[Recommendation], float]:
+        """Deliver the event to every healthy replica.
+
+        Returns the primary's candidates plus the *maximum* virtual channel
+        latency (the fan-out completes when the slowest replica acks).
+
+        Raises:
+            AllReplicasDown: when no replica accepted the event.
+        """
+        primary_output: list[Recommendation] | None = None
+        worst_latency = 0.0
+        delivered = False
+        for i, (replica, channel) in enumerate(zip(self.replicas, self.channels)):
+            if not channel.available:
+                self.missed_events[i] += 1
+                continue
+            try:
+                result = channel.call(replica.ingest, event, now)
+            except RpcError:
+                # Transient fault: this replica missed the event and now
+                # diverges from its siblings until resynced.
+                self.missed_events[i] += 1
+                continue
+            worst_latency = max(worst_latency, result.latency)
+            delivered = True
+            if primary_output is None:  # lowest-index healthy = primary
+                primary_output = result.value
+        if not delivered:
+            raise AllReplicasDown(
+                f"partition {self.partition_id}: event lost, all replicas down"
+            )
+        return primary_output or [], worst_latency
+
+    def query_audience(self, target: int, now: float) -> tuple[list[int], float]:
+        """Round-robin a read across healthy replicas, with failover.
+
+        Returns (audience, virtual latency of the call that served it).
+        """
+        attempts = 0
+        while attempts < len(self.replicas):
+            index = self._read_cursor % len(self.replicas)
+            self._read_cursor += 1
+            channel = self.channels[index]
+            attempts += 1
+            if not channel.available:
+                continue
+            try:
+                result = channel.call(
+                    self.replicas[index].query_audience, target, now
+                )
+            except RpcError:
+                continue
+            return result.value, result.latency
+        raise AllReplicasDown(
+            f"partition {self.partition_id}: no replica served the read"
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> dict[str, int]:
+        """Summed S and D footprint across replicas (replication cost)."""
+        total = {"static_index": 0, "dynamic_index": 0}
+        for replica in self.replicas:
+            report = replica.memory_bytes()
+            total["static_index"] += report["static_index"]
+            total["dynamic_index"] += report["dynamic_index"]
+        return total

@@ -1,0 +1,102 @@
+"""Simulated RPC: virtual latency and failure injection without sleeping.
+
+Benchmarks need two different notions of time:
+
+* **real time** for algorithmic cost (how long does the Python actually
+  take) — measured with wall clocks elsewhere;
+* **virtual time** for the end-to-end latency experiment (network hops,
+  queue delays) — *sampled* from latency models here and threaded through
+  the discrete-event simulator, never slept.
+
+``SimulatedChannel`` wraps an endpoint: each call optionally samples a
+virtual latency, may fail with an injected probability or because the
+endpoint was marked down, and keeps per-channel statistics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.util.validation import require_probability
+
+T = TypeVar("T")
+
+
+class RpcError(RuntimeError):
+    """A simulated call failure (endpoint down or injected fault)."""
+
+
+@dataclass
+class RpcStats:
+    """Per-channel call accounting."""
+
+    calls: int = 0
+    failures: int = 0
+    #: Sum of sampled virtual latencies, seconds.
+    virtual_latency_total: float = 0.0
+
+
+@dataclass(frozen=True)
+class RpcResult(Generic[T]):
+    """A successful call: the value plus its sampled virtual latency."""
+
+    value: T
+    latency: float
+
+
+class SimulatedChannel:
+    """A named call path with latency sampling and failure injection."""
+
+    def __init__(
+        self,
+        name: str,
+        latency_model: Callable[[], float] | None = None,
+        failure_rate: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Create a channel.
+
+        Args:
+            name: label for diagnostics ("broker->p3/r1").
+            latency_model: zero-argument sampler of per-call virtual latency
+                in seconds; ``None`` means zero latency.
+            failure_rate: probability a call raises :class:`RpcError`.
+            rng: randomness for failure injection (required if
+                ``failure_rate > 0`` for reproducibility).
+        """
+        require_probability(failure_rate, "failure_rate")
+        if failure_rate > 0.0 and rng is None:
+            raise ValueError("failure injection requires an explicit rng")
+        self.name = name
+        self.available = True
+        self._latency_model = latency_model
+        self._failure_rate = failure_rate
+        self._rng = rng
+        self.stats = RpcStats()
+
+    def mark_down(self) -> None:
+        """Simulate the endpoint becoming unreachable."""
+        self.available = False
+
+    def mark_up(self) -> None:
+        """Simulate the endpoint recovering."""
+        self.available = True
+
+    def call(self, func: Callable[..., T], *args: object) -> RpcResult[T]:
+        """Invoke *func* through the channel.
+
+        Raises:
+            RpcError: if the endpoint is down or an injected fault fires.
+        """
+        self.stats.calls += 1
+        if not self.available:
+            self.stats.failures += 1
+            raise RpcError(f"channel {self.name} is down")
+        if self._failure_rate > 0.0 and self._rng.random() < self._failure_rate:
+            self.stats.failures += 1
+            raise RpcError(f"injected fault on channel {self.name}")
+        latency = self._latency_model() if self._latency_model else 0.0
+        self.stats.virtual_latency_total += latency
+        return RpcResult(value=func(*args), latency=latency)

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: online diamond-motif detection.
+
+Given the static follower index **S** and the dynamic recent-edge index
+**D**, :class:`~repro.core.diamond.DiamondDetector` reacts to each live
+``B -> C`` edge by completing the "diamond" motif: find the other fresh B's
+pointing at C (top half), then intersect their follower lists (bottom half)
+to obtain the A's who should be told about C.
+
+:class:`~repro.core.engine.MotifEngine` wires S + D + one or more detectors
+into a single-machine serving unit; the distributed version lives in
+:mod:`repro.cluster`.
+"""
+
+from repro.core.events import ActionType, EdgeEvent
+from repro.core.params import DetectionParams
+from repro.core.recommendation import Recommendation
+from repro.core.detector import OnlineDetector
+from repro.core.diamond import DiamondDetector
+from repro.core.engine import EngineStats, MotifEngine
+from repro.core.spree import SpreeAlert, SpreeDetector
+
+__all__ = [
+    "ActionType",
+    "EdgeEvent",
+    "DetectionParams",
+    "Recommendation",
+    "OnlineDetector",
+    "DiamondDetector",
+    "EngineStats",
+    "MotifEngine",
+    "SpreeAlert",
+    "SpreeDetector",
+]

@@ -1,0 +1,38 @@
+"""The detector protocol: one "program" over the graph infrastructure.
+
+The paper separates "the partitioned graph infrastructure that maintains the
+relevant data structures" from "the 'program' that performs the motif
+detection", and anticipates multiple motif programs sharing the
+infrastructure.  ``OnlineDetector`` is that program interface; the engine
+and the partition servers drive any number of them off the same S and D.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.events import EdgeEvent
+from repro.core.recommendation import Recommendation
+
+
+@runtime_checkable
+class OnlineDetector(Protocol):
+    """A motif-detection program driven by live edge events."""
+
+    @property
+    def name(self) -> str:
+        """Stable identifier used in recommendation provenance."""
+        ...
+
+    def on_edge(
+        self, event: EdgeEvent, now: float | None = None
+    ) -> list[Recommendation]:
+        """React to one live edge; return any completed-motif candidates.
+
+        ``now`` is the processing time (defaults to the event's creation
+        time); queue consumers pass their arrival clock so reordered
+        deliveries are handled.  Implementations must be deterministic
+        given (their indexes' state, the event, now) so that replicated
+        partitions produce identical results.
+        """
+        ...

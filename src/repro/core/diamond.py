@@ -1,0 +1,190 @@
+"""Online diamond-motif detection — the production algorithm of §2.
+
+When a live ``B -> C`` edge arrives:
+
+1. insert it into the dynamic index **D**;
+2. query D for the other B's with a fresh (within ``tau``) edge to C — the
+   *top half* of the diamond;
+3. if at least ``k`` fresh B's point at C, look up each B's sorted follower
+   list in the static index **S** and compute the **k-overlap** — every A
+   following at least ``k`` of the fresh B's.  With exactly ``k`` fresh B's
+   this is the plain intersection of the paper's worked example;
+4. emit a raw :class:`~repro.core.recommendation.Recommendation` of C to
+   each such A.
+
+The detector is deliberately stateless beyond its two indexes, so replicated
+partitions holding identical S shards and D copies produce identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.core.recommendation import Recommendation
+from repro.graph.dynamic_index import DynamicEdgeIndex, FreshEdge
+from repro.graph.intersect import k_overlap
+from repro.graph.static_index import StaticFollowerIndex
+
+
+@dataclass
+class DiamondStats:
+    """Counters the detector maintains for observability."""
+
+    events_seen: int = 0
+    triggers: int = 0
+    candidates_emitted: int = 0
+    #: Events whose target had fewer than k fresh sources (early exit).
+    below_threshold: int = 0
+    #: Fresh B's whose follower list was empty in this partition's S shard.
+    empty_follower_lists: int = 0
+
+
+class DiamondDetector:
+    """The diamond-motif program over a (S, D) pair."""
+
+    def __init__(
+        self,
+        static_index: StaticFollowerIndex,
+        dynamic_index: DynamicEdgeIndex,
+        params: DetectionParams | None = None,
+        inserts_edges: bool = True,
+    ) -> None:
+        """Create a detector over existing indexes.
+
+        Args:
+            static_index: the partition's S shard (B -> sorted A's).
+            dynamic_index: the partition's full D copy.
+            params: k / tau configuration; defaults to production values.
+            inserts_edges: when True (standalone use) the detector inserts
+                each event into D itself; the engine sets this False so one
+                insert feeds all co-hosted detector programs.
+        """
+        self.params = params or DetectionParams()
+        if self.params.tau > dynamic_index.retention:
+            raise ValueError(
+                f"params.tau={self.params.tau} exceeds the dynamic index's "
+                f"retention={dynamic_index.retention}"
+            )
+        self._static = static_index
+        self._dynamic = dynamic_index
+        self._inserts_edges = inserts_edges
+        self.stats = DiamondStats()
+
+    @property
+    def name(self) -> str:
+        """Detector program identifier."""
+        return "diamond"
+
+    def rebind_static(self, static_index: StaticFollowerIndex) -> None:
+        """Swap in a freshly-loaded S snapshot (periodic offline reload).
+
+        The production system recomputes the ``A -> B`` edges offline and
+        "loaded into the system periodically"; swapping the reference is
+        atomic under the GIL, so an engine can reload without pausing the
+        event stream.  D is untouched — recent dynamic edges remain valid.
+        """
+        self._static = static_index
+
+    # ------------------------------------------------------------------
+    # Event path
+    # ------------------------------------------------------------------
+
+    def on_edge(self, event: EdgeEvent, now: float | None = None) -> list[Recommendation]:
+        """Process one live ``B -> C`` edge; return completed-motif candidates.
+
+        Args:
+            event: the live edge; its ``created_at`` stamps the D entry.
+            now: processing time used for the freshness window.  Defaults
+                to the event's creation time, which is exact for in-order
+                streams; queue consumers pass their arrival clock so
+                late-arriving edges still see every edge created before
+                them (real queues reorder).
+        """
+        self.stats.events_seen += 1
+        if now is None:
+            now = event.created_at
+        if self._inserts_edges:
+            self._dynamic.insert(
+                event.actor, event.target, event.created_at, action=event.action
+            )
+
+        fresh = self._dynamic.fresh_sources(
+            event.target, now=max(now, event.created_at), tau=self.params.tau
+        )
+        if len(fresh) < self.params.k:
+            self.stats.below_threshold += 1
+            return []
+
+        recipients = self._audience(event.target, fresh)
+        if not recipients:
+            return []
+        self.stats.triggers += 1
+        self.stats.candidates_emitted += len(recipients)
+        via = tuple(edge.source for edge in fresh)
+        return [
+            Recommendation(
+                recipient=a,
+                candidate=event.target,
+                created_at=event.created_at,
+                motif=self.name,
+                action=event.action,
+                via=via,
+            )
+            for a in recipients
+        ]
+
+    def current_audience(self, target: int, now: float) -> list[int]:
+        """The A's who would be notified about *target* right now.
+
+        A read-only query (no insertion) used by the polling baseline and
+        by tests to compare detector state against batch ground truth.
+        """
+        fresh = self._dynamic.fresh_sources(target, now=now, tau=self.params.tau)
+        if len(fresh) < self.params.k:
+            return []
+        return self._audience(target, fresh)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _audience(self, target: int, fresh: list[FreshEdge]) -> list[int]:
+        """Bottom half of the diamond: A's following >= k fresh B's."""
+        params = self.params
+        if (
+            params.max_trigger_sources is not None
+            and len(fresh) > params.max_trigger_sources
+        ):
+            # Keep the most recent sources; fresh is in ascending-timestamp
+            # order, so the tail is the newest.
+            fresh = fresh[-params.max_trigger_sources :]
+
+        follower_lists = []
+        for edge in fresh:
+            a_list = self._static.followers_of(edge.source)
+            if len(a_list):
+                follower_lists.append(a_list)
+            else:
+                self.stats.empty_follower_lists += 1
+        if len(follower_lists) < params.k:
+            return []
+
+        recipients = k_overlap(follower_lists, params.k)
+        if not recipients:
+            return []
+
+        fresh_sources = {edge.source for edge in fresh}
+        kept: list[int] = []
+        for a in recipients:
+            if params.exclude_candidate_recipient and a == target:
+                continue
+            if params.exclude_existing_followers:
+                # Already following C per the static snapshot, or C's newest
+                # followers themselves (their follow edge is in D, not yet
+                # in S) — either way a pointless notification.
+                if a in fresh_sources or self._static.has_edge(a, target):
+                    continue
+            kept.append(a)
+        return kept

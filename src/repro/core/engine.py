@@ -1,0 +1,181 @@
+"""Single-machine motif engine: S + D + detector programs in one process.
+
+This is the paper's design "for the case where the entire graph fits on a
+single machine"; :mod:`repro.cluster` stacks twenty of these behind brokers.
+The engine owns the one insert into D per event and fans the event out to
+every registered detector program, timing the detection work so benchmarks
+can verify the "graph queries take only a few milliseconds" claim.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.detector import OnlineDetector
+from repro.core.diamond import DiamondDetector
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.core.recommendation import Recommendation
+from repro.graph.dynamic_index import DynamicEdgeIndex
+from repro.graph.snapshot import GraphSnapshot, build_follower_snapshot
+from repro.graph.static_index import StaticFollowerIndex
+from repro.util.stats import PercentileTracker
+from repro.util.validation import require
+
+
+@dataclass
+class EngineStats:
+    """Aggregate engine-level counters and the per-event latency tracker."""
+
+    events_processed: int = 0
+    recommendations_emitted: int = 0
+    #: Seconds of detection work per event (insert + all detector programs).
+    query_latency: PercentileTracker = field(
+        default_factory=lambda: PercentileTracker(max_samples=50_000)
+    )
+
+
+class MotifEngine:
+    """Drives one D copy and any number of detector programs."""
+
+    def __init__(
+        self,
+        static_index: StaticFollowerIndex,
+        dynamic_index: DynamicEdgeIndex,
+        detectors: list[OnlineDetector] | None = None,
+        track_latency: bool = True,
+    ) -> None:
+        """Assemble an engine from prebuilt indexes.
+
+        Args:
+            static_index: the S structure (whole graph or partition shard).
+            dynamic_index: the D structure this engine inserts into.
+            detectors: detector programs; when omitted, a single
+                :class:`DiamondDetector` with production parameters is
+                registered.  Detectors must have been constructed with
+                ``inserts_edges=False`` — the engine owns the insert.
+            track_latency: record per-event detection latency (small
+                constant overhead; benchmarks that measure raw throughput
+                can disable it).
+        """
+        self.static_index = static_index
+        self.dynamic_index = dynamic_index
+        if detectors is None:
+            detectors = [
+                DiamondDetector(
+                    static_index,
+                    dynamic_index,
+                    DetectionParams(),
+                    inserts_edges=False,
+                )
+            ]
+        require(len(detectors) > 0, "an engine needs at least one detector")
+        self.detectors: list[OnlineDetector] = list(detectors)
+        self._track_latency = track_latency
+        self.stats = EngineStats()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: GraphSnapshot,
+        params: DetectionParams | None = None,
+        influencer_limit: int | None = None,
+        retention: float | None = None,
+        max_edges_per_target: int | None = None,
+        track_latency: bool = True,
+    ) -> "MotifEngine":
+        """Build the standard production stack from an offline snapshot.
+
+        Args:
+            snapshot: the offline ``A -> B`` follow graph.
+            params: diamond parameters (production defaults when omitted).
+            influencer_limit: per-user cap applied while inverting into S.
+            retention: D retention seconds; defaults to ``params.tau``.
+            max_edges_per_target: per-C cap on stored D entries (the
+                paper's "pruning the D data structure to only retain the
+                most recent edges"); ``None`` keeps everything in-window.
+        """
+        params = params or DetectionParams()
+        static_index = build_follower_snapshot(
+            snapshot, influencer_limit=influencer_limit
+        )
+        dynamic_index = DynamicEdgeIndex(
+            retention=retention or params.tau,
+            max_edges_per_target=max_edges_per_target,
+        )
+        detector = DiamondDetector(
+            static_index, dynamic_index, params, inserts_edges=False
+        )
+        return cls(
+            static_index,
+            dynamic_index,
+            [detector],
+            track_latency=track_latency,
+        )
+
+    # ------------------------------------------------------------------
+    # Event path
+    # ------------------------------------------------------------------
+
+    def process(
+        self, event: EdgeEvent, now: float | None = None
+    ) -> list[Recommendation]:
+        """Ingest one live edge and run every detector program on it.
+
+        ``now`` is the processing time for freshness evaluation (defaults
+        to the event's creation time; see ``DiamondDetector.on_edge``).
+        """
+        started = time.perf_counter() if self._track_latency else 0.0
+        self.dynamic_index.insert(
+            event.actor, event.target, event.created_at, action=event.action
+        )
+        recommendations: list[Recommendation] = []
+        for detector in self.detectors:
+            recommendations.extend(detector.on_edge(event, now))
+        self.stats.events_processed += 1
+        self.stats.recommendations_emitted += len(recommendations)
+        if self._track_latency:
+            self.stats.query_latency.add(time.perf_counter() - started)
+        return recommendations
+
+    def process_stream(self, events: list[EdgeEvent]) -> list[Recommendation]:
+        """Convenience: process a list of events, returning all candidates."""
+        recommendations: list[Recommendation] = []
+        for event in events:
+            recommendations.extend(self.process(event))
+        return recommendations
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def reload_static_index(self, static_index: StaticFollowerIndex) -> None:
+        """Swap in a freshly-loaded S snapshot without pausing the stream.
+
+        Mirrors production's periodic offline load: every detector program
+        is rebound to the new index; D and all in-flight freshness state
+        are untouched.  Detectors that do not support rebinding (no
+        ``rebind_static``) raise — hosting such a program on an engine
+        that reloads would silently serve stale data.
+        """
+        for detector in self.detectors:
+            rebind = getattr(detector, "rebind_static", None)
+            if rebind is None:
+                raise TypeError(
+                    f"detector {detector.name!r} does not support "
+                    "rebind_static; cannot hot-reload S under it"
+                )
+            rebind(static_index)
+        self.static_index = static_index
+
+    def prune(self, now: float) -> int:
+        """Evict expired edges from D; returns the number removed."""
+        return self.dynamic_index.prune_expired(now)
+
+    def memory_bytes(self) -> dict[str, int]:
+        """Approximate footprint of both indexes, keyed by structure."""
+        return {
+            "static_index": self.static_index.memory_bytes(),
+            "dynamic_index": self.dynamic_index.memory_bytes(),
+        }

@@ -1,0 +1,47 @@
+"""Live user-action events consumed by the detection system.
+
+The paper's running example uses follows, but notes the idea "applies to
+recommending content as well, based on user actions such as retweets,
+favorites, etc."  ``EdgeEvent`` therefore carries an :class:`ActionType`;
+a follow event's target is an account, a retweet/favorite event's target is
+a tweet id — either way the detection algorithm sees a ``B -> C`` edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graph.ids import UserId
+
+
+class ActionType(enum.Enum):
+    """The kind of user action that created a dynamic edge."""
+
+    FOLLOW = "follow"
+    RETWEET = "retweet"
+    FAVORITE = "favorite"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class EdgeEvent:
+    """A live ``B -> C`` action event from the message queue.
+
+    Attributes:
+        created_at: wall-clock second the action happened at the source.
+        actor: the acting account (a ``B`` in the paper's notation).
+        target: the account or item acted upon (a ``C``).
+        action: what kind of action created the edge.
+    """
+
+    created_at: float
+    actor: UserId
+    target: UserId
+    action: ActionType = field(default=ActionType.FOLLOW, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.actor < 0 or self.target < 0:
+            raise ValueError(f"user ids must be non-negative, got {self!r}")

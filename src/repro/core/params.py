@@ -1,0 +1,56 @@
+"""Tunable detection parameters: the paper's ``k`` and ``tau``.
+
+"if more than k of them follow an account C within a time period tau, then
+we recommend C to A (where k and tau are tunable parameters)" — k = 2 in the
+worked example, k = 3 in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require, require_positive
+
+#: The paper's production setting.
+PRODUCTION_K = 3
+
+#: The worked-example setting used throughout Figure 1.
+EXAMPLE_K = 2
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionParams:
+    """Configuration for one motif-detection program.
+
+    Attributes:
+        k: minimum number of distinct fresh B's that must point at the same
+            C (and be followed by A) to trigger a recommendation.
+        tau: freshness window in seconds — only B -> C edges created within
+            the last ``tau`` seconds count toward ``k``.
+        exclude_candidate_recipient: drop the degenerate recommendation of
+            C to itself (C appears among its own followers' followers
+            surprisingly often in real graphs).
+        exclude_existing_followers: drop A's that already follow C according
+            to S.  Note S is a pruned snapshot, so this check is best-effort
+            — exactly as in production, where the authoritative dedup lives
+            in the downstream delivery pipeline.
+        max_trigger_sources: safety valve — if more than this many fresh B's
+            point at C, only the ``max_trigger_sources`` most recent are
+            expanded.  Caps worst-case work on ultra-viral targets; ``None``
+            disables the cap.
+    """
+
+    k: int = PRODUCTION_K
+    tau: float = 3600.0
+    exclude_candidate_recipient: bool = True
+    exclude_existing_followers: bool = True
+    max_trigger_sources: int | None = None
+
+    def __post_init__(self) -> None:
+        require(self.k >= 1, f"k must be >= 1, got {self.k}")
+        require_positive(self.tau, "tau")
+        if self.max_trigger_sources is not None:
+            require(
+                self.max_trigger_sources >= self.k,
+                "max_trigger_sources must be >= k or no motif can complete",
+            )

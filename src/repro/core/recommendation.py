@@ -1,0 +1,42 @@
+"""The raw recommendation candidates the detectors emit.
+
+A :class:`Recommendation` is *raw*: the same (recipient, candidate) pair may
+be emitted repeatedly as a motif keeps re-firing while new B's pile onto a
+hot C.  Production generates "billions of raw candidates" a day and the
+delivery pipeline (:mod:`repro.delivery`) reduces them to millions of push
+notifications; we preserve that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import ActionType
+from repro.graph.ids import UserId
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One raw candidate: tell *recipient* about *candidate*.
+
+    Attributes:
+        recipient: the A who should receive the push notification.
+        candidate: the C being recommended (account or content id).
+        created_at: detection time (the triggering edge's timestamp).
+        motif: name of the motif program that fired (e.g. ``"diamond"``).
+        action: the action type of the triggering edge.
+        via: the fresh B's whose edges completed the motif, in timestamp
+            order — the "3 of the people you follow just followed C"
+            explanation string comes from here.
+    """
+
+    recipient: UserId
+    candidate: UserId
+    created_at: float
+    motif: str = "diamond"
+    action: ActionType = field(default=ActionType.FOLLOW, compare=False)
+    via: tuple[UserId, ...] = field(default=(), compare=False)
+
+    def key(self) -> tuple[UserId, UserId]:
+        """The dedup key used downstream: (recipient, candidate)."""
+        return (self.recipient, self.candidate)

@@ -1,0 +1,110 @@
+"""Follow-spree detection: a second motif family on augmented infrastructure.
+
+The conclusion anticipates "additional programs that use the graph
+infrastructure (which may need to be augmented to include other data
+structures)".  This module is a worked instance of both halves:
+
+* the augmented structure is
+  :class:`~repro.graph.dynamic_index.DynamicSourceIndex` — recent edges
+  keyed by *source* instead of target;
+* the program is the **spree motif**: one account creating edges to at
+  least ``k`` distinct targets within ``tau`` — the signature of
+  follow-spam and automation, which the recommendation system must
+  detect because spree edges would otherwise pollute D and fire bogus
+  diamonds.
+
+Alerts are a different output type from recommendations on purpose: they
+feed abuse/quality systems, not the push pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.graph.dynamic_index import DynamicSourceIndex
+from repro.graph.ids import UserId
+
+
+@dataclass(frozen=True, slots=True)
+class SpreeAlert:
+    """One spree detection: *actor* hit *distinct_targets* within the window."""
+
+    actor: UserId
+    distinct_targets: int
+    first_edge_at: float
+    detected_at: float
+
+    @property
+    def span(self) -> float:
+        """Seconds between the earliest fresh edge and detection."""
+        return self.detected_at - self.first_edge_at
+
+
+class SpreeDetector:
+    """Flags accounts creating edges to >= k distinct targets within tau."""
+
+    def __init__(
+        self,
+        source_index: DynamicSourceIndex,
+        params: DetectionParams | None = None,
+        inserts_edges: bool = True,
+        realert_after: float | None = None,
+    ) -> None:
+        """Create a spree detector.
+
+        Args:
+            source_index: the augmented source-keyed dynamic index.
+            params: ``k`` = distinct-target threshold, ``tau`` = window
+                (production-style defaults when omitted).
+            inserts_edges: insert events into the index itself (False when
+                a host owns the single insert).
+            realert_after: suppress repeat alerts for the same actor for
+                this many seconds (defaults to ``tau``).
+        """
+        self.params = params or DetectionParams(k=20, tau=300.0)
+        if self.params.tau > source_index.retention:
+            raise ValueError(
+                f"params.tau={self.params.tau} exceeds the source index's "
+                f"retention={source_index.retention}"
+            )
+        self._index = source_index
+        self._inserts_edges = inserts_edges
+        self._realert_after = (
+            realert_after if realert_after is not None else self.params.tau
+        )
+        self._last_alert: dict[UserId, float] = {}
+        self.alerts_emitted = 0
+
+    @property
+    def name(self) -> str:
+        """Detector program identifier."""
+        return "spree"
+
+    def on_edge(self, event: EdgeEvent, now: float | None = None) -> list[SpreeAlert]:
+        """Process one live edge; returns at most one alert."""
+        if now is None:
+            now = event.created_at
+        if self._inserts_edges:
+            self._index.insert(
+                event.actor, event.target, event.created_at, action=event.action
+            )
+        fresh = self._index.fresh_targets(
+            event.actor, now=max(now, event.created_at), tau=self.params.tau
+        )
+        if len(fresh) < self.params.k:
+            return []
+        last = self._last_alert.get(event.actor)
+        if last is not None and now - last < self._realert_after:
+            return []
+        self._last_alert[event.actor] = now
+        self.alerts_emitted += 1
+        return [
+            SpreeAlert(
+                actor=event.actor,
+                distinct_targets=len(fresh),
+                first_edge_at=fresh[0].timestamp,
+                detected_at=now,
+            )
+        ]

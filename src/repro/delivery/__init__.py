@@ -1,0 +1,38 @@
+"""The notification delivery funnel.
+
+"Each day, billions of raw candidates are generated, yielding millions of
+push notifications (after eliminating duplicates, suppressing messages
+during non-waking hours, controlling for fatigue, etc.)"
+
+The funnel stages, in production order:
+
+1. :class:`~repro.delivery.dedup.DedupFilter` — a (recipient, candidate)
+   pair is pushed at most once per window; re-firing motifs generate the
+   bulk of the raw volume, so this stage removes the most;
+2. :class:`~repro.delivery.waking.WakingHoursFilter` — no pushes while the
+   recipient is asleep (per-user timezone model);
+3. :class:`~repro.delivery.fatigue.FatigueFilter` — a per-user daily cap.
+
+:class:`~repro.delivery.pipeline.DeliveryPipeline` composes the stages and
+keeps a :class:`~repro.sim.metrics.FunnelCounter`, which benchmark E6 reads
+to reproduce the billions-to-millions reduction ratio.
+"""
+
+from repro.delivery.dedup import DedupFilter
+from repro.delivery.fatigue import FatigueFilter
+from repro.delivery.waking import WakingHoursFilter
+from repro.delivery.notifier import PushNotification, PushNotifier
+from repro.delivery.pipeline import DeliveryFilter, DeliveryPipeline
+from repro.delivery.scoring import TopKPerUserBuffer, witness_score
+
+__all__ = [
+    "DedupFilter",
+    "FatigueFilter",
+    "WakingHoursFilter",
+    "PushNotification",
+    "PushNotifier",
+    "DeliveryFilter",
+    "DeliveryPipeline",
+    "TopKPerUserBuffer",
+    "witness_score",
+]

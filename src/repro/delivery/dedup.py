@@ -1,0 +1,59 @@
+"""Duplicate elimination: the first and biggest funnel stage.
+
+A hot C keeps completing diamonds as more B's pile on, so the same
+(recipient, candidate) pair arrives over and over in the raw stream.  Each
+pair is allowed through once per ``window`` seconds; the seen-map is pruned
+opportunistically so memory tracks the active window, not the full day.
+"""
+
+from __future__ import annotations
+
+from repro.core.recommendation import Recommendation
+from repro.util.validation import require_positive
+
+
+class DedupFilter:
+    """Suppress repeats of (recipient, candidate) within a time window."""
+
+    #: How many accepts between opportunistic prunes of the seen-map.
+    PRUNE_EVERY = 4096
+
+    def __init__(self, window: float = 86_400.0) -> None:
+        """Create the filter.
+
+        Args:
+            window: seconds during which a repeated pair is suppressed
+                (default one day, matching the paper's daily accounting).
+        """
+        require_positive(window, "window")
+        self.window = window
+        self._last_sent: dict[tuple[int, int], float] = {}
+        self._since_prune = 0
+
+    @property
+    def name(self) -> str:
+        """Funnel-stage label."""
+        return "dedup"
+
+    def allow(self, rec: Recommendation, now: float) -> bool:
+        """True iff this pair has not been let through within the window."""
+        key = rec.key()
+        last = self._last_sent.get(key)
+        if last is not None and now - last < self.window:
+            return False
+        self._last_sent[key] = now
+        self._since_prune += 1
+        if self._since_prune >= self.PRUNE_EVERY:
+            self._prune(now)
+        return True
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window
+        self._last_sent = {
+            key: t for key, t in self._last_sent.items() if t >= cutoff
+        }
+        self._since_prune = 0
+
+    def tracked_pairs(self) -> int:
+        """Number of pairs currently remembered (memory accounting)."""
+        return len(self._last_sent)

@@ -1,0 +1,58 @@
+"""Fatigue control: a per-user cap on pushes per rolling window.
+
+Even perfectly relevant notifications drive users to disable pushes when
+there are too many of them; production "controls for fatigue".  We model
+the standard mechanism: at most ``max_per_window`` deliveries per user per
+rolling ``window`` seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.recommendation import Recommendation
+from repro.util.validation import require_positive
+
+
+class FatigueFilter:
+    """Rolling-window rate limit per recipient."""
+
+    def __init__(self, max_per_window: int = 2, window: float = 86_400.0) -> None:
+        """Create the filter.
+
+        Args:
+            max_per_window: deliveries allowed per user per window.
+            window: rolling window length in seconds (default one day).
+        """
+        require_positive(max_per_window, "max_per_window")
+        require_positive(window, "window")
+        self.max_per_window = max_per_window
+        self.window = window
+        self._sent: dict[int, deque[float]] = {}
+
+    @property
+    def name(self) -> str:
+        """Funnel-stage label."""
+        return "fatigue"
+
+    def allow(self, rec: Recommendation, now: float) -> bool:
+        """True iff the recipient is under their cap; counts the delivery."""
+        history = self._sent.get(rec.recipient)
+        if history is None:
+            history = deque()
+            self._sent[rec.recipient] = history
+        cutoff = now - self.window
+        while history and history[0] < cutoff:
+            history.popleft()
+        if len(history) >= self.max_per_window:
+            return False
+        history.append(now)
+        return True
+
+    def sent_in_window(self, user: int, now: float) -> int:
+        """Deliveries charged to *user* within the current window."""
+        history = self._sent.get(user)
+        if not history:
+            return 0
+        cutoff = now - self.window
+        return sum(1 for t in history if t >= cutoff)

@@ -1,0 +1,53 @@
+"""The terminal sink: push notifications that actually go out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.recommendation import Recommendation
+
+
+@dataclass(frozen=True, slots=True)
+class PushNotification:
+    """One delivered push: the surviving recommendation plus delivery time."""
+
+    recommendation: Recommendation
+    delivered_at: float
+
+    @property
+    def recipient(self) -> int:
+        """The notified user."""
+        return self.recommendation.recipient
+
+    @property
+    def latency(self) -> float:
+        """Seconds from the triggering edge to delivery."""
+        return self.delivered_at - self.recommendation.created_at
+
+
+@dataclass
+class PushNotifier:
+    """Collects delivered notifications and per-user counts."""
+
+    notifications: list[PushNotification] = field(default_factory=list)
+    per_user: dict[int, int] = field(default_factory=dict)
+    #: Cap the retained notification objects (counters keep counting).
+    keep_at_most: int | None = None
+    delivered_total: int = 0
+
+    def deliver(self, rec: Recommendation, now: float) -> PushNotification:
+        """Record one delivery."""
+        notification = PushNotification(rec, delivered_at=now)
+        if self.keep_at_most is None or len(self.notifications) < self.keep_at_most:
+            self.notifications.append(notification)
+        self.per_user[rec.recipient] = self.per_user.get(rec.recipient, 0) + 1
+        self.delivered_total += 1
+        return notification
+
+    def unique_recipients(self) -> int:
+        """Users who received at least one push."""
+        return len(self.per_user)
+
+    def max_per_user(self) -> int:
+        """Largest per-user delivery count (fatigue sanity metric)."""
+        return max(self.per_user.values(), default=0)

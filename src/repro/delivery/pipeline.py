@@ -1,0 +1,85 @@
+"""Composition of the funnel stages with full accounting.
+
+``DeliveryPipeline.offer`` runs each raw candidate through the configured
+filters in order; the first stage to reject wins (cheapest-first ordering
+matters in production, and dedup — the cheapest and most selective — runs
+first).  A :class:`~repro.sim.metrics.FunnelCounter` tracks survivors per
+stage so the billions-to-millions reduction is directly observable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.recommendation import Recommendation
+from repro.delivery.dedup import DedupFilter
+from repro.delivery.fatigue import FatigueFilter
+from repro.delivery.notifier import PushNotification, PushNotifier
+from repro.delivery.waking import WakingHoursFilter
+from repro.sim.metrics import FunnelCounter
+
+
+@runtime_checkable
+class DeliveryFilter(Protocol):
+    """One funnel stage: allow or reject a candidate at time *now*."""
+
+    @property
+    def name(self) -> str:
+        """Stage label used in funnel accounting."""
+        ...
+
+    def allow(self, rec: Recommendation, now: float) -> bool:
+        """True to pass the candidate to the next stage."""
+        ...
+
+
+class DeliveryPipeline:
+    """Raw candidates in, push notifications out, counters in between."""
+
+    def __init__(
+        self,
+        filters: list[DeliveryFilter] | None = None,
+        notifier: PushNotifier | None = None,
+    ) -> None:
+        """Create the pipeline.
+
+        Args:
+            filters: funnel stages in evaluation order; defaults to the
+                production trio dedup -> waking hours -> fatigue.
+            notifier: terminal sink (a fresh one when omitted).
+        """
+        if filters is None:
+            filters = [DedupFilter(), WakingHoursFilter(), FatigueFilter()]
+        self.filters = list(filters)
+        self.notifier = notifier or PushNotifier()
+        self.funnel = FunnelCounter()
+
+    def offer(self, rec: Recommendation, now: float) -> PushNotification | None:
+        """Run one raw candidate through the funnel.
+
+        Returns the delivered notification, or ``None`` with the rejecting
+        stage recorded in the funnel counters.
+        """
+        self.funnel.count("raw")
+        for stage in self.filters:
+            if not stage.allow(rec, now):
+                self.funnel.count(f"dropped:{stage.name}")
+                return None
+            self.funnel.count(f"passed:{stage.name}")
+        self.funnel.count("delivered")
+        return self.notifier.deliver(rec, now)
+
+    def offer_all(
+        self, recs: list[Recommendation], now: float
+    ) -> list[PushNotification]:
+        """Offer a batch arriving at the same time; returns deliveries."""
+        delivered = []
+        for rec in recs:
+            notification = self.offer(rec, now)
+            if notification is not None:
+                delivered.append(notification)
+        return delivered
+
+    def reduction_ratio(self) -> float:
+        """Raw candidates per delivered push (the paper's headline ratio)."""
+        return self.funnel.reduction_ratio("raw", "delivered")

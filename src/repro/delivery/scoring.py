@@ -1,0 +1,89 @@
+"""Candidate scoring and top-k selection under the fatigue budget.
+
+The fatigue filter caps pushes per user per day; production must then
+choose *which* candidates spend the budget.  The natural score for a
+diamond candidate combines:
+
+* **corroboration** — how many fresh witnesses completed the motif (a
+  candidate seen via 7 followings beats one seen via 3); and
+* **freshness** — exponentially decayed age, because "what's hot" cools.
+
+:class:`TopKPerUserBuffer` batches raw candidates per recipient over a
+short window and releases only each user's top-k, which is how a ranked
+delivery stage slots between detection and the fatigue filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.recommendation import Recommendation
+from repro.util.validation import require_positive
+
+
+def witness_score(
+    rec: Recommendation, now: float, half_life: float = 1_800.0
+) -> float:
+    """Corroboration x freshness score for one candidate.
+
+    ``len(rec.via)`` is the witness count at emission time; age decays
+    with the given *half_life* in seconds.  Candidates with no recorded
+    witnesses (foreign detectors) score as single-witness.
+    """
+    require_positive(half_life, "half_life")
+    witnesses = max(len(rec.via), 1)
+    age = max(now - rec.created_at, 0.0)
+    return witnesses * math.pow(2.0, -age / half_life)
+
+
+@dataclass
+class _UserBuffer:
+    candidates: list[Recommendation] = field(default_factory=list)
+
+
+class TopKPerUserBuffer:
+    """Batch candidates per recipient; flush releases each user's best k.
+
+    Dedups by (recipient, candidate) within the buffer, keeping the
+    highest-witness instance, so a re-firing motif does not crowd out
+    distinct candidates.
+    """
+
+    def __init__(self, k: int = 2, half_life: float = 1_800.0) -> None:
+        """Create a buffer releasing at most *k* candidates per user."""
+        require_positive(k, "k")
+        require_positive(half_life, "half_life")
+        self.k = k
+        self.half_life = half_life
+        self._buffers: dict[int, dict[int, Recommendation]] = {}
+        self.offered = 0
+
+    def offer(self, rec: Recommendation) -> None:
+        """Add one raw candidate to its recipient's buffer."""
+        self.offered += 1
+        per_user = self._buffers.setdefault(rec.recipient, {})
+        existing = per_user.get(rec.candidate)
+        if existing is None or len(rec.via) > len(existing.via):
+            per_user[rec.candidate] = rec
+
+    def pending(self) -> int:
+        """Distinct (recipient, candidate) pairs currently buffered."""
+        return sum(len(per_user) for per_user in self._buffers.values())
+
+    def flush(self, now: float) -> list[Recommendation]:
+        """Release each user's top-k by score; clears the buffers.
+
+        Output is ordered by (recipient, descending score) so downstream
+        filters see each user's best candidate first — the fatigue filter
+        then spends the budget on the highest-scoring ones.
+        """
+        released: list[Recommendation] = []
+        for recipient in sorted(self._buffers):
+            candidates = list(self._buffers[recipient].values())
+            candidates.sort(
+                key=lambda rec: (-witness_score(rec, now, self.half_life), rec.candidate)
+            )
+            released.extend(candidates[: self.k])
+        self._buffers.clear()
+        return released

@@ -1,0 +1,41 @@
+"""Synthetic workload generators.
+
+The paper's system runs against the Twitter follow graph (O(10^8) vertices,
+O(10^10) edges) and the live firehose of follow/retweet events — neither of
+which is available outside Twitter.  This package builds the closest
+laptop-scale equivalents:
+
+* :func:`~repro.gen.graph_gen.generate_follow_graph` — power-law follow
+  graphs with Twitter-like in-degree skew (a few celebrity hubs, a long tail
+  of ordinary accounts);
+* :func:`~repro.gen.stream_gen.generate_event_stream` — temporally-correlated
+  edge streams: bursts of attention toward trending targets over background
+  noise, which is exactly the signal the diamond motif detects;
+* :mod:`~repro.gen.scenarios` — canned workloads (celebrity join, breaking
+  news, quiet day) reused by examples, tests, and benchmarks.
+"""
+
+from repro.gen.zipf import ZipfSampler, power_law_out_degrees
+from repro.gen.graph_gen import TwitterGraphConfig, generate_follow_graph
+from repro.gen.stream_gen import (
+    BurstSpec,
+    StreamConfig,
+    diurnal_rate_factor,
+    generate_event_stream,
+)
+from repro.gen.scenarios import Scenario, breaking_news, celebrity_join, quiet_day
+
+__all__ = [
+    "ZipfSampler",
+    "power_law_out_degrees",
+    "TwitterGraphConfig",
+    "generate_follow_graph",
+    "BurstSpec",
+    "StreamConfig",
+    "diurnal_rate_factor",
+    "generate_event_stream",
+    "Scenario",
+    "breaking_news",
+    "celebrity_join",
+    "quiet_day",
+]

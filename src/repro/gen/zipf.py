@@ -1,0 +1,112 @@
+"""Heavy-tailed sampling primitives for the synthetic workloads.
+
+Twitter's follow graph is famously skewed: a handful of celebrity accounts
+collect a large share of all follows.  Both the graph generator and the
+stream generator draw targets from a Zipf distribution over popularity
+ranks, which reproduces that skew with one tunable exponent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+import numpy as np
+
+from repro.util.validation import require, require_positive
+
+
+class ZipfSampler:
+    """Draw integers in ``[0, n)`` with P(rank r) proportional to 1/(r+1)^s.
+
+    Uses an exact inverse-CDF table (O(n) memory, O(log n) per draw), which
+    is plenty fast for the graph sizes this library targets and — unlike
+    rejection samplers — is exactly reproducible from the seed alone.
+    """
+
+    def __init__(self, n: int, exponent: float, rng: random.Random) -> None:
+        """Create a sampler over ranks ``0 .. n-1``.
+
+        Args:
+            n: population size.
+            exponent: Zipf exponent ``s``; larger means more skew.  ``s = 0``
+                degenerates to the uniform distribution.
+            rng: source of randomness (owned by the caller).
+        """
+        require_positive(n, "n")
+        require(exponent >= 0.0, f"exponent must be >= 0, got {exponent}")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), exponent)
+        cumulative = np.cumsum(weights)
+        cumulative /= cumulative[-1]
+        self._cdf = cumulative.tolist()
+
+    def sample(self) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw *count* ranks (with replacement)."""
+        return [self.sample() for _ in range(count)]
+
+    def sample_distinct(self, count: int, exclude: set[int] | None = None) -> list[int]:
+        """Draw *count* distinct ranks, skipping any in *exclude*.
+
+        Falls back to scanning ranks in popularity order if rejection
+        sampling stalls (possible when count approaches n), so the method
+        always terminates with exactly *count* values when feasible.
+        """
+        exclude = exclude or set()
+        available = self.n - len([x for x in exclude if 0 <= x < self.n])
+        require(
+            count <= available,
+            f"cannot draw {count} distinct ranks from {available} available",
+        )
+        chosen: set[int] = set()
+        attempts = 0
+        limit = max(100, 20 * count)
+        while len(chosen) < count and attempts < limit:
+            rank = self.sample()
+            attempts += 1
+            if rank not in chosen and rank not in exclude:
+                chosen.add(rank)
+        if len(chosen) < count:
+            for rank in itertools.count():  # popularity order fill
+                if rank not in chosen and rank not in exclude:
+                    chosen.add(rank)
+                if len(chosen) == count:
+                    break
+        return sorted(chosen)
+
+
+def power_law_out_degrees(
+    num_users: int,
+    mean_degree: float,
+    exponent: float,
+    max_degree: int,
+    rng: random.Random,
+) -> list[int]:
+    """Sample a per-user out-degree sequence with a Pareto-like tail.
+
+    Out-degrees (how many accounts a user follows) are drawn from a discrete
+    power law with the given *exponent*, truncated at *max_degree*, then
+    rescaled so the empirical mean approximates *mean_degree*.  Every user
+    follows at least one account — accounts with zero followings generate no
+    signal and would only pad the vertex count.
+    """
+    require_positive(num_users, "num_users")
+    require_positive(mean_degree, "mean_degree")
+    require(exponent > 1.0, "exponent must exceed 1 for a finite mean")
+    require(max_degree >= 1, "max_degree must be >= 1")
+
+    raw = []
+    for _ in range(num_users):
+        # Inverse-CDF draw from a Pareto tail starting at 1.
+        u = rng.random()
+        degree = int((1.0 - u) ** (-1.0 / (exponent - 1.0)))
+        raw.append(min(max(degree, 1), max_degree))
+    scale = mean_degree / (sum(raw) / num_users)
+    return [min(max(int(round(d * scale)), 1), max_degree) for d in raw]

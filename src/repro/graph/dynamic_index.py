@@ -1,0 +1,359 @@
+"""The paper's **D** structure: recent dynamic edges keyed by target.
+
+D answers: *given C, which B's created an edge to C recently, and when?*
+It absorbs the full live edge stream (every partition keeps a complete copy)
+and is pruned aggressively — the paper notes memory pressure "can be
+alleviated by pruning the D data structure to only retain the most recent
+edges (since we desire timely results)".
+
+Two pruning policies compose:
+
+* a **time window** (``retention`` seconds) — edges older than the window
+  can never satisfy the freshness constraint ``tau <= retention``, so they
+  are dropped lazily on access and eagerly by :meth:`prune_expired`;
+* a **per-target cap** (``max_edges_per_target``) — a viral C attracting
+  millions of followers in a burst would otherwise grow its entry without
+  bound; only the newest edges are kept.
+
+Timestamps may arrive slightly out of order (real message queues reorder);
+entries are kept in arrival order and freshness is always evaluated against
+the stored timestamps, so modest reordering only costs a little laziness in
+pruning, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.ids import UserId
+from repro.util.validation import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class FreshEdge:
+    """One recent ``B -> C`` edge as returned by freshness queries.
+
+    ``action`` is an opaque tag (the library passes
+    :class:`~repro.core.events.ActionType` values) used by action-filtered
+    motifs; ``None`` for untagged inserts.
+    """
+
+    source: UserId
+    timestamp: float
+    action: object | None = None
+
+
+class DynamicEdgeIndex:
+    """Map ``C -> recent (B, timestamp) entries``, pruned by window and cap."""
+
+    def __init__(
+        self,
+        retention: float,
+        max_edges_per_target: int | None = None,
+    ) -> None:
+        """Create an empty index.
+
+        Args:
+            retention: seconds an edge stays queryable.  Must cover the
+                largest freshness window ``tau`` any detector will ask for.
+            max_edges_per_target: optional hard cap per C; the oldest
+                entries are evicted first.
+        """
+        require_positive(retention, "retention")
+        if max_edges_per_target is not None:
+            require_positive(max_edges_per_target, "max_edges_per_target")
+        self.retention = retention
+        self.max_edges_per_target = max_edges_per_target
+        self._edges: dict[UserId, deque[tuple[float, UserId, object | None]]] = {}
+        self._num_edges = 0
+        self._inserted_total = 0
+        self._evicted_total = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        b: UserId,
+        c: UserId,
+        timestamp: float,
+        action: object | None = None,
+    ) -> None:
+        """Record a live edge ``b -> c`` created at *timestamp*.
+
+        ``action`` optionally tags the edge with what kind of user action
+        created it, so action-filtered motifs (e.g. co-retweet) can query
+        only their own edge type.
+        """
+        entry = self._edges.get(c)
+        if entry is None:
+            entry = deque()
+            self._edges[c] = entry
+        entry.append((timestamp, b, action))
+        self._num_edges += 1
+        self._inserted_total += 1
+        # Lazy window pruning at the insertion point keeps hot targets tidy
+        # without a global sweep.
+        self._drop_stale(c, entry, timestamp - self.retention)
+        if (
+            self.max_edges_per_target is not None
+            and len(entry) > self.max_edges_per_target
+        ):
+            overflow = len(entry) - self.max_edges_per_target
+            for _ in range(overflow):
+                entry.popleft()
+            self._num_edges -= overflow
+            self._evicted_total += overflow
+
+    def clone_state_from(self, other: "DynamicEdgeIndex") -> None:
+        """Replace this index's contents with a deep copy of *other*'s.
+
+        Used by replica resync: a recovering replica bootstraps its D from
+        a healthy sibling before rejoining the stream.  Retention/cap
+        configuration is not copied — only the stored edges.
+        """
+        self._edges = {c: deque(entry) for c, entry in other._edges.items()}
+        self._num_edges = other._num_edges
+        self._inserted_total = other._inserted_total
+        self._evicted_total = other._evicted_total
+
+    def prune_expired(self, now: float) -> int:
+        """Eagerly drop all entries older than ``now - retention``.
+
+        Returns the number of edges removed.  The ingest pipeline calls this
+        periodically to bound memory between bursts.
+        """
+        cutoff = now - self.retention
+        removed = 0
+        dead_targets: list[UserId] = []
+        for c, entry in self._edges.items():
+            removed += self._drop_stale(c, entry, cutoff, track_dead=False)
+            if not entry:
+                dead_targets.append(c)
+        for c in dead_targets:
+            del self._edges[c]
+        return removed
+
+    def _drop_stale(
+        self,
+        c: UserId,
+        entry: deque[tuple[float, UserId, object | None]],
+        cutoff: float,
+        track_dead: bool = True,
+    ) -> int:
+        """Pop from the left while the head is older than *cutoff*."""
+        removed = 0
+        while entry and entry[0][0] < cutoff:
+            entry.popleft()
+            removed += 1
+        self._num_edges -= removed
+        self._evicted_total += removed
+        if track_dead and not entry:
+            del self._edges[c]
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def fresh_sources(
+        self,
+        c: UserId,
+        now: float,
+        tau: float,
+        action: object | None = None,
+    ) -> list[FreshEdge]:
+        """All B's with an edge to *c* within the last *tau* seconds.
+
+        If the same B created several edges to *c* inside the window (an
+        unfollow/refollow churn), only the most recent survives, so a single
+        flapping account can never impersonate ``k`` distinct followers.
+        Results are ordered by ascending timestamp.
+
+        Args:
+            c: the query target.
+            now: the right edge of the freshness window.
+            tau: window length; must not exceed the index's retention.
+            action: when given, only edges inserted with this action tag
+                count (action-filtered motifs); ``None`` accepts all.
+        """
+        require_positive(tau, "tau")
+        if tau > self.retention:
+            raise ValueError(
+                f"tau={tau} exceeds retention={self.retention}; "
+                "fresh edges may already have been pruned"
+            )
+        entry = self._edges.get(c)
+        if not entry:
+            return []
+        cutoff = now - tau
+        if len(entry) == 1:
+            # Fast path for the overwhelmingly common cold target.
+            timestamp, b, edge_action = entry[0]
+            if timestamp < cutoff or timestamp > now:
+                return []
+            if action is not None and edge_action is not action:
+                return []
+            return [FreshEdge(source=b, timestamp=timestamp, action=edge_action)]
+        latest: dict[UserId, tuple[float, object | None]] = {}
+        for timestamp, b, edge_action in entry:
+            if timestamp < cutoff or timestamp > now:
+                continue
+            if action is not None and edge_action is not action:
+                continue
+            previous = latest.get(b)
+            if previous is None or timestamp > previous[0]:
+                latest[b] = (timestamp, edge_action)
+        return [
+            FreshEdge(source=b, timestamp=t, action=edge_action)
+            for b, (t, edge_action) in sorted(
+                latest.items(), key=lambda item: (item[1][0], item[0])
+            )
+        ]
+
+    def targets(self) -> Iterable[UserId]:
+        """All C's that currently have at least one stored edge."""
+        return self._edges.keys()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_targets(self) -> int:
+        """Number of C's with stored edges."""
+        return len(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Total stored edges across all targets."""
+        return self._num_edges
+
+    @property
+    def inserted_total(self) -> int:
+        """Lifetime count of inserted edges (survivors + evicted)."""
+        return self._inserted_total
+
+    @property
+    def evicted_total(self) -> int:
+        """Lifetime count of edges pruned by window or cap."""
+        return self._evicted_total
+
+    def memory_bytes(self) -> int:
+        """Approximate heap footprint of the stored entries.
+
+        Each deque slot holds a ``(float, int)`` tuple: ~72 bytes of boxed
+        payload plus a pointer — call it 88 bytes — and each target adds a
+        dict slot plus deque overhead (~180 bytes).
+        """
+        return self._num_edges * 88 + len(self._edges) * 180
+
+
+class DynamicSourceIndex:
+    """The *augmented* dynamic structure: recent edges keyed by **source**.
+
+    The paper's conclusion notes that additional motif programs "may need
+    [the graph infrastructure] to be augmented to include other data
+    structures".  D answers "who recently acted *on* C?"; this index
+    answers the mirror question — "what did B recently act on?" — which
+    source-counted motifs (e.g. follow-spree detection) require.
+
+    Same pruning semantics as :class:`DynamicEdgeIndex`: a retention
+    window enforced lazily plus an optional per-source cap.
+    """
+
+    def __init__(
+        self,
+        retention: float,
+        max_edges_per_source: int | None = None,
+    ) -> None:
+        require_positive(retention, "retention")
+        if max_edges_per_source is not None:
+            require_positive(max_edges_per_source, "max_edges_per_source")
+        self.retention = retention
+        self.max_edges_per_source = max_edges_per_source
+        self._edges: dict[UserId, deque[tuple[float, UserId, object | None]]] = {}
+        self._num_edges = 0
+
+    def insert(
+        self,
+        b: UserId,
+        c: UserId,
+        timestamp: float,
+        action: object | None = None,
+    ) -> None:
+        """Record a live edge ``b -> c`` created at *timestamp*."""
+        entry = self._edges.get(b)
+        if entry is None:
+            entry = deque()
+            self._edges[b] = entry
+        entry.append((timestamp, c, action))
+        self._num_edges += 1
+        cutoff = timestamp - self.retention
+        while entry and entry[0][0] < cutoff:
+            entry.popleft()
+            self._num_edges -= 1
+        if (
+            self.max_edges_per_source is not None
+            and len(entry) > self.max_edges_per_source
+        ):
+            overflow = len(entry) - self.max_edges_per_source
+            for _ in range(overflow):
+                entry.popleft()
+            self._num_edges -= overflow
+
+    def fresh_targets(
+        self,
+        b: UserId,
+        now: float,
+        tau: float,
+        action: object | None = None,
+    ) -> list[FreshEdge]:
+        """Distinct targets *b* acted on within the last *tau* seconds.
+
+        Mirrors :meth:`DynamicEdgeIndex.fresh_sources`: latest timestamp
+        per distinct target, ascending-timestamp order, optional action
+        filter.  ``FreshEdge.source`` carries the *target* id here.
+        """
+        require_positive(tau, "tau")
+        if tau > self.retention:
+            raise ValueError(
+                f"tau={tau} exceeds retention={self.retention}; "
+                "fresh edges may already have been pruned"
+            )
+        entry = self._edges.get(b)
+        if not entry:
+            return []
+        cutoff = now - tau
+        latest: dict[UserId, tuple[float, object | None]] = {}
+        for timestamp, c, edge_action in entry:
+            if timestamp < cutoff or timestamp > now:
+                continue
+            if action is not None and edge_action is not action:
+                continue
+            previous = latest.get(c)
+            if previous is None or timestamp > previous[0]:
+                latest[c] = (timestamp, edge_action)
+        return [
+            FreshEdge(source=c, timestamp=t, action=edge_action)
+            for c, (t, edge_action) in sorted(
+                latest.items(), key=lambda item: (item[1][0], item[0])
+            )
+        ]
+
+    @property
+    def num_edges(self) -> int:
+        """Total stored edges across all sources."""
+        return self._num_edges
+
+    @property
+    def num_sources(self) -> int:
+        """Number of B's with stored edges."""
+        return len(self._edges)
+
+    def memory_bytes(self) -> int:
+        """Approximate heap footprint (same model as the target index)."""
+        return self._num_edges * 88 + len(self._edges) * 180

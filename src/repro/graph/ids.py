@@ -1,0 +1,53 @@
+"""Identifier and edge types shared across the library.
+
+Users are plain non-negative integers (``UserId``), matching how the
+production system identifies accounts by numeric id.  Edges are lightweight
+immutable records; the streaming layer moves millions of them, so they use
+``__slots__`` via frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: A Twitter account id.  Non-negative integer.
+UserId = int
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Edge:
+    """A directed follow edge ``src -> dst`` (src follows dst)."""
+
+    src: UserId
+    dst: UserId
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"user ids must be non-negative, got {self!r}")
+
+    def reversed(self) -> "Edge":
+        """Return the edge with endpoints swapped."""
+        return Edge(self.dst, self.src)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TimestampedEdge:
+    """A directed edge plus the wall-clock second at which it was created.
+
+    These are the events the dynamic side of the system consumes: in the
+    paper's notation, the live ``B -> C`` follow (or retweet / favorite)
+    events read off the message queue.
+    """
+
+    timestamp: float
+    src: UserId
+    dst: UserId
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"user ids must be non-negative, got {self!r}")
+
+    @property
+    def edge(self) -> Edge:
+        """The underlying untimestamped edge."""
+        return Edge(self.src, self.dst)

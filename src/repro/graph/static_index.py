@@ -1,0 +1,157 @@
+"""The paper's **S** structure: inverse follower adjacency, sorted & static.
+
+S answers one query: *given B, which A's follow B?* — with the A lists kept
+sorted so the detector can intersect them cheaply.  Mirroring production:
+
+* S is **bulk loaded** from an offline snapshot of the ``A -> B`` follow
+  edges (the paper computes these offline "to take advantage of rich
+  features to prune the graph") and is immutable afterwards;
+* each user's *influencer list* (the B's an A follows) may be truncated to
+  the top-``influencer_limit`` entries by weight, which both improves
+  candidate quality and bounds S's memory;
+* a partition holds only the A's it owns, so construction accepts an
+  ``include_source`` predicate.
+
+Adjacency lists are packed into ``array('q')`` buffers (8 bytes per id), the
+closest pure-Python analogue to the production system's primitive arrays.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+from repro.graph.ids import UserId
+from repro.util.memory import approx_bytes_of_int_list
+from repro.util.validation import require_positive
+
+
+class StaticFollowerIndex:
+    """Immutable map ``B -> sorted packed array of A's that follow B``."""
+
+    def __init__(self, followers: Mapping[UserId, array]) -> None:
+        """Wrap an already-built mapping; prefer :meth:`from_follow_edges`.
+
+        Args:
+            followers: mapping from followed account ``B`` to a sorted
+                ``array('q')`` of follower ids.  The mapping is used as-is
+                (not copied); callers hand over ownership.
+        """
+        self._followers = dict(followers)
+        self._num_edges = sum(len(a_list) for a_list in self._followers.values())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_follow_edges(
+        cls,
+        edges: Iterable[tuple[UserId, UserId]],
+        influencer_limit: int | None = None,
+        edge_weight: Callable[[UserId, UserId], float] | None = None,
+        include_source: Callable[[UserId], bool] | None = None,
+    ) -> "StaticFollowerIndex":
+        """Bulk-load S from ``(A, B)`` follow edges (*A follows B*).
+
+        Args:
+            edges: iterable of ``(A, B)`` pairs; duplicates are collapsed.
+            influencer_limit: if given, each A keeps only its
+                ``influencer_limit`` highest-weight B's before inversion
+                (the paper's per-user influencer cap).
+            edge_weight: scoring function for the influencer cap; defaults
+                to uniform weights, which makes truncation arbitrary-but-
+                deterministic (lowest B ids win ties).
+            include_source: partition predicate — only A's for which it
+                returns True are loaded (``None`` keeps everyone).
+        """
+        if influencer_limit is not None:
+            require_positive(influencer_limit, "influencer_limit")
+
+        # Group edges by A first so the influencer cap can be applied
+        # per-user before inverting to the B-keyed layout.
+        followings: dict[UserId, set[UserId]] = {}
+        for a, b in edges:
+            if include_source is not None and not include_source(a):
+                continue
+            followings.setdefault(a, set()).add(b)
+
+        inverse: dict[UserId, list[UserId]] = {}
+        for a, b_set in followings.items():
+            kept: Iterable[UserId] = b_set
+            if influencer_limit is not None and len(b_set) > influencer_limit:
+                if edge_weight is None:
+                    kept = sorted(b_set)[:influencer_limit]
+                else:
+                    kept = sorted(
+                        b_set, key=lambda b: (-edge_weight(a, b), b)
+                    )[:influencer_limit]
+            for b in kept:
+                inverse.setdefault(b, []).append(a)
+
+        packed = {
+            b: array("q", sorted(a_list)) for b, a_list in inverse.items()
+        }
+        return cls(packed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def followers_of(self, b: UserId) -> array:
+        """Sorted follower ids of *b* (empty array if unknown)."""
+        result = self._followers.get(b)
+        if result is None:
+            return _EMPTY
+        return result
+
+    def has_edge(self, a: UserId, b: UserId) -> bool:
+        """True iff *a* follows *b* in the loaded snapshot (binary search)."""
+        a_list = self._followers.get(b)
+        if not a_list:
+            return False
+        position = bisect_left(a_list, a)
+        return position < len(a_list) and a_list[position] == a
+
+    def __contains__(self, b: UserId) -> bool:
+        return b in self._followers
+
+    def sources(self) -> Iterable[UserId]:
+        """All B's with at least one loaded follower."""
+        return self._followers.keys()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def num_targets(self) -> int:
+        """Number of distinct B's in the index."""
+        return len(self._followers)
+
+    @property
+    def num_edges(self) -> int:
+        """Total loaded ``A -> B`` edges."""
+        return self._num_edges
+
+    def memory_bytes(self) -> int:
+        """Approximate heap footprint of the packed adjacency lists."""
+        total = 0
+        for a_list in self._followers.values():
+            total += approx_bytes_of_int_list(a_list)
+        # Dict slots: key pointer + value pointer + hash, ~100B/entry is a
+        # fair CPython estimate including the boxed key.
+        total += len(self._followers) * 100
+        return total
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map ``follower-count -> number of B's with that count``."""
+        histogram: dict[int, int] = {}
+        for a_list in self._followers.values():
+            degree = len(a_list)
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+
+_EMPTY = array("q")

@@ -1,0 +1,66 @@
+"""The declarative motif engine the paper's conclusion envisions.
+
+"we envision the development of a generalized framework where one can
+declaratively specify a motif, which would yield an optimized query plan
+against an online graph database.  This would seem to represent an entirely
+new class of data management systems."
+
+This package is that framework, scoped to the pattern fragment the
+partitioned (S, D) infrastructure can serve:
+
+* :mod:`~repro.motif.spec` — motifs as pattern graphs: vertex variables,
+  static/dynamic pattern edges, count thresholds, NOT-EXISTS constraints,
+  and an emit clause;
+* :mod:`~repro.motif.planner` — compiles a spec into an operator pipeline,
+  rejecting patterns outside the supported fragment with a precise error;
+* :mod:`~repro.motif.plan` — the physical operators (fetch fresh
+  witnesses, threshold, fetch follower lists, k-overlap, filters, emit);
+* :mod:`~repro.motif.optimizer` — index statistics and the cost-based
+  choice of k-overlap algorithm;
+* :mod:`~repro.motif.executor` — an :class:`~repro.core.detector.OnlineDetector`
+  that runs the compiled plan per live edge (drop-in compatible with the
+  hand-coded diamond detector, and tested equivalent to it);
+* :mod:`~repro.motif.catalog` — named prebuilt motifs (diamond, wedge,
+  co-retweet, favorite-burst).
+"""
+
+from repro.motif.spec import (
+    EdgeKind,
+    MotifSpec,
+    PatternEdge,
+    UnsupportedMotifError,
+)
+from repro.motif.plan import Plan, PlanContext
+from repro.motif.planner import compile_motif
+from repro.motif.optimizer import IndexStatistics, choose_algorithm
+from repro.motif.executor import DeclarativeDetector
+from repro.motif.parser import MotifParseError, parse_motif
+from repro.motif.catalog import (
+    MOTIF_CATALOG,
+    build_detector,
+    co_retweet_spec,
+    diamond_spec,
+    favorite_burst_spec,
+    wedge_spec,
+)
+
+__all__ = [
+    "EdgeKind",
+    "MotifSpec",
+    "PatternEdge",
+    "UnsupportedMotifError",
+    "Plan",
+    "PlanContext",
+    "compile_motif",
+    "IndexStatistics",
+    "choose_algorithm",
+    "DeclarativeDetector",
+    "MotifParseError",
+    "parse_motif",
+    "MOTIF_CATALOG",
+    "build_detector",
+    "diamond_spec",
+    "wedge_spec",
+    "co_retweet_spec",
+    "favorite_burst_spec",
+]

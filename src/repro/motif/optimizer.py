@@ -1,0 +1,120 @@
+"""Index statistics and cost-based physical choices for motif plans.
+
+The optimizer makes the decisions that matter at this system's scale:
+
+* which k-overlap algorithm to run (plain intersection when the threshold
+  equals the expected witness count; ScanCount for small inputs; sorted
+  heap merge for large ones) — the E11/E13 ablations measure the gap;
+* whether the threshold check can short-circuit before any S lookups.
+
+Statistics are collected once from the live indexes (cheap scans) and can
+be refreshed whenever the offline snapshot is reloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.dynamic_index import DynamicEdgeIndex
+from repro.graph.static_index import StaticFollowerIndex
+
+#: Total-input-size crossover between ScanCount and the heap merge,
+#: determined by the E11 ablation.
+SCANCOUNT_CUTOFF = 4096
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Summary statistics of one partition's S and D."""
+
+    #: Mean follower-list length in S.
+    mean_followers: float
+    #: 99th-percentile follower-list length (hub detection).
+    p99_followers: float
+    #: Mean currently-stored fresh edges per D target.
+    mean_fresh_sources: float
+
+    @classmethod
+    def collect(
+        cls,
+        static_index: StaticFollowerIndex,
+        dynamic_index: DynamicEdgeIndex | None = None,
+    ) -> "IndexStatistics":
+        """Scan the indexes and summarise them."""
+        lengths = sorted(
+            len(static_index.followers_of(b)) for b in static_index.sources()
+        )
+        if lengths:
+            mean = sum(lengths) / len(lengths)
+            p99 = lengths[min(len(lengths) - 1, int(0.99 * len(lengths)))]
+        else:
+            mean, p99 = 0.0, 0.0
+        if dynamic_index is not None and dynamic_index.num_targets > 0:
+            fresh = dynamic_index.num_edges / dynamic_index.num_targets
+        else:
+            fresh = 0.0
+        return cls(
+            mean_followers=mean,
+            p99_followers=float(p99),
+            mean_fresh_sources=fresh,
+        )
+
+
+def choose_algorithm(
+    k: int,
+    expected_lists: float,
+    expected_list_length: float,
+) -> str:
+    """Pick the k-overlap algorithm for the estimated input shape.
+
+    Args:
+        k: the count threshold.
+        expected_lists: expected number of witness follower lists.
+        expected_list_length: expected length of each list.
+
+    Returns:
+        One of ``"intersect"``, ``"scancount"``, ``"numpy"`` (the names the
+        :class:`~repro.motif.plan.KOverlapOp` accepts; ``"heap"`` exists
+        for the ablation but never wins on this interpreter).
+    """
+    if expected_lists and k >= expected_lists:
+        # Threshold == every expected witness: plain multiway intersection
+        # with smallest-first ordering and early exit.
+        return "intersect"
+    total = expected_lists * expected_list_length
+    if total <= SCANCOUNT_CUTOFF:
+        return "scancount"
+    return "numpy"
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Back-of-envelope per-trigger cost for plan explanations."""
+
+    expected_lists: float
+    expected_list_length: float
+    algorithm: str
+
+    @property
+    def expected_work(self) -> float:
+        """Roughly, elements touched per completed trigger."""
+        return self.expected_lists * self.expected_list_length
+
+    def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
+        return (
+            f"~{self.expected_lists:.1f} lists x "
+            f"~{self.expected_list_length:.0f} followers "
+            f"=> {self.algorithm} (~{self.expected_work:.0f} element reads)"
+        )
+
+
+def estimate_cost(k: int, stats: IndexStatistics) -> CostEstimate:
+    """Estimate per-trigger cost of a threshold-k star motif."""
+    expected_lists = max(stats.mean_fresh_sources, float(k))
+    algorithm = choose_algorithm(k, expected_lists, stats.mean_followers)
+    return CostEstimate(
+        expected_lists=expected_lists,
+        expected_list_length=stats.mean_followers,
+        algorithm=algorithm,
+    )

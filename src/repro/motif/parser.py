@@ -1,0 +1,147 @@
+"""A text syntax for motif specifications.
+
+"one can declaratively specify a motif" — the most declarative interface
+is text.  The grammar is exactly what :meth:`MotifSpec.describe` prints,
+so specs round-trip::
+
+    motif diamond:
+      match  a -[static]-> b
+      match  b -[dynamic, within 3600s, action=follow]-> c
+      count  distinct b >= 3
+      forbid a -[static]-> c
+      emit   notify a about c
+
+Vertices are implicit: every name mentioned in an edge or the emit clause
+is declared.  Parse errors carry the line number and the offending text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.events import ActionType
+from repro.motif.spec import EdgeKind, MotifSpec, PatternEdge
+
+
+class MotifParseError(ValueError):
+    """Input text is not a valid motif description."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+_HEADER = re.compile(r"^motif\s+([A-Za-z_][\w.-]*)\s*:$")
+_STATIC_EDGE = re.compile(r"^(\w+)\s*-\[\s*static\s*\]->\s*(\w+)$")
+_DYNAMIC_EDGE = re.compile(
+    r"^(\w+)\s*-\[\s*dynamic\s*,\s*within\s+([0-9.]+)s?"
+    r"(?:\s*,\s*action\s*=\s*(\w+))?\s*\]->\s*(\w+)$"
+)
+_COUNT = re.compile(r"^distinct\s+(\w+)\s*>=\s*(\d+)$")
+_EMIT = re.compile(r"^notify\s+(\w+)\s+about\s+(\w+)$")
+
+
+def parse_motif(text: str) -> MotifSpec:
+    """Parse the text syntax into a validated :class:`MotifSpec`.
+
+    Raises:
+        MotifParseError: on syntax errors (with line number);
+        ValueError: when the parsed spec fails semantic validation.
+    """
+    name: str | None = None
+    edges: list[PatternEdge] = []
+    forbid: list[PatternEdge] = []
+    counts: dict[str, int] = {}
+    emit: tuple[str, str] | None = None
+    vertices: list[str] = []
+
+    def declare(*names: str) -> None:
+        for vertex in names:
+            if vertex not in vertices:
+                vertices.append(vertex)
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if name is None:
+            match = _HEADER.match(line)
+            if not match:
+                raise MotifParseError(
+                    line_number, raw, "expected 'motif <name>:' header"
+                )
+            name = match.group(1)
+            continue
+
+        keyword, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if keyword == "match":
+            edge = _parse_edge(line_number, raw, rest)
+            edges.append(edge)
+            declare(edge.src, edge.dst)
+        elif keyword == "forbid":
+            edge = _parse_edge(line_number, raw, rest)
+            forbid.append(edge)
+            declare(edge.src, edge.dst)
+        elif keyword == "count":
+            match = _COUNT.match(rest)
+            if not match:
+                raise MotifParseError(
+                    line_number, raw, "expected 'count distinct <v> >= <k>'"
+                )
+            counts[match.group(1)] = int(match.group(2))
+        elif keyword == "emit":
+            match = _EMIT.match(rest)
+            if not match:
+                raise MotifParseError(
+                    line_number, raw, "expected 'emit notify <a> about <c>'"
+                )
+            emit = (match.group(1), match.group(2))
+        else:
+            raise MotifParseError(
+                line_number, raw, f"unknown clause {keyword!r}"
+            )
+
+    if name is None:
+        raise MotifParseError(0, text[:40], "missing 'motif <name>:' header")
+    if emit is None:
+        raise MotifParseError(0, text[:40], "missing emit clause")
+    return MotifSpec(
+        name=name,
+        vertices=tuple(vertices),
+        edges=tuple(edges),
+        count_at_least=counts,
+        emit=emit,
+        forbid=tuple(forbid),
+    )
+
+
+def _parse_edge(line_number: int, raw: str, rest: str) -> PatternEdge:
+    static = _STATIC_EDGE.match(rest)
+    if static:
+        return PatternEdge(static.group(1), static.group(2), EdgeKind.STATIC)
+    dynamic = _DYNAMIC_EDGE.match(rest)
+    if dynamic:
+        src, within, action_name, dst = dynamic.groups()
+        action = None
+        if action_name is not None:
+            try:
+                action = ActionType(action_name)
+            except ValueError:
+                raise MotifParseError(
+                    line_number,
+                    raw,
+                    f"unknown action {action_name!r} "
+                    f"(expected one of {[a.value for a in ActionType]})",
+                ) from None
+        return PatternEdge(
+            src, dst, EdgeKind.DYNAMIC, within=float(within), action=action
+        )
+    raise MotifParseError(
+        line_number,
+        raw,
+        "expected '<v> -[static]-> <w>' or "
+        "'<v> -[dynamic, within <s>s(, action=<a>)]-> <w>'",
+    )

@@ -1,0 +1,293 @@
+"""Physical operators for compiled motif plans.
+
+A plan is a linear pipeline of operators sharing a :class:`PlanContext`
+(the graph infrastructure) and a per-event :class:`Bindings` scratchpad.
+Operators return ``False`` to stop the pipeline for this event — the
+moral equivalent of a row failing a predicate in a tuple-at-a-time
+executor.  Keeping operators tiny and observable (each counts its
+invocations and rejections) makes EXPLAIN output honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import ActionType, EdgeEvent
+from repro.core.recommendation import Recommendation
+from repro.graph.dynamic_index import DynamicEdgeIndex, FreshEdge
+from repro.graph.intersect import (
+    intersect_many,
+    k_overlap_heap,
+    k_overlap_numpy,
+    k_overlap_scancount,
+)
+from repro.graph.static_index import StaticFollowerIndex
+
+
+@dataclass
+class PlanContext:
+    """The infrastructure a plan executes against."""
+
+    static_index: StaticFollowerIndex
+    dynamic_index: DynamicEdgeIndex
+
+
+@dataclass
+class Bindings:
+    """Per-event scratchpad threaded through the operator pipeline."""
+
+    event: EdgeEvent
+    now: float
+    fresh: list[FreshEdge] = field(default_factory=list)
+    follower_lists: list = field(default_factory=list)
+    recipients: list[int] = field(default_factory=list)
+    output: list[Recommendation] = field(default_factory=list)
+
+
+class Operator:
+    """Base operator: process bindings, count work, explain itself."""
+
+    def __init__(self) -> None:
+        self.invocations = 0
+        self.rejections = 0
+
+    def __call__(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        self.invocations += 1
+        passed = self.process(ctx, bindings)
+        if not passed:
+            self.rejections += 1
+        return passed
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        """Operator body; return False to stop the pipeline."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One EXPLAIN line."""
+        return type(self).__name__
+
+
+class MatchDynamicEdgeOp(Operator):
+    """Accept only events whose action matches the dynamic pattern edge."""
+
+    def __init__(self, action: ActionType | None) -> None:
+        super().__init__()
+        self.action = action
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        if self.action is not None and bindings.event.action is not self.action:
+            return False
+        return True
+
+    def describe(self) -> str:
+        action = self.action.value if self.action else "any"
+        return f"MatchDynamicEdge(action={action})"
+
+
+class FetchFreshWitnessesOp(Operator):
+    """Top half of the motif: distinct fresh sources of the target from D.
+
+    When the dynamic pattern edge carries an action type, only D entries
+    tagged with that action count as witnesses.
+    """
+
+    def __init__(self, tau: float, action: ActionType | None = None) -> None:
+        super().__init__()
+        self.tau = tau
+        self.action = action
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        bindings.fresh = ctx.dynamic_index.fresh_sources(
+            bindings.event.target,
+            now=max(bindings.now, bindings.event.created_at),
+            tau=self.tau,
+            action=self.action,
+        )
+        return True
+
+    def describe(self) -> str:
+        action = f", action={self.action.value}" if self.action else ""
+        return f"FetchFreshWitnesses(D, tau={self.tau:g}s{action})"
+
+
+class RequireCountOp(Operator):
+    """Short-circuit unless at least k distinct witnesses are fresh."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__()
+        self.k = k
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        return len(bindings.fresh) >= self.k
+
+    def describe(self) -> str:
+        return f"RequireCount(witnesses >= {self.k})"
+
+
+class CapWitnessesOp(Operator):
+    """Expand only the most recent witnesses on ultra-viral targets."""
+
+    def __init__(self, max_witnesses: int) -> None:
+        super().__init__()
+        self.max_witnesses = max_witnesses
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        if len(bindings.fresh) > self.max_witnesses:
+            bindings.fresh = bindings.fresh[-self.max_witnesses :]
+        return True
+
+    def describe(self) -> str:
+        return f"CapWitnesses(keep newest {self.max_witnesses})"
+
+
+class FetchFollowerListsOp(Operator):
+    """Fetch each witness's sorted follower list from S; drop empties."""
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        lists = []
+        for edge in bindings.fresh:
+            followers = ctx.static_index.followers_of(edge.source)
+            if len(followers):
+                lists.append(followers)
+        bindings.follower_lists = lists
+        return True
+
+    def describe(self) -> str:
+        return "FetchFollowerLists(S)"
+
+
+class KOverlapOp(Operator):
+    """Bottom half: recipients following at least k witnesses."""
+
+    ALGORITHMS = ("intersect", "scancount", "heap", "numpy")
+
+    def __init__(self, k: int, algorithm: str = "scancount") -> None:
+        super().__init__()
+        if algorithm not in self.ALGORITHMS:
+            raise ValueError(
+                f"unknown k-overlap algorithm {algorithm!r}; "
+                f"expected one of {self.ALGORITHMS}"
+            )
+        self.k = k
+        self.algorithm = algorithm
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        lists = bindings.follower_lists
+        if len(lists) < self.k:
+            return False
+        if self.algorithm == "intersect" and self.k == len(lists):
+            bindings.recipients = intersect_many(lists)
+        elif self.algorithm == "heap":
+            bindings.recipients = k_overlap_heap(lists, self.k)
+        elif self.algorithm == "numpy":
+            bindings.recipients = k_overlap_numpy(lists, self.k)
+        else:
+            bindings.recipients = k_overlap_scancount(lists, self.k)
+        return bool(bindings.recipients)
+
+    def describe(self) -> str:
+        return f"KOverlap(k={self.k}, algorithm={self.algorithm})"
+
+
+class ExcludeIdentityOp(Operator):
+    """Drop the degenerate binding recipient == candidate."""
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        target = bindings.event.target
+        bindings.recipients = [a for a in bindings.recipients if a != target]
+        return bool(bindings.recipients)
+
+    def describe(self) -> str:
+        return "ExcludeIdentity(recipient != candidate)"
+
+
+class ExcludeWitnessesOp(Operator):
+    """Drop recipients who are themselves fresh witnesses.
+
+    A witness just acted on the target (their edge sits in D even though S
+    has not been reloaded yet), so notifying them is always pointless.
+    """
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        witness_set = {edge.source for edge in bindings.fresh}
+        bindings.recipients = [
+            a for a in bindings.recipients if a not in witness_set
+        ]
+        return bool(bindings.recipients)
+
+    def describe(self) -> str:
+        return "ExcludeWitnesses(recipient not in fresh witnesses)"
+
+
+class ExcludeForbiddenEdgeOp(Operator):
+    """Enforce NOT EXISTS recipient -> candidate in the static snapshot."""
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        target = bindings.event.target
+        bindings.recipients = [
+            a
+            for a in bindings.recipients
+            if not ctx.static_index.has_edge(a, target)
+        ]
+        return bool(bindings.recipients)
+
+    def describe(self) -> str:
+        return "ExcludeForbiddenEdge(NOT recipient->candidate in S)"
+
+
+class EmitOp(Operator):
+    """Materialise recommendations for the surviving recipients."""
+
+    def __init__(self, motif_name: str) -> None:
+        super().__init__()
+        self.motif_name = motif_name
+
+    def process(self, ctx: PlanContext, bindings: Bindings) -> bool:
+        via = tuple(edge.source for edge in bindings.fresh)
+        bindings.output = [
+            Recommendation(
+                recipient=int(a),
+                candidate=bindings.event.target,
+                created_at=bindings.event.created_at,
+                motif=self.motif_name,
+                action=bindings.event.action,
+                via=via,
+            )
+            for a in bindings.recipients
+        ]
+        return True
+
+    def describe(self) -> str:
+        return f"Emit(motif={self.motif_name})"
+
+
+class Plan:
+    """A compiled, executable motif plan."""
+
+    def __init__(self, motif_name: str, operators: list[Operator], notes: list[str]) -> None:
+        """Wrap an operator pipeline; produced by the planner."""
+        self.motif_name = motif_name
+        self.operators = operators
+        self.notes = notes
+
+    def execute(self, ctx: PlanContext, event: EdgeEvent, now: float) -> list[Recommendation]:
+        """Run the pipeline for one live edge."""
+        bindings = Bindings(event=event, now=now)
+        for operator in self.operators:
+            if not operator(ctx, bindings):
+                return []
+        return bindings.output
+
+    def explain(self) -> str:
+        """Textual plan: one line per operator plus optimizer notes."""
+        lines = [f"plan for motif {self.motif_name!r}:"]
+        lines += [f"  {i}. {op.describe()}" for i, op in enumerate(self.operators, 1)]
+        lines += [f"  -- {note}" for note in self.notes]
+        return "\n".join(lines)
+
+    def operator_stats(self) -> list[tuple[str, int, int]]:
+        """(describe, invocations, rejections) per operator."""
+        return [
+            (op.describe(), op.invocations, op.rejections)
+            for op in self.operators
+        ]

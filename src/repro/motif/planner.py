@@ -1,0 +1,157 @@
+"""The motif compiler: spec -> validated shape -> optimized operator plan.
+
+The supported fragment ("threshold star motifs") is exactly what the
+partitioned (S, D) infrastructure executes without new data structures:
+
+* exactly **one dynamic edge** ``w -> t`` — the live trigger;
+* a **count threshold** on the dynamic edge's *source* variable ``w``
+  (the witnesses);
+* one **static edge** ``r -> w`` from the emit recipient to the witness;
+* emit ``(r, t)`` — notify the recipient about the dynamic target;
+* optional forbid edges of the form ``r -> t``.
+
+Everything else raises :class:`UnsupportedMotifError` with an explanation
+of what would be needed (usually: an additional index).  This mirrors how
+a real planner grows — each new shape earns its access path.
+"""
+
+from __future__ import annotations
+
+from repro.motif.optimizer import IndexStatistics, choose_algorithm, estimate_cost
+from repro.motif.plan import (
+    CapWitnessesOp,
+    EmitOp,
+    ExcludeForbiddenEdgeOp,
+    ExcludeIdentityOp,
+    ExcludeWitnessesOp,
+    FetchFollowerListsOp,
+    FetchFreshWitnessesOp,
+    KOverlapOp,
+    MatchDynamicEdgeOp,
+    Operator,
+    Plan,
+    RequireCountOp,
+)
+from repro.motif.spec import EdgeKind, MotifSpec, UnsupportedMotifError
+
+
+def compile_motif(
+    spec: MotifSpec,
+    stats: IndexStatistics | None = None,
+    max_witnesses: int | None = None,
+) -> Plan:
+    """Compile *spec* into an executable plan.
+
+    Args:
+        spec: the declarative motif.
+        stats: index statistics for cost-based algorithm choice; without
+            them the planner falls back to the adaptive default.
+        max_witnesses: optional viral-target expansion cap.
+
+    Raises:
+        UnsupportedMotifError: if the spec is outside the star fragment.
+    """
+    witness, target, dynamic_edge = _validate_trigger(spec)
+    recipient = _validate_recipient(spec, witness, target)
+    k = spec.count_at_least[witness]
+
+    notes: list[str] = []
+    if stats is not None:
+        cost = estimate_cost(k, stats)
+        algorithm = cost.algorithm
+        notes.append(f"cost: {cost.describe()}")
+    else:
+        # No statistics: pick by threshold shape only.
+        algorithm = choose_algorithm(k, expected_lists=float(k), expected_list_length=0.0)
+        notes.append("cost: no statistics; shape-based algorithm choice")
+
+    operators: list[Operator] = [
+        MatchDynamicEdgeOp(dynamic_edge.action),
+        FetchFreshWitnessesOp(dynamic_edge.within, dynamic_edge.action),
+        RequireCountOp(k),
+    ]
+    if max_witnesses is not None:
+        if max_witnesses < k:
+            raise UnsupportedMotifError(
+                f"max_witnesses={max_witnesses} below threshold k={k}: "
+                "the motif could never complete"
+            )
+        operators.append(CapWitnessesOp(max_witnesses))
+    operators.append(FetchFollowerListsOp())
+    operators.append(KOverlapOp(k, algorithm))
+    if spec.distinct_emit:
+        operators.append(ExcludeIdentityOp())
+    if spec.exclude_witnesses:
+        operators.append(ExcludeWitnessesOp())
+    if _has_forbid_recipient_candidate(spec, recipient, target):
+        operators.append(ExcludeForbiddenEdgeOp())
+    operators.append(EmitOp(spec.name))
+    return Plan(spec.name, operators, notes)
+
+
+# ----------------------------------------------------------------------
+# Shape validation
+# ----------------------------------------------------------------------
+
+def _validate_trigger(spec: MotifSpec):
+    dynamic = spec.dynamic_edges()
+    if len(dynamic) != 1:
+        raise UnsupportedMotifError(
+            f"motif {spec.name!r} has {len(dynamic)} dynamic edges; the "
+            "infrastructure triggers on exactly one live edge (multi-trigger "
+            "motifs would need a join buffer over D)"
+        )
+    edge = dynamic[0]
+    witness, target = edge.src, edge.dst
+    if witness not in spec.count_at_least:
+        raise UnsupportedMotifError(
+            f"motif {spec.name!r} lacks a count threshold on the dynamic "
+            f"edge's source {witness!r}; unthresholded dynamic matches "
+            "degenerate to firehose fan-out"
+        )
+    for var in spec.count_at_least:
+        if var != witness:
+            raise UnsupportedMotifError(
+                f"count threshold on {var!r} unsupported: only the dynamic "
+                f"source {witness!r} is counted (counting {var!r} would need "
+                "an index keyed by that variable)"
+            )
+    return witness, target, edge
+
+
+def _validate_recipient(spec: MotifSpec, witness: str, target: str) -> str:
+    recipient, candidate = spec.emit
+    if candidate != target:
+        raise UnsupportedMotifError(
+            f"motif {spec.name!r} emits candidate {candidate!r} but the "
+            f"dynamic target is {target!r}; recommending anything except "
+            "the live target needs a reverse lookup D lacks"
+        )
+    if recipient == witness:
+        raise UnsupportedMotifError(
+            f"motif {spec.name!r} notifies the witnesses themselves; that "
+            "is a broadcast, not a motif"
+        )
+    static = spec.static_edges()
+    expected = [e for e in static if e.src == recipient and e.dst == witness]
+    if len(expected) != 1 or len(static) != 1:
+        raise UnsupportedMotifError(
+            f"motif {spec.name!r} must connect the recipient to the "
+            f"witness via exactly one static edge {recipient}->{witness} "
+            "(S answers exactly that lookup); longer static chains would "
+            "need materialised multi-hop indexes"
+        )
+    return recipient
+
+
+def _has_forbid_recipient_candidate(
+    spec: MotifSpec, recipient: str, target: str
+) -> bool:
+    for edge in spec.forbid:
+        if edge.kind is EdgeKind.STATIC and edge.src == recipient and edge.dst == target:
+            continue
+        raise UnsupportedMotifError(
+            f"forbid constraint {edge.describe()} unsupported: only "
+            f"NOT EXISTS {recipient}->{target} is checkable against S"
+        )
+    return bool(spec.forbid)

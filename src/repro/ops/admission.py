@@ -1,0 +1,121 @@
+"""Admission control: what ingest does when a burst outruns capacity.
+
+The paper sizes the system for O(10^4) insertions/second; real streams
+spike past any fixed budget.  A :class:`TokenBucket` meters sustained rate
+with bounded burst credit, and an :class:`AdmissionController` applies one
+of two shedding policies to the overflow:
+
+* ``DROP`` — refuse excess events outright (freshest data wins later);
+* ``SAMPLE`` — admit a deterministic 1-in-N of the excess, preserving a
+  statistical picture of the overload instead of a blackout.
+
+Shedding trades recall for survival; the controller counts everything so
+the recall loss is observable, never silent.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ops.metrics import MetricsRegistry
+from repro.util.validation import require_positive
+
+
+class TokenBucket:
+    """The classic rate limiter: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: float, start: float = 0.0) -> None:
+        """Create a bucket full at time *start*.
+
+        Args:
+            rate: sustained tokens per second.
+            burst: bucket capacity (max tokens that can accumulate).
+            start: clock origin.
+        """
+        require_positive(rate, "rate")
+        require_positive(burst, "burst")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._updated_at = start
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Take *tokens* at time *now* if available; refill first.
+
+        ``now`` may not go backwards (monotonic clocks only).
+        """
+        if now < self._updated_at:
+            raise ValueError(
+                f"clock went backwards: {now} < {self._updated_at}"
+            )
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated_at) * self.rate
+        )
+        self._updated_at = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (as of the last acquire)."""
+        return self._tokens
+
+
+class AdmissionPolicy(enum.Enum):
+    """What happens to events the bucket refuses."""
+
+    DROP = "drop"
+    SAMPLE = "sample"
+
+
+class AdmissionController:
+    """Meters an event stream and sheds the overflow."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        policy: AdmissionPolicy = AdmissionPolicy.DROP,
+        sample_one_in: int = 10,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        """Create a controller.
+
+        Args:
+            rate: sustained admitted events per second.
+            burst: extra credit for short spikes.
+            policy: what to do with the excess.
+            sample_one_in: under ``SAMPLE``, admit every N-th shed event.
+            registry: metrics sink (private registry when omitted).
+        """
+        require_positive(sample_one_in, "sample_one_in")
+        self._bucket = TokenBucket(rate, burst)
+        self.policy = policy
+        self.sample_one_in = sample_one_in
+        self.registry = registry or MetricsRegistry()
+        self._overflow_seen = 0
+
+    def admit(self, now: float) -> bool:
+        """Decide one event's fate at time *now*."""
+        self.registry.counter("admission_offered").increment()
+        if self._bucket.try_acquire(now):
+            self.registry.counter("admission_admitted").increment()
+            return True
+        self._overflow_seen += 1
+        if (
+            self.policy is AdmissionPolicy.SAMPLE
+            and self._overflow_seen % self.sample_one_in == 0
+        ):
+            self.registry.counter("admission_sampled").increment()
+            return True
+        self.registry.counter("admission_shed").increment()
+        return False
+
+    def shed_fraction(self) -> float:
+        """Fraction of offered events refused so far."""
+        offered = self.registry.counter("admission_offered").value
+        if offered == 0:
+            return 0.0
+        return self.registry.counter("admission_shed").value / offered

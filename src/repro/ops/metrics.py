@@ -1,0 +1,120 @@
+"""A minimal metrics registry: counters, gauges, latency histograms.
+
+Deliberately tiny — named metrics with labels, a snapshot method, and
+nothing else.  Components publish into a registry they are handed; tests
+and monitors read snapshots.  No global state: registries are explicit,
+so two clusters in one process never share metrics by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import PercentileTracker
+from repro.util.validation import require
+
+#: A label set, e.g. ``(("partition", "3"), ("replica", "0"))``.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labels(labels: dict[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative — counters never go down)."""
+        require(amount >= 0, f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that may go up or down."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by *delta*."""
+        self.value += delta
+
+
+class LatencyHistogram:
+    """Latency observations with percentile queries (bounded memory)."""
+
+    def __init__(self) -> None:
+        self._tracker = PercentileTracker(max_samples=10_000)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        self._tracker.add(seconds)
+
+    def snapshot(self) -> dict[str, float]:
+        """count / mean / p50 / p90 / p99 summary."""
+        return self._tracker.snapshot()
+
+    def __len__(self) -> int:
+        return len(self._tracker)
+
+
+class MetricsRegistry:
+    """Named metrics with optional labels.
+
+    ``counter("events", partition="3")`` returns the same object on every
+    call with the same name + labels, so callers need not cache handles.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelSet], Counter] = {}
+        self._gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelSet], LatencyHistogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get-or-create a counter."""
+        key = (name, _labels(labels))
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get-or-create a gauge."""
+        key = (name, _labels(labels))
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(self, name: str, **labels: str) -> LatencyHistogram:
+        """Get-or-create a latency histogram."""
+        key = (name, _labels(labels))
+        if key not in self._histograms:
+            self._histograms[key] = LatencyHistogram()
+        return self._histograms[key]
+
+    def snapshot(self) -> dict[str, object]:
+        """Flat dict of every metric, keyed ``name{label=value,...}``."""
+        out: dict[str, object] = {}
+        for (name, labels), counter in self._counters.items():
+            out[_render_key(name, labels)] = counter.value
+        for (name, labels), gauge in self._gauges.items():
+            out[_render_key(name, labels)] = gauge.value
+        for (name, labels), histogram in self._histograms.items():
+            out[_render_key(name, labels)] = histogram.snapshot()
+        return out
+
+
+def _render_key(name: str, labels: LabelSet) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"

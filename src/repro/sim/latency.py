@@ -1,0 +1,102 @@
+"""Per-hop delay distributions for the simulated message queues.
+
+The production pipeline moves each edge event through several queue stages
+(firehose publish, fan-out/transport, push delivery) before the
+notification reaches the phone.  The paper reports the resulting
+end-to-end distribution — median ~7 s, p99 ~15 s — and attributes nearly
+all of it to these queues.
+
+:func:`production_queue_model` returns the substitute: three lognormal
+hops whose parameters were **fit to the paper's reported percentiles**
+(per-hop median 2.2 s, sigma 0.52, which yields a total median of ~7.2 s
+and p99 of ~15.0 s).  The fit itself is therefore an input, not a result;
+the end-to-end benchmark's genuine output is the *decomposition* —
+measured graph-query milliseconds versus simulated queue seconds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Sequence
+
+from repro.util.validation import require, require_non_negative, require_positive
+
+#: A delay model: a zero-argument callable returning seconds.
+DelayModel = Callable[[], float]
+
+
+class FixedDelay:
+    """Always the same delay — for tests and degenerate configurations."""
+
+    def __init__(self, seconds: float) -> None:
+        require_non_negative(seconds, "seconds")
+        self.seconds = seconds
+
+    def __call__(self) -> float:
+        return self.seconds
+
+
+class UniformDelay:
+    """Uniform delay in ``[low, high]`` — models polling/batching stages."""
+
+    def __init__(self, low: float, high: float, rng: random.Random) -> None:
+        require_non_negative(low, "low")
+        require(high >= low, f"high ({high}) must be >= low ({low})")
+        self.low = low
+        self.high = high
+        self._rng = rng
+
+    def __call__(self) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class LogNormalDelay:
+    """Lognormal delay parameterised by its median — the queue-hop staple.
+
+    Heavy right tails (retries, GC pauses, backlog spikes) with a hard
+    floor at zero make the lognormal the standard model for queue
+    propagation delays.
+    """
+
+    def __init__(self, median: float, sigma: float, rng: random.Random) -> None:
+        require_positive(median, "median")
+        require_positive(sigma, "sigma")
+        self.median = median
+        self.sigma = sigma
+        self._mu = math.log(median)
+        self._rng = rng
+
+    def __call__(self) -> float:
+        return self._rng.lognormvariate(self._mu, self.sigma)
+
+
+class MultiHopDelay:
+    """Sum of independent per-hop delays (one sample from each)."""
+
+    def __init__(self, hops: Sequence[DelayModel]) -> None:
+        require(len(hops) >= 1, "need at least one hop")
+        self.hops = list(hops)
+
+    def __call__(self) -> float:
+        return sum(hop() for hop in self.hops)
+
+
+#: Calibration constants fit to the paper's reported end-to-end latency
+#: (median ~7 s, p99 ~15 s over three queue stages).
+PRODUCTION_HOP_MEDIAN = 2.2
+PRODUCTION_HOP_SIGMA = 0.52
+PRODUCTION_NUM_HOPS = 3
+
+
+def production_queue_model(rng: random.Random) -> MultiHopDelay:
+    """The calibrated three-hop queue pipeline of the production system.
+
+    Sampling the sum yields a distribution with median ~7.2 s and
+    p99 ~15.0 s, matching the paper's reported figures.
+    """
+    hops = [
+        LogNormalDelay(PRODUCTION_HOP_MEDIAN, PRODUCTION_HOP_SIGMA, rng)
+        for _ in range(PRODUCTION_NUM_HOPS)
+    ]
+    return MultiHopDelay(hops)

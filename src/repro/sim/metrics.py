@@ -1,0 +1,93 @@
+"""Latency breakdowns and funnel counters for the simulated pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import PercentileTracker
+from repro.util.validation import require
+
+
+class LatencyBreakdown:
+    """Per-stage latency trackers plus the end-to-end total.
+
+    Stages are registered lazily on first use, so the pipeline code simply
+    calls ``record("queue:firehose", delay)`` and the breakdown takes shape
+    from whatever stages actually ran.
+    """
+
+    def __init__(self) -> None:
+        self.total = PercentileTracker()
+        self._stages: dict[str, PercentileTracker] = {}
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Add one observation for *stage*."""
+        tracker = self._stages.get(stage)
+        if tracker is None:
+            tracker = PercentileTracker()
+            self._stages[stage] = tracker
+        tracker.add(seconds)
+
+    def record_total(self, seconds: float) -> None:
+        """Add one end-to-end observation."""
+        self.total.add(seconds)
+
+    def stages(self) -> list[str]:
+        """Registered stage names, insertion-ordered."""
+        return list(self._stages)
+
+    def stage(self, name: str) -> PercentileTracker:
+        """The tracker for *name* (KeyError if the stage never ran)."""
+        return self._stages[name]
+
+    def share_of_total(self, stage: str) -> float:
+        """Mean fraction of total latency attributable to *stage*."""
+        require(len(self.total) > 0, "no totals recorded")
+        total_mean = self.total.stats.mean
+        if total_mean == 0:
+            return 0.0
+        return self._stages[stage].stats.mean / total_mean
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Snapshot dict: stage -> {count, mean, p50, p90, p99, ...}."""
+        out = {"total": self.total.snapshot()}
+        for name, tracker in self._stages.items():
+            out[name] = tracker.snapshot()
+        return out
+
+
+@dataclass
+class FunnelCounter:
+    """Counts flowing through the candidate -> notification funnel.
+
+    ``stages`` maps stage name -> items *surviving* that stage; the input
+    count is recorded under ``"raw"``.
+    """
+
+    stages: dict[str, int] = field(default_factory=dict)
+
+    def count(self, stage: str, increment: int = 1) -> None:
+        """Add *increment* survivors at *stage*."""
+        self.stages[stage] = self.stages.get(stage, 0) + increment
+
+    def get(self, stage: str) -> int:
+        """Survivor count at *stage* (0 if never counted)."""
+        return self.stages.get(stage, 0)
+
+    def reduction_ratio(self, from_stage: str = "raw", to_stage: str = "delivered") -> float:
+        """How many *from_stage* items it takes to yield one *to_stage* item."""
+        survivors = self.get(to_stage)
+        if survivors == 0:
+            return float("inf")
+        return self.get(from_stage) / survivors
+
+    def survival_rate(self, from_stage: str, to_stage: str) -> float:
+        """Fraction of *from_stage* items that survive to *to_stage*."""
+        upstream = self.get(from_stage)
+        if upstream == 0:
+            return 0.0
+        return self.get(to_stage) / upstream
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """(stage, count) rows in insertion order, for reports."""
+        return list(self.stages.items())

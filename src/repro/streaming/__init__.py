@@ -1,0 +1,32 @@
+"""Message queues and the end-to-end streaming topology.
+
+"We assume the existence of a data source (e.g., message queue) that
+provides a stream of graph edges as they are created in real-time." — and,
+on the output side, more queues carry detected recommendations to the push
+delivery system.  The paper's end-to-end latency (7 s median / 15 s p99) is
+dominated by these queues.
+
+:class:`~repro.streaming.queue.MessageQueue` is a pub/sub queue over the
+discrete-event simulator with a pluggable propagation-delay model;
+:class:`~repro.streaming.pipeline.StreamingTopology` assembles the full
+production path::
+
+    edge created -> firehose queue -> fan-out queue -> broker + partitions
+                 -> push queue -> delivery funnel -> notification
+
+and reports the per-stage latency breakdown that benchmark E4 prints.
+"""
+
+from repro.streaming.queue import MessageQueue, QueueStats
+from repro.streaming.source import ReplaySource
+from repro.streaming.consumer import DetectionConsumer
+from repro.streaming.pipeline import StreamingTopology, TopologyReport
+
+__all__ = [
+    "MessageQueue",
+    "QueueStats",
+    "ReplaySource",
+    "DetectionConsumer",
+    "StreamingTopology",
+    "TopologyReport",
+]

@@ -1,0 +1,90 @@
+"""Memory accounting and back-of-the-envelope extrapolation.
+
+The paper rules out the per-A two-hop Bloom-filter design with "a rough
+calculation"; this module provides the machinery to make that calculation
+concrete — measured bytes for the structures we actually build, plus
+extrapolation from laptop-scale synthetic graphs to Twitter scale
+(O(10^8) vertices, O(10^10) edges).
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from dataclasses import dataclass, field
+
+
+#: Approximate bytes per element when ids are stored in a compact
+#: ``array('q')`` / int64 numpy buffer, which is how the S structure keeps
+#: its sorted adjacency lists.
+BYTES_PER_PACKED_ID = 8
+
+
+def approx_bytes_of_int_list(values: object) -> int:
+    """Return the approximate heap footprint of a container of ints.
+
+    Compact buffers (``array``, bytes-like) report their true buffer size;
+    generic containers fall back to ``sys.getsizeof`` of the container plus a
+    per-element estimate for boxed Python ints.
+    """
+    if isinstance(values, (array, bytes, bytearray)):
+        # getsizeof on compact buffers already includes the payload.
+        return sys.getsizeof(values)
+    size = sys.getsizeof(values)
+    try:
+        length = len(values)  # type: ignore[arg-type]
+    except TypeError:
+        return size
+    # A small boxed Python int costs ~28 bytes plus the container's pointer.
+    return size + length * 28
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with binary units (KiB / MiB / GiB / TiB / PiB)."""
+    if num_bytes < 0:
+        return "-" + format_bytes(-num_bytes)
+    units = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+    value = float(num_bytes)
+    for unit in units:
+        if value < 1024.0 or unit == units[-1]:
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class MemoryEstimate:
+    """A measured memory figure plus the assumptions used to extrapolate it.
+
+    Attributes:
+        measured_bytes: bytes actually observed at the measured scale.
+        measured_scale: the driving quantity at measurement time
+            (e.g. number of users).
+        notes: free-form assumption log, one entry per adjustment.
+    """
+
+    measured_bytes: float
+    measured_scale: float
+    notes: list[str] = field(default_factory=list)
+
+    def extrapolate(self, target_scale: float) -> float:
+        """Linearly extrapolate the measurement to *target_scale*.
+
+        Linear scaling is the conservative choice for per-user structures
+        (each additional user brings its own adjacency/Bloom payload).
+        """
+        if self.measured_scale <= 0:
+            raise ValueError("measured_scale must be positive to extrapolate")
+        factor = target_scale / self.measured_scale
+        return self.measured_bytes * factor
+
+    def describe(self, target_scale: float) -> str:
+        """Human-readable extrapolation line for reports."""
+        projected = self.extrapolate(target_scale)
+        return (
+            f"{format_bytes(self.measured_bytes)} at scale "
+            f"{self.measured_scale:g} -> {format_bytes(projected)} at scale "
+            f"{target_scale:g}"
+        )

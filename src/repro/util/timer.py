@@ -1,0 +1,71 @@
+"""Wall-clock measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A restartable wall-clock stopwatch based on ``time.perf_counter``.
+
+    Usable directly or as a context manager::
+
+        with Stopwatch() as watch:
+            do_work()
+        print(watch.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) timing."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return total elapsed seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """True while the stopwatch is started."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds so far (includes the running interval, if any)."""
+        if self._start is None:
+            return self._elapsed
+        return self._elapsed + (time.perf_counter() - self._start)
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an appropriate unit (ns / us / ms / s)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"

@@ -1,0 +1,48 @@
+"""Argument validation helpers.
+
+The library validates its public entry points eagerly so that configuration
+mistakes (a negative time window, a zero partition count) fail at construction
+time with a clear message instead of surfacing later as silent misbehaviour
+deep inside the detection loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of *expected*."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )

@@ -1,0 +1,105 @@
+"""Unit tests for graph-structure analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_structure,
+    degree_histogram,
+    estimate_power_law_exponent,
+    reciprocity,
+    two_hop_statistics,
+)
+from repro.gen import TwitterGraphConfig, generate_follow_graph
+from repro.graph import CsrGraph, GraphSnapshot
+
+
+class TestDegreeHistogram:
+    def test_counts(self):
+        histogram = degree_histogram(np.array([0, 1, 1, 3, 3, 3]))
+        assert histogram == {0: 1, 1: 2, 3: 3}
+
+    def test_empty(self):
+        assert degree_histogram(np.array([], dtype=np.int64)) == {}
+
+
+class TestPowerLawExponent:
+    def test_recovers_known_exponent(self):
+        # Sample from a discrete Pareto with alpha = 2.5.
+        rng = np.random.default_rng(3)
+        u = rng.random(50_000)
+        degrees = np.floor(5 * (1 - u) ** (-1 / 1.5)).astype(np.int64)
+        alpha = estimate_power_law_exponent(degrees, d_min=5)
+        assert alpha == pytest.approx(2.5, abs=0.15)
+
+    def test_insufficient_tail_is_nan(self):
+        assert math.isnan(estimate_power_law_exponent(np.array([1, 2, 3])))
+
+    def test_dmin_validation(self):
+        with pytest.raises(ValueError):
+            estimate_power_law_exponent(np.array([5, 6, 7]), d_min=0)
+
+
+class TestReciprocity:
+    def test_fully_mutual(self):
+        g = CsrGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert reciprocity(g) == 1.0
+
+    def test_no_mutual(self):
+        g = CsrGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert reciprocity(g) == 0.0
+
+    def test_half_mutual(self):
+        g = CsrGraph.from_edges([(0, 1), (1, 0), (0, 2), (0, 3)])
+        assert reciprocity(g) == 0.5
+
+    def test_empty_graph(self):
+        assert reciprocity(CsrGraph.from_edges([], num_nodes=3)) == 0.0
+
+
+class TestTwoHopStatistics:
+    def test_exact_small_graph(self):
+        # 0 -> {1, 2}; 1 -> {3}; 2 -> {3, 4} => two-hop(0) = {3, 4}.
+        snap = GraphSnapshot.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4)], num_nodes=5
+        )
+        stats = two_hop_statistics(snap)
+        assert stats["count"] == 5
+        assert stats["max"] == 2.0
+
+    def test_sampling(self):
+        snap = GraphSnapshot.from_edges([(i, (i + 1) % 10) for i in range(10)])
+        stats = two_hop_statistics(snap, sample_every=2)
+        assert stats["count"] == 5
+
+    def test_invalid_sampling(self):
+        snap = GraphSnapshot.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            two_hop_statistics(snap, sample_every=0)
+
+
+class TestAnalyzeStructure:
+    def test_synthetic_graph_fingerprint(self):
+        snapshot = generate_follow_graph(
+            TwitterGraphConfig(num_users=2_000, mean_followings=15.0, seed=11)
+        )
+        fingerprint = analyze_structure(snapshot)
+        assert fingerprint.num_users == 2_000
+        assert fingerprint.mean_out_degree == pytest.approx(15.0, rel=0.4)
+        # Twitter-like skew: hubs exist on the in-degree side.
+        assert fingerprint.max_in_degree > 20 * fingerprint.mean_out_degree
+        # Heavy-tailed in-degree: a finite positive tail exponent.
+        assert 1.2 < fingerprint.in_degree_exponent < 4.0
+        # Zipf target choice without follow-backs: low reciprocity
+        # (the "information network" end of ref [7]'s spectrum).
+        assert fingerprint.reciprocity < 0.2
+        assert fingerprint.two_hop_mean > fingerprint.mean_out_degree
+
+    def test_describe_renders(self):
+        snapshot = generate_follow_graph(
+            TwitterGraphConfig(num_users=300, seed=2)
+        )
+        text = analyze_structure(snapshot).describe()
+        assert "reciprocity" in text and "two-hop" in text

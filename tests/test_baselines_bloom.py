@@ -1,0 +1,126 @@
+"""Unit + property tests for the Bloom filter implementations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.bloom import (
+    BloomFilter,
+    CountingBloomFilter,
+    optimal_num_bits,
+    optimal_num_hashes,
+)
+
+
+class TestGeometry:
+    def test_num_bits_grows_with_capacity(self):
+        assert optimal_num_bits(10_000, 0.01) > optimal_num_bits(1_000, 0.01)
+
+    def test_num_bits_grows_with_precision(self):
+        assert optimal_num_bits(1_000, 0.001) > optimal_num_bits(1_000, 0.01)
+
+    def test_classic_one_percent_geometry(self):
+        # The textbook figure: ~9.6 bits per element at 1% FP.
+        bits = optimal_num_bits(1_000, 0.01)
+        assert 9_000 < bits < 10_100
+        assert optimal_num_hashes(bits, 1_000) in (6, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_num_bits(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_num_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_num_bits(10, 1.0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=1_000, fp_rate=0.01)
+        keys = list(range(0, 2_000, 2))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter(capacity=2_000, fp_rate=0.01)
+        for key in range(2_000):
+            bloom.add(key)
+        false_hits = sum(1 for probe in range(10_000, 30_000) if probe in bloom)
+        rate = false_hits / 20_000
+        assert rate < 0.03  # 3x slack over the 1% design point
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(capacity=100)
+        assert all(key not in bloom for key in range(1_000))
+        assert bloom.expected_fp_rate() == 0.0
+
+    def test_expected_fp_rate_increases_with_fill(self):
+        bloom = BloomFilter(capacity=100, fp_rate=0.01)
+        rates = []
+        for key in range(300):
+            bloom.add(key)
+            if key % 100 == 99:
+                rates.append(bloom.expected_fp_rate())
+        assert rates == sorted(rates)
+        assert rates[-1] > 0.01  # overfilled past design capacity
+
+    def test_memory_is_bit_array_size(self):
+        bloom = BloomFilter(capacity=1_000, fp_rate=0.01)
+        assert bloom.memory_bytes() == (bloom.num_bits + 7) // 8
+
+    @given(st.sets(st.integers(0, 10_000), max_size=200))
+    def test_membership_superset_property(self, keys):
+        bloom = BloomFilter(capacity=max(len(keys), 1), fp_rate=0.05)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+        assert len(bloom) == len(keys)
+
+
+class TestCountingBloomFilter:
+    def test_counts_never_underestimate(self):
+        counting = CountingBloomFilter(capacity=500, fp_rate=0.01)
+        for _ in range(3):
+            counting.increment(42)
+        counting.increment(7)
+        assert counting.estimate(42) >= 3
+        assert counting.estimate(7) >= 1
+
+    def test_unseen_key_usually_zero(self):
+        counting = CountingBloomFilter(capacity=5_000, fp_rate=0.01)
+        for key in range(100):
+            counting.increment(key)
+        zeros = sum(1 for probe in range(10_000, 11_000) if counting.estimate(probe) == 0)
+        assert zeros > 950
+
+    def test_increment_returns_running_estimate(self):
+        counting = CountingBloomFilter(capacity=100)
+        assert counting.increment(5) == 1
+        assert counting.increment(5) == 2
+
+    def test_saturation(self):
+        counting = CountingBloomFilter(capacity=10)
+        for _ in range(300):
+            counting.increment(1)
+        assert counting.estimate(1) == CountingBloomFilter.MAX_COUNT
+
+    def test_memory_is_8x_plain_bloom(self):
+        plain = BloomFilter(capacity=1_000, fp_rate=0.01)
+        counting = CountingBloomFilter(capacity=1_000, fp_rate=0.01)
+        ratio = counting.memory_bytes() / plain.memory_bytes()
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=100),
+        st.integers(1, 5),
+    )
+    def test_threshold_crossing_never_missed(self, keys, k):
+        """If a key is incremented k times, estimate >= k (no false negatives)."""
+        counting = CountingBloomFilter(capacity=200, fp_rate=0.05)
+        from collections import Counter
+
+        for key in keys:
+            counting.increment(key)
+        for key, count in Counter(keys).items():
+            assert counting.estimate(key) >= min(count, 255)

@@ -1,0 +1,129 @@
+"""Unit tests for the polling baseline (ruled-out approach #1)."""
+
+import pytest
+
+from repro.baselines.polling import (
+    PollingDetector,
+    run_polling_simulation,
+)
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+
+from tests.conftest import A2, B1, B2, C2, FIGURE1_FOLLOWS
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+class TestPollingDetector:
+    def test_no_detection_between_polls(self):
+        detector = PollingDetector(FIGURE1_FOLLOWS, PARAMS)
+        detector.observe(EdgeEvent(0.0, B1, C2))
+        detector.observe(EdgeEvent(10.0, B2, C2))
+        # Nothing surfaces until someone polls.
+        found, _reads = detector.poll(20.0)
+        assert [(r.recipient, r.candidate) for r in found] == [(A2, C2)]
+
+    def test_completion_time_is_kth_source(self):
+        detector = PollingDetector(FIGURE1_FOLLOWS, PARAMS)
+        detector.observe(EdgeEvent(0.0, B1, C2))
+        detector.observe(EdgeEvent(10.0, B2, C2))
+        found, _ = detector.poll(500.0)
+        assert found[0].completed_at == 10.0
+        assert found[0].delay == 490.0
+
+    def test_cross_poll_dedup(self):
+        detector = PollingDetector(FIGURE1_FOLLOWS, PARAMS)
+        detector.observe(EdgeEvent(0.0, B1, C2))
+        detector.observe(EdgeEvent(10.0, B2, C2))
+        first, _ = detector.poll(20.0)
+        second, _ = detector.poll(40.0)
+        assert len(first) == 1
+        assert second == []
+
+    def test_window_expiry(self):
+        detector = PollingDetector(FIGURE1_FOLLOWS, PARAMS)
+        detector.observe(EdgeEvent(0.0, B1, C2))
+        detector.observe(EdgeEvent(10.0, B2, C2))
+        found, _ = detector.poll(700.0)  # both edges stale by now
+        assert found == []
+
+    def test_reads_scale_with_users_polled(self):
+        detector = PollingDetector(FIGURE1_FOLLOWS, PARAMS)
+        _, reads_all = detector.poll(1.0)
+        _, reads_one = detector.poll(2.0, user_ids=[A2])
+        assert reads_all > reads_one
+        assert reads_one == 1 + 2  # A2's list + two followings
+
+    def test_existing_follower_not_recommended(self):
+        follows = FIGURE1_FOLLOWS + [(A2, C2)]
+        detector = PollingDetector(follows, PARAMS)
+        detector.observe(EdgeEvent(0.0, B1, C2))
+        detector.observe(EdgeEvent(10.0, B2, C2))
+        found, _ = detector.poll(20.0)
+        assert found == []
+
+
+class TestPollingSimulation:
+    def events(self):
+        return [EdgeEvent(0.0, B1, C2), EdgeEvent(10.0, B2, C2)]
+
+    def test_finds_motif_with_delay(self):
+        report = run_polling_simulation(
+            FIGURE1_FOLLOWS, self.events(), poll_interval=100.0, params=PARAMS
+        )
+        assert len(report.recommendations) == 1
+        rec = report.recommendations[0]
+        assert rec.completed_at == 10.0
+        assert rec.detected_at == 100.0
+        assert rec.delay == 90.0
+
+    def test_smaller_interval_means_smaller_delay(self):
+        slow = run_polling_simulation(
+            FIGURE1_FOLLOWS, self.events(), poll_interval=300.0, params=PARAMS
+        )
+        fast = run_polling_simulation(
+            FIGURE1_FOLLOWS, self.events(), poll_interval=30.0, params=PARAMS
+        )
+        assert fast.recommendations[0].delay < slow.recommendations[0].delay
+
+    def test_smaller_interval_costs_more_reads(self):
+        slow = run_polling_simulation(
+            FIGURE1_FOLLOWS,
+            self.events(),
+            poll_interval=300.0,
+            params=PARAMS,
+            duration=600.0,
+        )
+        fast = run_polling_simulation(
+            FIGURE1_FOLLOWS,
+            self.events(),
+            poll_interval=30.0,
+            params=PARAMS,
+            duration=600.0,
+        )
+        assert fast.adjacency_reads > slow.adjacency_reads
+        assert fast.polls > slow.polls
+
+    def test_all_events_observed(self):
+        report = run_polling_simulation(
+            FIGURE1_FOLLOWS, self.events(), poll_interval=50.0, params=PARAMS
+        )
+        assert report.events_observed == 2
+
+    def test_empty_stream(self):
+        report = run_polling_simulation(
+            FIGURE1_FOLLOWS, [], poll_interval=10.0, params=PARAMS
+        )
+        assert report.polls == 0
+        assert report.recommendations == []
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            run_polling_simulation(FIGURE1_FOLLOWS, self.events(), poll_interval=0.0)
+
+    def test_reads_per_second(self):
+        report = run_polling_simulation(
+            FIGURE1_FOLLOWS, self.events(), poll_interval=5.0, params=PARAMS
+        )
+        assert report.reads_per_second(10.0) == report.adjacency_reads / 10.0
+        assert report.reads_per_second(0.0) == 0.0

@@ -1,0 +1,103 @@
+"""Unit tests for the two-hop Bloom baseline (ruled-out approach #2)."""
+
+import pytest
+
+from repro.baselines.twohop import (
+    TwoHopBloomDetector,
+    TwoHopMemoryModel,
+    measure_two_hop_sizes,
+)
+from repro.core.events import EdgeEvent
+from repro.core.params import DetectionParams
+from repro.graph.static_index import StaticFollowerIndex
+
+from tests.conftest import A2, B1, B2, C2, FIGURE1_FOLLOWS
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+def make_detector(follows=FIGURE1_FOLLOWS, **kwargs):
+    s = StaticFollowerIndex.from_follow_edges(follows)
+    return TwoHopBloomDetector(s, num_users=8, params=PARAMS, **kwargs)
+
+
+class TestDetection:
+    def test_figure1_equivalent_result(self):
+        detector = make_detector()
+        assert detector.on_edge(EdgeEvent(0.0, B1, C2)) == []
+        recs = detector.on_edge(EdgeEvent(10.0, B2, C2))
+        assert [(r.recipient, r.candidate) for r in recs] == [(A2, C2)]
+        assert recs[0].motif == "twohop-bloom"
+
+    def test_fires_once_per_threshold_crossing(self):
+        follows = FIGURE1_FOLLOWS + [(A2, 20)]
+        detector = make_detector(follows=follows)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        first = detector.on_edge(EdgeEvent(1.0, B2, C2))
+        second = detector.on_edge(EdgeEvent(2.0, 20, C2))
+        assert len(first) == 1
+        assert second == []  # count moved past k, no re-fire
+
+    def test_existing_follower_excluded(self):
+        follows = FIGURE1_FOLLOWS + [(A2, C2)]
+        s = StaticFollowerIndex.from_follow_edges(follows)
+        detector = TwoHopBloomDetector(s, num_users=8, params=PARAMS)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert detector.on_edge(EdgeEvent(1.0, B2, C2)) == []
+
+
+class TestCosts:
+    def test_write_amplification_equals_follower_count(self):
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C2))  # B1 has 2 followers
+        assert detector.updates_performed == 2
+        detector.on_edge(EdgeEvent(1.0, B2, C2))  # B2 has 2 followers
+        assert detector.updates_performed == 4
+
+    def test_memory_grows_with_touched_users(self):
+        detector = make_detector()
+        assert detector.memory_bytes() == 0
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert detector.allocated_filters() == 2  # A1 and A2
+        first = detector.memory_bytes()
+        detector.on_edge(EdgeEvent(1.0, B2, C2))
+        assert detector.allocated_filters() == 3  # + A3
+        assert detector.memory_bytes() > first
+
+    def test_filter_bytes_are_substantial_per_user(self):
+        detector = make_detector(filter_capacity=1024, fp_rate=0.01)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        per_user = detector.memory_bytes() / detector.allocated_filters()
+        # Counting bloom at 1% FP and 1k capacity: ~9.6 KB per user.
+        assert per_user > 8_000
+
+
+class TestMemoryModel:
+    def test_rough_calculation_is_impractical_at_twitter_scale(self):
+        # Realistic assumptions: following ~100 accounts that each follow
+        # hundreds more yields ~10^5 distinct two-hop targets per user.
+        model = TwoHopMemoryModel(mean_two_hop_size=1e5, bytes_per_element=9.6)
+        total = model.total_bytes(1e8)
+        assert total > 5e13  # tens of terabytes of RAM: impractical in 2014
+
+    def test_report_mentions_units(self):
+        model = TwoHopMemoryModel(mean_two_hop_size=1e5, bytes_per_element=10.0)
+        text = model.report(1e8)
+        assert "PiB" in text or "TiB" in text
+
+    def test_as_estimate_roundtrip(self):
+        model = TwoHopMemoryModel(mean_two_hop_size=100, bytes_per_element=10.0)
+        estimate = model.as_estimate(measured_users=1_000)
+        assert estimate.extrapolate(1e6) == pytest.approx(
+            model.total_bytes(1e6)
+        )
+
+
+class TestMeasureTwoHop:
+    def test_exact_two_hop_sizes(self):
+        followings = {0: [1, 2], 1: [3, 4], 2: [4, 5], 3: []}
+        sizes = measure_two_hop_sizes(followings, [0, 1, 3])
+        assert sizes == [3, 0, 0]  # 0 reaches {3,4,5}; 1 reaches {}; 3 too
+
+    def test_missing_user_counts_zero(self):
+        assert measure_two_hop_sizes({}, [7]) == [0]

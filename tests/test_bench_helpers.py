@@ -1,0 +1,85 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import pytest
+
+from repro.bench.report import ExperimentTable, Reporter, format_table
+from repro.bench.workloads import (
+    BENCH_PARAMS,
+    bench_cluster,
+    bench_engine,
+    bursty_events,
+    bursty_workload,
+)
+
+
+class TestExperimentTable:
+    def test_add_row_and_note(self):
+        table = ExperimentTable("E0", "demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_note("caveat")
+        assert table.rows == [(1, "x")]
+        assert table.notes == ["caveat"]
+
+    def test_format_alignment(self):
+        table = ExperimentTable("E0", "demo", ["metric", "value"])
+        table.add_row("short", 1)
+        table.add_row("a much longer metric name", 22)
+        text = format_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "[E0] demo"
+        # Header and separator aligned to the widest cell.
+        assert len(lines[1]) == len(lines[2])
+        assert "a much longer metric name" in text
+
+    def test_notes_rendered(self):
+        table = ExperimentTable("E1", "t", ["x"])
+        table.add_row(1)
+        table.add_note("explain")
+        assert "note: explain" in format_table(table)
+
+
+class TestReporter:
+    def test_tables_ordered_by_experiment_id(self):
+        reporter = Reporter()
+        reporter.table("E10", "ten", ["x"]).add_row(1)
+        reporter.table("E2", "two", ["x"]).add_row(1)
+        reporter.table("E1", "one", ["x"]).add_row(1)
+        rendered = reporter.render()
+        assert rendered.index("[E1]") < rendered.index("[E2]") < rendered.index("[E10]")
+
+    def test_table_registration(self):
+        reporter = Reporter()
+        table = reporter.table("E1", "t", ["x"])
+        assert reporter.tables == [table]
+
+
+class TestWorkloads:
+    def test_bursty_workload_deterministic(self):
+        a_snap, a_events = bursty_workload(num_users=500, duration=60.0, seed=4)
+        b_snap, b_events = bursty_workload(num_users=500, duration=60.0, seed=4)
+        assert sorted(a_snap.follow_edges()) == sorted(b_snap.follow_edges())
+        assert a_events == b_events
+
+    def test_bursty_events_targets_high_ids(self):
+        snapshot, events = bursty_workload(
+            num_users=500, duration=60.0, background_rate=0.0, num_bursts=2
+        )
+        targets = {e.target for e in events}
+        assert targets <= {499, 498}
+
+    def test_bursty_events_matches_workload(self):
+        snapshot, events = bursty_workload(num_users=400, duration=60.0, seed=8)
+        regenerated = bursty_events(snapshot, duration=60.0, seed=8)
+        assert regenerated == events
+
+    def test_bench_engine_uses_default_caps(self):
+        snapshot, _ = bursty_workload(num_users=300, duration=30.0)
+        engine = bench_engine(snapshot)
+        assert engine.detectors[0].params == BENCH_PARAMS
+        assert engine.dynamic_index.max_edges_per_target is not None
+
+    def test_bench_cluster_shape(self):
+        snapshot, _ = bursty_workload(num_users=300, duration=30.0)
+        cluster = bench_cluster(snapshot, num_partitions=3, replication_factor=2)
+        assert cluster.broker.num_partitions == 3
+        assert all(len(rs.replicas) == 2 for rs in cluster.replica_sets)

@@ -1,0 +1,110 @@
+"""Integration tests for the CLI (invoked in-process via main())."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestFigure1Command:
+    def test_prints_the_recommendation(self):
+        code, output = run_cli("figure1")
+        assert code == 0
+        assert "recommend C2" in output
+        assert "A2" in output
+
+
+class TestGenerateAndRun:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli")
+        graph = tmp / "graph.npz"
+        stream = tmp / "stream.csv"
+        code, out = run_cli(
+            "generate-graph", str(graph), "--users", "800", "--seed", "3"
+        )
+        assert code == 0 and "800 users" in out
+        code, out = run_cli(
+            "generate-stream", str(stream),
+            "--users", "800", "--duration", "300", "--rate", "3",
+            "--bursts", "1", "--burst-actors", "40", "--seed", "3",
+        )
+        assert code == 0 and "events" in out
+        return graph, stream
+
+    def test_stream_file_format(self, artifacts):
+        _, stream = artifacts
+        header, first = stream.read_text().splitlines()[:2]
+        assert header == "created_at,actor,target,action"
+        parts = first.split(",")
+        assert len(parts) == 4
+        float(parts[0])  # parsable timestamp
+
+    def test_run_command(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli("run", str(graph), str(stream), "--k", "2")
+        assert code == 0
+        assert "events processed : " in output
+        assert "raw candidates" in output
+        assert "query latency" in output
+
+    def test_simulate_command(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+        )
+        assert code == 0
+        assert "events ingested" in output
+        assert "notifications" in output
+
+    def test_analyze_command(self, artifacts):
+        graph, _ = artifacts
+        code, output = run_cli("analyze", str(graph))
+        assert code == 0
+        assert "reciprocity" in output
+
+    def test_deterministic_generation(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        run_cli("generate-stream", str(a), "--users", "100", "--duration", "60", "--seed", "9")
+        run_cli("generate-stream", str(b), "--users", "100", "--duration", "60", "--seed", "9")
+        assert a.read_text() == b.read_text()
+
+
+class TestExplainCommand:
+    def test_catalog_motif(self):
+        code, output = run_cli("explain", "diamond", "--k", "2")
+        assert code == 0
+        assert "motif diamond:" in output
+        assert "plan for motif 'diamond'" in output
+        assert "KOverlap(k=2" in output
+
+    def test_motif_file(self, tmp_path):
+        motif_file = tmp_path / "custom.motif"
+        motif_file.write_text(
+            "motif my-motif:\n"
+            "  match a -[static]-> b\n"
+            "  match b -[dynamic, within 120s]-> c\n"
+            "  count distinct b >= 2\n"
+            "  emit  notify a about c\n"
+        )
+        code, output = run_cli("explain", str(motif_file))
+        assert code == 0
+        assert "my-motif" in output
+
+    def test_unknown_motif_fails(self, capsys):
+        code, _ = run_cli("explain", "no-such-motif")
+        assert code == 2
+
+    def test_all_catalog_names_explainable(self):
+        for name in ("diamond", "wedge", "co-retweet", "favorite-burst"):
+            code, output = run_cli("explain", name)
+            assert code == 0
+            assert "plan for motif" in output

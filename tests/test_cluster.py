@@ -1,0 +1,255 @@
+"""Integration tests for the partitioned / replicated cluster.
+
+The load-bearing property: for any partition count, the cluster's gathered
+output must equal the single-machine engine's output, because partitioning
+by A makes every intersection local (paper §2).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    AllReplicasDown,
+    Cluster,
+    ClusterConfig,
+    ModuloPartitioner,
+)
+from repro.cluster.cluster import fault_injecting_channel_factory
+from repro.core import DetectionParams, EdgeEvent, MotifEngine
+from repro.gen import StreamConfig, TwitterGraphConfig, generate_event_stream, generate_follow_graph
+from repro.graph import GraphSnapshot
+
+from tests.conftest import A2, B1, B2, C2, FIGURE1_FOLLOWS
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+def small_workload(seed=0, num_users=300, rate=4.0, duration=200.0):
+    snapshot = generate_follow_graph(
+        TwitterGraphConfig(num_users=num_users, mean_followings=10.0, seed=seed)
+    )
+    events = generate_event_stream(
+        StreamConfig(
+            num_users=num_users,
+            duration=duration,
+            background_rate=rate,
+            seed=seed,
+        )
+    )
+    return snapshot, events
+
+
+class TestClusterBasics:
+    def test_figure1_through_cluster(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3),
+        )
+        assert cluster.process_event(EdgeEvent(0.0, B1, C2)) == []
+        recs = cluster.process_event(EdgeEvent(10.0, B2, C2))
+        assert [(r.recipient, r.candidate) for r in recs] == [(A2, C2)]
+
+    def test_default_config_is_production_shape(self, figure1_snapshot):
+        cluster = Cluster.build(figure1_snapshot)
+        assert cluster.broker.num_partitions == 20
+        assert cluster.params.k == 3
+
+    def test_every_partition_sees_every_event(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=4)
+        )
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        for replica_set in cluster.replica_sets:
+            assert replica_set.replicas[0].events_processed() == 1
+
+    def test_recipients_disjoint_across_partitions(self):
+        snapshot, events = small_workload(seed=3)
+        cluster = Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=5),
+            partitioner=ModuloPartitioner(5),
+        )
+        for event in events:
+            for rec in cluster.process_event(event):
+                assert rec.recipient % 5 == cluster.partitioner.partition_of(
+                    rec.recipient
+                )
+
+    def test_query_audience_merges_partitions(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=3)
+        )
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        cluster.process_event(EdgeEvent(1.0, B2, C2))
+        assert cluster.query_audience(C2, now=2.0) == [A2]
+
+    def test_prune_sweeps_fleet(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        removed = cluster.prune(now=10_000.0)
+        assert removed == 2  # one stale edge per partition's D copy
+
+
+class TestPartitionEquivalence:
+    """Cluster output == single-machine output, for every partition count."""
+
+    @pytest.mark.parametrize("num_partitions", [1, 2, 3, 5, 8])
+    def test_equivalence_on_synthetic_workload(self, num_partitions):
+        snapshot, events = small_workload(seed=1)
+        single = MotifEngine.from_snapshot(snapshot, PARAMS)
+        expected = sorted(
+            (r.created_at, r.recipient, r.candidate)
+            for r in single.process_stream(events)
+        )
+        cluster = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=num_partitions)
+        )
+        got = sorted(
+            (r.created_at, r.recipient, r.candidate)
+            for r in cluster.process_stream(events)
+        )
+        assert got == expected
+        assert len(got) > 0, "workload produced no motifs; test is vacuous"
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_partitions=st.integers(1, 6), seed=st.integers(0, 5))
+    def test_equivalence_property(self, num_partitions, seed):
+        snapshot, events = small_workload(
+            seed=seed, num_users=120, rate=3.0, duration=120.0
+        )
+        single = MotifEngine.from_snapshot(snapshot, PARAMS)
+        expected = sorted(
+            (r.created_at, r.recipient, r.candidate)
+            for r in single.process_stream(events)
+        )
+        cluster = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=num_partitions)
+        )
+        got = sorted(
+            (r.created_at, r.recipient, r.candidate)
+            for r in cluster.process_stream(events)
+        )
+        assert got == expected
+
+
+class TestReplication:
+    def build_replicated(self, snapshot, replicas=2, partitions=2):
+        return Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=partitions, replication_factor=replicas),
+        )
+
+    def test_replicas_stay_identical(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        cluster.process_event(EdgeEvent(1.0, B2, C2))
+        for replica_set in cluster.replica_sets:
+            first, second = replica_set.replicas
+            assert (
+                first.engine.dynamic_index.num_edges
+                == second.engine.dynamic_index.num_edges
+            )
+
+    def test_no_duplicate_output_with_replicas(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        recs = cluster.process_event(EdgeEvent(1.0, B2, C2))
+        assert len(recs) == 1  # primary only, not once per replica
+
+    def test_failover_on_dead_replica(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot)
+        for replica_set in cluster.replica_sets:
+            replica_set.mark_down(0)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        recs = cluster.process_event(EdgeEvent(1.0, B2, C2))
+        assert [(r.recipient, r.candidate) for r in recs] == [(A2, C2)]
+
+    def test_all_replicas_down_loses_events_but_serves(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot, replicas=1, partitions=2)
+        owner = cluster.partitioner.partition_of(A2)
+        cluster.replica_sets[owner].mark_down(0)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        recs = cluster.process_event(EdgeEvent(1.0, B2, C2))
+        assert recs == []  # A2's shard was down; no crash, event lost there
+        assert cluster.broker.stats.partitions_lost_events == 2
+
+    def test_resync_repairs_stale_replica(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot, partitions=1)
+        replica_set = cluster.replica_sets[0]
+        replica_set.mark_down(1)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        assert replica_set.missed_events[1] == 1
+        replica_set.resync(1)
+        assert replica_set.missed_events[1] == 0
+        stale, healthy = replica_set.replicas[1], replica_set.replicas[0]
+        assert (
+            stale.engine.dynamic_index.num_edges
+            == healthy.engine.dynamic_index.num_edges
+        )
+        # After resync the repaired replica answers reads correctly.
+        cluster.process_event(EdgeEvent(1.0, B2, C2))
+        audience, _ = replica_set.query_audience(C2, now=2.0)
+        assert audience == [A2]
+
+    def test_resync_without_healthy_source_raises(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot, partitions=1)
+        replica_set = cluster.replica_sets[0]
+        replica_set.mark_down(0)
+        replica_set.mark_down(1)
+        with pytest.raises(AllReplicasDown):
+            replica_set.resync(0)
+
+    def test_reads_round_robin_across_replicas(self, figure1_snapshot):
+        cluster = self.build_replicated(figure1_snapshot, partitions=1, replicas=3)
+        replica_set = cluster.replica_sets[0]
+        for _ in range(9):
+            replica_set.query_audience(C2, now=0.0)
+        calls = [ch.stats.calls for ch in replica_set.channels]
+        assert calls == [3, 3, 3]
+
+    def test_chaos_channels_do_not_crash_cluster(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, replication_factor=2),
+            channel_factory=fault_injecting_channel_factory(0.2, seed=1),
+        )
+        for i in range(50):
+            cluster.process_event(EdgeEvent(float(i), B1, C2))
+
+
+class TestMemoryAccounting:
+    def test_d_memory_grows_with_partitions_s_does_not(self):
+        snapshot, events = small_workload(seed=2)
+        reports = {}
+        for p in (1, 4):
+            cluster = Cluster.build(
+                snapshot, PARAMS, ClusterConfig(num_partitions=p)
+            )
+            cluster.process_stream(events)
+            reports[p] = cluster.memory_report()
+        # D is fully replicated per partition: ~P times the single copy.
+        assert reports[4]["dynamic_index"] == pytest.approx(
+            4 * reports[1]["dynamic_index"], rel=0.05
+        )
+        # S shards hold disjoint edges, so S grows sublinearly in P: only
+        # the per-B dict/bookkeeping overhead is duplicated, never payload.
+        assert reports[4]["static_index"] < 0.8 * 4 * reports[1]["static_index"]
+
+    def test_s_edges_partition_exactly(self):
+        snapshot, _events = small_workload(seed=2)
+        single_edges = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=1)
+        ).replica_sets[0].replicas[0].engine.static_index.num_edges
+        cluster = Cluster.build(snapshot, PARAMS, ClusterConfig(num_partitions=4))
+        sharded = sum(
+            rs.replicas[0].engine.static_index.num_edges
+            for rs in cluster.replica_sets
+        )
+        assert sharded == single_edges

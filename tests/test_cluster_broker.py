@@ -1,0 +1,82 @@
+"""Unit tests for the broker's fan-out / gather coordination."""
+
+import pytest
+
+from repro.cluster import Broker, Cluster, ClusterConfig
+from repro.core import DetectionParams, EdgeEvent
+
+from tests.conftest import A2, B1, B2, C2
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+@pytest.fixture
+def cluster(figure1_snapshot):
+    return Cluster.build(
+        figure1_snapshot,
+        PARAMS,
+        ClusterConfig(num_partitions=3, replication_factor=2),
+    )
+
+
+class TestBrokerStats:
+    def test_fan_out_counts(self, cluster):
+        broker = cluster.broker
+        broker.process_event(EdgeEvent(0.0, B1, C2))
+        broker.process_event(EdgeEvent(1.0, B2, C2))
+        assert broker.stats.events_routed == 2
+        assert broker.stats.fan_out_calls == 6  # 2 events x 3 partitions
+        assert broker.stats.gather_results == 1  # the single A2 candidate
+
+    def test_lost_partition_counted(self, cluster):
+        broker = cluster.broker
+        for replica_set in cluster.replica_sets[:1]:
+            replica_set.mark_down(0)
+            replica_set.mark_down(1)
+        broker.process_event(EdgeEvent(0.0, B1, C2))
+        assert broker.stats.partitions_lost_events == 1
+        # The other two partitions still consumed the event.
+        assert cluster.replica_sets[1].replicas[0].events_processed() == 1
+
+    def test_empty_replica_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Broker([])
+
+
+class TestBrokerQueries:
+    def test_query_audience_skips_dead_partitions(self, cluster):
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        cluster.process_event(EdgeEvent(1.0, B2, C2))
+        owner = cluster.partitioner.partition_of(A2)
+        # Kill a partition that does NOT own A2.
+        victim = (owner + 1) % 3
+        cluster.replica_sets[victim].mark_down(0)
+        cluster.replica_sets[victim].mark_down(1)
+        audience, _latency = cluster.broker.query_audience(C2, now=2.0)
+        assert audience == [A2]
+
+    def test_query_audience_loses_dead_owner(self, cluster):
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        cluster.process_event(EdgeEvent(1.0, B2, C2))
+        owner = cluster.partitioner.partition_of(A2)
+        cluster.replica_sets[owner].mark_down(0)
+        cluster.replica_sets[owner].mark_down(1)
+        audience, _latency = cluster.broker.query_audience(C2, now=2.0)
+        assert audience == []  # availability over completeness
+
+    def test_gather_latency_is_slowest_partition(self, figure1_snapshot):
+        from repro.cluster.rpc import SimulatedChannel
+
+        def slow_channel(p, r):
+            return SimulatedChannel(
+                f"p{p}/r{r}", latency_model=lambda p=p: 0.001 * (p + 1)
+            )
+
+        cluster = Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3),
+            channel_factory=slow_channel,
+        )
+        _recs, latency = cluster.broker.process_event(EdgeEvent(0.0, B1, C2))
+        assert latency == pytest.approx(0.003)  # partition 2 is slowest

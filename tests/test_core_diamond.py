@@ -1,0 +1,183 @@
+"""Unit tests for the diamond detector — including the paper's Figure 1."""
+
+import pytest
+
+from repro.core.diamond import DiamondDetector
+from repro.core.events import ActionType, EdgeEvent
+from repro.core.params import DetectionParams
+from repro.graph.dynamic_index import DynamicEdgeIndex
+from repro.graph.static_index import StaticFollowerIndex
+
+from tests.conftest import A1, A2, A3, B1, B2, C1, C2, FIGURE1_FOLLOWS
+
+
+def make_detector(k=2, tau=600.0, follows=FIGURE1_FOLLOWS, **params):
+    s = StaticFollowerIndex.from_follow_edges(follows)
+    d = DynamicEdgeIndex(retention=tau)
+    return DiamondDetector(s, d, DetectionParams(k=k, tau=tau, **params))
+
+
+class TestFigure1:
+    """The paper's worked example, exactly as §2 narrates it."""
+
+    def test_b2_c2_edge_triggers_recommendation_to_a2(self):
+        detector = make_detector()
+        assert detector.on_edge(EdgeEvent(0.0, B1, C2)) == []
+        recs = detector.on_edge(EdgeEvent(10.0, B2, C2))
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.recipient == A2
+        assert rec.candidate == C2
+        assert rec.via == (B1, B2)
+        assert rec.motif == "diamond"
+
+    def test_a1_a3_not_recommended(self):
+        """A1 follows only B1 and A3 only B2 — neither reaches k=2."""
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        recs = detector.on_edge(EdgeEvent(10.0, B2, C2))
+        recipients = {rec.recipient for rec in recs}
+        assert A1 not in recipients and A3 not in recipients
+
+    def test_stale_first_edge_does_not_trigger(self):
+        """If B1 -> C2 happened outside tau, the diamond never completes."""
+        detector = make_detector(tau=600.0)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        recs = detector.on_edge(EdgeEvent(601.0, B2, C2))
+        assert recs == []
+
+    def test_edge_to_different_c_does_not_trigger(self):
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C1))
+        assert detector.on_edge(EdgeEvent(1.0, B2, C2)) == []
+
+
+class TestThresholdSemantics:
+    def test_k_one_fires_immediately(self):
+        detector = make_detector(k=1)
+        recs = detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert {rec.recipient for rec in recs} == {A1, A2}
+
+    def test_k_three_needs_three_fresh_sources(self):
+        follows = [(0, 10), (0, 11), (0, 12), (1, 10), (1, 11), (1, 12)]
+        detector = make_detector(k=3, follows=follows)
+        assert detector.on_edge(EdgeEvent(0.0, 10, 99)) == []
+        assert detector.on_edge(EdgeEvent(1.0, 11, 99)) == []
+        recs = detector.on_edge(EdgeEvent(2.0, 12, 99))
+        assert {rec.recipient for rec in recs} == {0, 1}
+
+    def test_k_overlap_not_strict_intersection(self):
+        """With 3 fresh B's and k=2, an A following only 2 still qualifies."""
+        follows = [(0, 10), (0, 11), (1, 10), (1, 11), (1, 12)]
+        detector = make_detector(k=2, follows=follows)
+        detector.on_edge(EdgeEvent(0.0, 10, 99))
+        detector.on_edge(EdgeEvent(1.0, 11, 99))
+        recs = detector.on_edge(EdgeEvent(2.0, 12, 99))
+        # User 0 follows 10 and 11 (2 of the 3 fresh B's) -> qualifies even
+        # though it does not follow 12.
+        assert 0 in {rec.recipient for rec in recs}
+
+    def test_same_b_refollowing_counts_once(self):
+        """A single flapping B cannot fake k distinct sources."""
+        detector = make_detector(k=2)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        detector.on_edge(EdgeEvent(1.0, B1, C2))
+        assert detector.on_edge(EdgeEvent(2.0, B1, C2)) == []
+
+    def test_retrigger_emits_duplicate_raw_candidates(self):
+        """Raw candidates are deliberately not deduped at the detector."""
+        follows = FIGURE1_FOLLOWS + [(A2, 20)]
+        detector = make_detector(follows=follows)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        first = detector.on_edge(EdgeEvent(1.0, B2, C2))
+        second = detector.on_edge(EdgeEvent(2.0, 20, C2))
+        assert [rec.recipient for rec in first] == [A2]
+        assert [rec.recipient for rec in second] == [A2]
+
+
+class TestFilters:
+    def test_candidate_not_recommended_to_itself(self):
+        # A2 (id 1) follows B1 and B2; make the new target also id 1.
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, A2))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, A2))
+        assert all(rec.recipient != A2 for rec in recs)
+
+    def test_self_recommendation_allowed_when_disabled(self):
+        detector = make_detector(
+            exclude_candidate_recipient=False, exclude_existing_followers=False
+        )
+        detector.on_edge(EdgeEvent(0.0, B1, A2))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, A2))
+        assert A2 in {rec.recipient for rec in recs}
+
+    def test_existing_follower_excluded(self):
+        """A2 already follows C2 in the static snapshot -> no notification."""
+        follows = FIGURE1_FOLLOWS + [(A2, C2)]
+        detector = make_detector(follows=follows)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert detector.on_edge(EdgeEvent(1.0, B2, C2)) == []
+
+    def test_fresh_source_never_notified_about_its_own_target(self):
+        """B's that just followed C must not be recommended C."""
+        # B2 also follows B1 (so B2 is an A for B1's followings).
+        follows = FIGURE1_FOLLOWS + [(B2, B1), (B2, 40)]
+        detector = make_detector(follows=follows)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        detector.on_edge(EdgeEvent(1.0, 40, C2))
+        recs = detector.on_edge(EdgeEvent(2.0, B2, C2))
+        assert B2 not in {rec.recipient for rec in recs}
+
+    def test_max_trigger_sources_caps_expansion(self):
+        follows = [(0, b) for b in range(10, 20)] + [(1, b) for b in range(10, 20)]
+        detector = make_detector(k=2, follows=follows, max_trigger_sources=3)
+        for i, b in enumerate(range(10, 20)):
+            detector.on_edge(EdgeEvent(float(i), b, 99))
+        # Still fires (cap >= k) using only the 3 most recent sources.
+        recs = detector.on_edge(EdgeEvent(20.0, 10, 99))
+        assert recs == [] or all(len(rec.via) <= 10 for rec in recs)
+        assert detector.stats.triggers > 0
+
+
+class TestConfigurationAndStats:
+    def test_tau_exceeding_retention_rejected(self):
+        s = StaticFollowerIndex.from_follow_edges(FIGURE1_FOLLOWS)
+        d = DynamicEdgeIndex(retention=10.0)
+        with pytest.raises(ValueError, match="retention"):
+            DiamondDetector(s, d, DetectionParams(k=2, tau=20.0))
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            DetectionParams(k=0)
+        with pytest.raises(ValueError):
+            DetectionParams(tau=0.0)
+        with pytest.raises(ValueError):
+            DetectionParams(k=3, max_trigger_sources=2)
+
+    def test_stats_counters(self):
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        detector.on_edge(EdgeEvent(1.0, B2, C2))
+        assert detector.stats.events_seen == 2
+        assert detector.stats.below_threshold == 1
+        assert detector.stats.triggers == 1
+        assert detector.stats.candidates_emitted == 1
+
+    def test_action_type_propagates(self):
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C2, ActionType.RETWEET))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, C2, ActionType.RETWEET))
+        assert recs[0].action is ActionType.RETWEET
+
+    def test_current_audience_is_read_only(self):
+        detector = make_detector()
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        detector.on_edge(EdgeEvent(1.0, B2, C2))
+        audience = detector.current_audience(C2, now=2.0)
+        assert audience == [A2]
+        # Querying must not insert edges.
+        assert detector._dynamic.inserted_total == 2
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            EdgeEvent(0.0, -1, 2)

@@ -1,0 +1,143 @@
+"""Tests for the source-keyed index and the spree motif program."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import ActionType, EdgeEvent
+from repro.core.params import DetectionParams
+from repro.core.spree import SpreeDetector
+from repro.graph.dynamic_index import DynamicSourceIndex
+
+
+class TestDynamicSourceIndex:
+    def test_fresh_targets_basic(self):
+        index = DynamicSourceIndex(retention=100.0)
+        index.insert(1, 10, 5.0)
+        index.insert(1, 11, 6.0)
+        index.insert(2, 12, 7.0)
+        fresh = index.fresh_targets(1, now=10.0, tau=50.0)
+        assert [(e.source, e.timestamp) for e in fresh] == [(10, 5.0), (11, 6.0)]
+
+    def test_distinct_targets_counted_once(self):
+        index = DynamicSourceIndex(retention=100.0)
+        index.insert(1, 10, 5.0)
+        index.insert(1, 10, 8.0)  # re-follow of the same target
+        fresh = index.fresh_targets(1, now=10.0, tau=50.0)
+        assert len(fresh) == 1
+        assert fresh[0].timestamp == 8.0
+
+    def test_window_and_cap_pruning(self):
+        index = DynamicSourceIndex(retention=10.0, max_edges_per_source=3)
+        for i in range(5):
+            index.insert(1, 100 + i, float(i))
+        assert index.num_edges == 3
+        index.insert(1, 200, 50.0)  # everything else stale
+        assert [e.source for e in index.fresh_targets(1, now=50.0, tau=10.0)] == [200]
+
+    def test_action_filter(self):
+        index = DynamicSourceIndex(retention=100.0)
+        index.insert(1, 10, 1.0, action=ActionType.FOLLOW)
+        index.insert(1, 11, 2.0, action=ActionType.RETWEET)
+        follows = index.fresh_targets(1, now=5.0, tau=50.0, action=ActionType.FOLLOW)
+        assert [e.source for e in follows] == [10]
+
+    def test_tau_beyond_retention_rejected(self):
+        index = DynamicSourceIndex(retention=10.0)
+        with pytest.raises(ValueError, match="retention"):
+            index.fresh_targets(1, now=0.0, tau=20.0)
+
+    def test_accounting(self):
+        index = DynamicSourceIndex(retention=100.0)
+        index.insert(1, 10, 0.0)
+        index.insert(2, 11, 0.0)
+        assert index.num_edges == 2
+        assert index.num_sources == 2
+        assert index.memory_bytes() > 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 20), st.floats(0, 100)),
+            max_size=50,
+        )
+    )
+    def test_fresh_targets_matches_naive_replay(self, inserts):
+        index = DynamicSourceIndex(retention=1_000.0)
+        for b, c, t in inserts:
+            index.insert(b, c, t)
+        if not inserts:
+            return
+        now = max(t for _, _, t in inserts)
+        for b in {b for b, _, _ in inserts}:
+            expected = {}
+            for b2, c, t in inserts:
+                if b2 == b and now - 1_000.0 <= t <= now:
+                    expected[c] = max(expected.get(c, t), t)
+            got = index.fresh_targets(b, now=now, tau=1_000.0)
+            assert {e.source: e.timestamp for e in got} == expected
+
+
+class TestSpreeDetector:
+    def make(self, k=5, tau=60.0, **kwargs):
+        index = DynamicSourceIndex(retention=tau)
+        return SpreeDetector(index, DetectionParams(k=k, tau=tau), **kwargs)
+
+    def test_fires_at_threshold(self):
+        detector = self.make(k=5)
+        alerts = []
+        for i in range(5):
+            alerts = detector.on_edge(EdgeEvent(float(i), 1, 100 + i))
+        assert len(alerts) == 1
+        alert = alerts[0]
+        assert alert.actor == 1
+        assert alert.distinct_targets == 5
+        assert alert.first_edge_at == 0.0
+        assert alert.detected_at == 4.0
+        assert alert.span == 4.0
+
+    def test_slow_follower_never_flagged(self):
+        detector = self.make(k=5, tau=60.0)
+        for i in range(20):
+            assert detector.on_edge(EdgeEvent(i * 100.0, 1, 100 + i)) == []
+
+    def test_refollowing_same_target_not_a_spree(self):
+        detector = self.make(k=3)
+        for i in range(10):
+            assert detector.on_edge(EdgeEvent(float(i), 1, 99)) == []
+
+    def test_realert_suppression(self):
+        detector = self.make(k=3, tau=60.0, realert_after=60.0)
+        for i in range(3):
+            detector.on_edge(EdgeEvent(float(i), 1, 100 + i))
+        assert detector.alerts_emitted == 1
+        # Continuing the spree inside the suppression window: no re-alert.
+        detector.on_edge(EdgeEvent(3.0, 1, 200))
+        assert detector.alerts_emitted == 1
+        # Well past the suppression window with a fresh spree: re-alert.
+        for i in range(3):
+            detector.on_edge(EdgeEvent(100.0 + i, 1, 300 + i))
+        assert detector.alerts_emitted == 2
+
+    def test_actors_independent(self):
+        detector = self.make(k=3)
+        for actor in (1, 2):
+            for i in range(3):
+                detector.on_edge(EdgeEvent(float(i), actor, 100 + i))
+        assert detector.alerts_emitted == 2
+
+    def test_tau_exceeding_retention_rejected(self):
+        index = DynamicSourceIndex(retention=10.0)
+        with pytest.raises(ValueError, match="retention"):
+            SpreeDetector(index, DetectionParams(k=3, tau=20.0))
+
+    def test_shared_index_with_external_inserts(self):
+        index = DynamicSourceIndex(retention=60.0)
+        detector = SpreeDetector(
+            index, DetectionParams(k=3, tau=60.0), inserts_edges=False
+        )
+        for i in range(3):
+            event = EdgeEvent(float(i), 1, 100 + i)
+            index.insert(event.actor, event.target, event.created_at)
+            alerts = detector.on_edge(event)
+        assert len(alerts) == 1
+        assert index.num_edges == 3  # no double inserts

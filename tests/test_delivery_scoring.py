@@ -1,0 +1,110 @@
+"""Unit + property tests for candidate scoring and top-k selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.recommendation import Recommendation
+from repro.delivery import TopKPerUserBuffer, witness_score
+
+
+def rec(recipient=1, candidate=2, created_at=0.0, witnesses=3):
+    return Recommendation(
+        recipient=recipient,
+        candidate=candidate,
+        created_at=created_at,
+        via=tuple(range(100, 100 + witnesses)),
+    )
+
+
+class TestWitnessScore:
+    def test_more_witnesses_score_higher(self):
+        now = 0.0
+        few = witness_score(rec(witnesses=3), now)
+        many = witness_score(rec(witnesses=7), now)
+        assert many > few
+
+    def test_decays_with_half_life(self):
+        fresh = witness_score(rec(created_at=0.0), now=0.0, half_life=100.0)
+        aged = witness_score(rec(created_at=0.0), now=100.0, half_life=100.0)
+        assert aged == pytest.approx(fresh / 2.0)
+
+    def test_future_created_at_clamped(self):
+        # Clock skew: a candidate "from the future" scores as fresh.
+        score = witness_score(rec(created_at=50.0), now=0.0)
+        assert score == witness_score(rec(created_at=0.0), now=0.0)
+
+    def test_empty_via_scores_as_one_witness(self):
+        bare = Recommendation(recipient=1, candidate=2, created_at=0.0)
+        assert witness_score(bare, now=0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            witness_score(rec(), now=0.0, half_life=0.0)
+
+
+class TestTopKPerUserBuffer:
+    def test_releases_top_k_by_score(self):
+        buffer = TopKPerUserBuffer(k=2)
+        buffer.offer(rec(candidate=10, witnesses=3))
+        buffer.offer(rec(candidate=11, witnesses=7))
+        buffer.offer(rec(candidate=12, witnesses=5))
+        released = buffer.flush(now=0.0)
+        assert [r.candidate for r in released] == [11, 12]
+
+    def test_users_independent(self):
+        buffer = TopKPerUserBuffer(k=1)
+        buffer.offer(rec(recipient=1, candidate=10))
+        buffer.offer(rec(recipient=2, candidate=20))
+        released = buffer.flush(now=0.0)
+        assert {(r.recipient, r.candidate) for r in released} == {
+            (1, 10), (2, 20),
+        }
+
+    def test_dedup_keeps_strongest_instance(self):
+        buffer = TopKPerUserBuffer(k=5)
+        buffer.offer(rec(candidate=10, witnesses=3))
+        buffer.offer(rec(candidate=10, witnesses=8))  # re-fire, stronger
+        buffer.offer(rec(candidate=10, witnesses=4))
+        released = buffer.flush(now=0.0)
+        assert len(released) == 1
+        assert len(released[0].via) == 8
+        assert buffer.pending() == 0
+
+    def test_freshness_breaks_witness_ties(self):
+        buffer = TopKPerUserBuffer(k=1, half_life=60.0)
+        buffer.offer(rec(candidate=10, created_at=0.0, witnesses=4))
+        buffer.offer(rec(candidate=11, created_at=300.0, witnesses=4))
+        released = buffer.flush(now=300.0)
+        assert released[0].candidate == 11  # same witnesses, much fresher
+
+    def test_flush_clears_state(self):
+        buffer = TopKPerUserBuffer(k=1)
+        buffer.offer(rec())
+        buffer.flush(now=0.0)
+        assert buffer.flush(now=1.0) == []
+        assert buffer.offered == 1
+
+    @given(
+        offers=st.lists(
+            st.tuples(
+                st.integers(0, 3),    # recipient
+                st.integers(0, 10),   # candidate
+                st.integers(1, 9),    # witnesses
+            ),
+            max_size=50,
+        ),
+        k=st.integers(1, 4),
+    )
+    def test_never_releases_more_than_k_per_user(self, offers, k):
+        buffer = TopKPerUserBuffer(k=k)
+        for recipient, candidate, witnesses in offers:
+            buffer.offer(rec(recipient=recipient, candidate=candidate, witnesses=witnesses))
+        released = buffer.flush(now=0.0)
+        per_user: dict[int, int] = {}
+        for r in released:
+            per_user[r.recipient] = per_user.get(r.recipient, 0) + 1
+        assert all(count <= k for count in per_user.values())
+        # And no duplicate (recipient, candidate) pairs escape.
+        pairs = [(r.recipient, r.candidate) for r in released]
+        assert len(pairs) == len(set(pairs))

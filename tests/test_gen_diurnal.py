@@ -1,0 +1,84 @@
+"""Tests for diurnal background-rate modulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gen import StreamConfig, diurnal_rate_factor, generate_event_stream
+from repro.gen.stream_gen import DIURNAL_TROUGH_HOUR, expected_background_events
+
+DAY = 86_400.0
+
+
+class TestDiurnalRateFactor:
+    def test_trough_and_peak(self):
+        trough = DIURNAL_TROUGH_HOUR * 3600.0
+        peak = trough + DAY / 2
+        assert diurnal_rate_factor(trough, amplitude=0.8) == pytest.approx(0.2)
+        assert diurnal_rate_factor(peak, amplitude=0.8) == pytest.approx(1.0)
+
+    def test_zero_amplitude_is_flat(self):
+        for hour in range(24):
+            assert diurnal_rate_factor(hour * 3600.0, 0.0) == 1.0
+
+    def test_periodic_over_days(self):
+        t = 7.5 * 3600.0
+        assert diurnal_rate_factor(t, 0.5) == pytest.approx(
+            diurnal_rate_factor(t + 3 * DAY, 0.5)
+        )
+
+    @given(
+        t=st.floats(0, 10 * DAY),
+        amplitude=st.floats(0.0, 1.0),
+    )
+    def test_bounded(self, t, amplitude):
+        factor = diurnal_rate_factor(t, amplitude)
+        assert 1.0 - amplitude - 1e-9 <= factor <= 1.0 + 1e-9
+
+
+class TestDiurnalStream:
+    def make(self, amplitude, seed=3):
+        return generate_event_stream(
+            StreamConfig(
+                num_users=200,
+                duration=2 * DAY,
+                background_rate=0.5,
+                diurnal_amplitude=amplitude,
+                seed=seed,
+            )
+        )
+
+    def test_night_quieter_than_day(self):
+        events = self.make(amplitude=0.9)
+
+        def in_window(event, start_hour, end_hour):
+            hour = (event.created_at / 3600.0) % 24.0
+            return start_hour <= hour < end_hour
+
+        night = sum(1 for e in events if in_window(e, 2, 6))
+        afternoon = sum(1 for e in events if in_window(e, 14, 18))
+        assert afternoon > 2 * night
+
+    def test_volume_matches_expectation(self):
+        config = StreamConfig(
+            num_users=200,
+            duration=2 * DAY,
+            background_rate=0.5,
+            diurnal_amplitude=0.6,
+            seed=5,
+        )
+        events = generate_event_stream(config)
+        assert len(events) == pytest.approx(
+            expected_background_events(config), rel=0.15
+        )
+
+    def test_flat_stream_unchanged_by_zero_amplitude(self):
+        flat = self.make(amplitude=0.0)
+        config = StreamConfig(
+            num_users=200, duration=2 * DAY, background_rate=0.5, seed=3
+        )
+        assert flat == generate_event_stream(config)
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            StreamConfig(diurnal_amplitude=1.5)

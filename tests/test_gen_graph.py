@@ -1,0 +1,68 @@
+"""Unit tests for the synthetic follow-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.gen.graph_gen import TwitterGraphConfig, generate_follow_graph
+
+
+class TestGenerateFollowGraph:
+    def test_basic_shape(self):
+        snap = generate_follow_graph(TwitterGraphConfig(num_users=500, seed=1))
+        assert snap.num_users == 500
+        assert snap.num_edges > 500  # everyone follows at least one account
+
+    def test_deterministic(self):
+        config = TwitterGraphConfig(num_users=300, seed=9)
+        a = generate_follow_graph(config)
+        b = generate_follow_graph(config)
+        assert sorted(a.follow_edges()) == sorted(b.follow_edges())
+
+    def test_different_seeds_differ(self):
+        a = generate_follow_graph(TwitterGraphConfig(num_users=300, seed=1))
+        b = generate_follow_graph(TwitterGraphConfig(num_users=300, seed=2))
+        assert sorted(a.follow_edges()) != sorted(b.follow_edges())
+
+    def test_no_self_follows(self):
+        snap = generate_follow_graph(TwitterGraphConfig(num_users=200, seed=3))
+        assert all(a != b for a, b in snap.follow_edges())
+
+    def test_popularity_skew_in_degree(self):
+        """Low ids (popular ranks) must collect far more followers."""
+        snap = generate_follow_graph(
+            TwitterGraphConfig(num_users=2_000, popularity_exponent=1.0, seed=4)
+        )
+        in_degrees = snap.graph.transposed().out_degrees()
+        top = int(np.sum(in_degrees[:100]))
+        bottom = int(np.sum(in_degrees[-100:]))
+        assert top > 10 * max(bottom, 1)
+
+    def test_mean_out_degree_near_config(self):
+        config = TwitterGraphConfig(num_users=2_000, mean_followings=15.0, seed=5)
+        snap = generate_follow_graph(config)
+        mean = snap.num_edges / snap.num_users
+        assert mean == pytest.approx(15.0, rel=0.35)
+
+    def test_weights_generated_when_requested(self):
+        snap = generate_follow_graph(
+            TwitterGraphConfig(num_users=200, with_weights=True, seed=6)
+        )
+        assert len(snap.edge_weights) == snap.num_edges
+        assert all(w > 0 for w in snap.edge_weights.values())
+
+    def test_weights_prefer_popular_targets(self):
+        snap = generate_follow_graph(
+            TwitterGraphConfig(num_users=500, with_weights=True, seed=7)
+        )
+        popular = [w for (a, b), w in snap.edge_weights.items() if b < 5]
+        obscure = [w for (a, b), w in snap.edge_weights.items() if b > 400]
+        if popular and obscure:
+            assert np.mean(popular) > np.mean(obscure)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TwitterGraphConfig(num_users=0)
+        with pytest.raises(ValueError):
+            TwitterGraphConfig(num_users=10, mean_followings=20.0)
+        with pytest.raises(ValueError):
+            TwitterGraphConfig(max_followings=0)

@@ -1,0 +1,129 @@
+"""Unit tests for the event-stream generator and canned scenarios."""
+
+import pytest
+
+from repro.core.events import ActionType
+from repro.gen.scenarios import breaking_news, celebrity_join, quiet_day
+from repro.gen.stream_gen import (
+    BurstSpec,
+    StreamConfig,
+    burst_intensity,
+    expected_background_events,
+    generate_event_stream,
+)
+
+
+class TestBackgroundStream:
+    def test_events_sorted_and_within_duration(self):
+        config = StreamConfig(num_users=100, duration=100.0, background_rate=5.0, seed=1)
+        events = generate_event_stream(config)
+        times = [e.created_at for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 100.0 for t in times)
+
+    def test_poisson_volume_near_expectation(self):
+        config = StreamConfig(num_users=100, duration=500.0, background_rate=4.0, seed=2)
+        events = generate_event_stream(config)
+        assert len(events) == pytest.approx(expected_background_events(config), rel=0.2)
+
+    def test_no_self_edges(self):
+        config = StreamConfig(num_users=50, duration=200.0, background_rate=5.0, seed=3)
+        events = generate_event_stream(config)
+        assert all(e.actor != e.target for e in events)
+
+    def test_deterministic(self):
+        config = StreamConfig(num_users=100, duration=50.0, background_rate=5.0, seed=4)
+        assert generate_event_stream(config) == generate_event_stream(config)
+
+    def test_zero_rate_no_background(self):
+        config = StreamConfig(num_users=10, duration=10.0, background_rate=0.0, seed=5)
+        assert generate_event_stream(config) == []
+
+
+class TestBursts:
+    def burst_config(self, **overrides):
+        burst = BurstSpec(target=7, start=10.0, duration=20.0, num_actors=30)
+        defaults = dict(
+            num_users=200,
+            duration=60.0,
+            background_rate=0.0,
+            bursts=(burst,),
+            seed=6,
+        )
+        defaults.update(overrides)
+        return StreamConfig(**defaults)
+
+    def test_burst_hits_single_target_in_window(self):
+        events = generate_event_stream(self.burst_config())
+        assert len(events) == 30
+        assert all(e.target == 7 for e in events)
+        assert all(10.0 <= e.created_at <= 30.0 for e in events)
+
+    def test_burst_actors_distinct(self):
+        events = generate_event_stream(self.burst_config())
+        actors = [e.actor for e in events]
+        assert len(set(actors)) == len(actors)
+        assert 7 not in actors
+
+    def test_burst_action_type(self):
+        burst = BurstSpec(
+            target=3, start=0.0, duration=5.0, num_actors=5, action=ActionType.RETWEET
+        )
+        config = StreamConfig(
+            num_users=50, duration=10.0, background_rate=0.0, bursts=(burst,), seed=7
+        )
+        events = generate_event_stream(config)
+        assert all(e.action is ActionType.RETWEET for e in events)
+
+    def test_burst_beyond_duration_rejected(self):
+        with pytest.raises(ValueError, match="exceeds stream duration"):
+            StreamConfig(
+                num_users=50,
+                duration=10.0,
+                bursts=(BurstSpec(target=1, start=5.0, duration=10.0, num_actors=3),),
+            )
+
+    def test_burst_target_outside_id_space_rejected(self):
+        with pytest.raises(ValueError, match="outside id space"):
+            StreamConfig(
+                num_users=50,
+                duration=100.0,
+                bursts=(BurstSpec(target=99, start=0.0, duration=1.0, num_actors=3),),
+            )
+
+    def test_burst_intensity(self):
+        burst = BurstSpec(target=1, start=0.0, duration=10.0, num_actors=50)
+        assert burst_intensity(burst) == 5.0
+
+
+class TestScenarios:
+    @pytest.mark.parametrize(
+        "factory", [celebrity_join, breaking_news, quiet_day]
+    )
+    def test_scenario_well_formed(self, factory):
+        scenario = factory(num_users=500)
+        assert scenario.snapshot.num_users == 500
+        assert scenario.name
+        assert scenario.description
+        times = [e.created_at for e in scenario.events]
+        assert times == sorted(times)
+
+    def test_celebrity_join_burst_targets_newcomer(self):
+        scenario = celebrity_join(num_users=500, followers_in_first_hour=50)
+        newcomer = 499
+        hits = [e for e in scenario.events if e.target == newcomer]
+        assert len(hits) >= 50
+
+    def test_breaking_news_uses_retweets(self):
+        scenario = breaking_news(num_users=500, retweeters=40)
+        retweets = [e for e in scenario.events if e.action is ActionType.RETWEET]
+        assert len(retweets) == 40
+
+    def test_quiet_day_has_no_bursts(self):
+        scenario = quiet_day(num_users=300)
+        # No target should dominate the stream the way a burst target would.
+        from collections import Counter
+
+        counts = Counter(e.target for e in scenario.events)
+        most_common = counts.most_common(1)[0][1]
+        assert most_common < len(scenario.events) * 0.2

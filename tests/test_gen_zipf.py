@@ -1,0 +1,77 @@
+"""Unit tests for the heavy-tail sampling primitives."""
+
+import pytest
+
+from repro.gen.zipf import ZipfSampler, power_law_out_degrees
+from repro.util.rng import make_rng
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, 1.0, make_rng(1))
+        draws = sampler.sample_many(1_000)
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(1_000, 1.2, make_rng(2))
+        draws = sampler.sample_many(5_000)
+        top_decile = sum(1 for d in draws if d < 100)
+        # With exponent 1.2 the top 10% of ranks should take well over
+        # half the mass.
+        assert top_decile > 0.5 * len(draws)
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sampler = ZipfSampler(10, 0.0, make_rng(3))
+        draws = sampler.sample_many(10_000)
+        for rank in range(10):
+            share = draws.count(rank) / len(draws)
+            assert 0.05 < share < 0.15
+
+    def test_deterministic_given_rng(self):
+        a = ZipfSampler(50, 1.0, make_rng(42)).sample_many(20)
+        b = ZipfSampler(50, 1.0, make_rng(42)).sample_many(20)
+        assert a == b
+
+    def test_sample_distinct_no_duplicates_or_excluded(self):
+        sampler = ZipfSampler(100, 1.0, make_rng(4))
+        chosen = sampler.sample_distinct(30, exclude={0, 1, 2})
+        assert len(chosen) == len(set(chosen)) == 30
+        assert not {0, 1, 2} & set(chosen)
+
+    def test_sample_distinct_can_exhaust_population(self):
+        sampler = ZipfSampler(10, 2.0, make_rng(5))
+        chosen = sampler.sample_distinct(9, exclude={3})
+        assert sorted(chosen) == [0, 1, 2, 4, 5, 6, 7, 8, 9]
+
+    def test_sample_distinct_overdraw_rejected(self):
+        sampler = ZipfSampler(5, 1.0, make_rng(6))
+        with pytest.raises(ValueError):
+            sampler.sample_distinct(6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, make_rng(0))
+
+
+class TestPowerLawOutDegrees:
+    def test_length_and_bounds(self):
+        degrees = power_law_out_degrees(1_000, 20.0, 2.2, 500, make_rng(7))
+        assert len(degrees) == 1_000
+        assert all(1 <= d <= 500 for d in degrees)
+
+    def test_mean_approximates_target(self):
+        degrees = power_law_out_degrees(5_000, 20.0, 2.2, 1_000, make_rng(8))
+        mean = sum(degrees) / len(degrees)
+        assert mean == pytest.approx(20.0, rel=0.3)
+
+    def test_heavy_tail_exists(self):
+        degrees = power_law_out_degrees(5_000, 20.0, 2.2, 1_000, make_rng(9))
+        assert max(degrees) > 5 * (sum(degrees) / len(degrees))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_law_out_degrees(0, 10.0, 2.0, 100, make_rng(0))
+        with pytest.raises(ValueError):
+            power_law_out_degrees(10, 10.0, 1.0, 100, make_rng(0))

@@ -1,0 +1,95 @@
+"""Unit tests for the CSR graph storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.csr import CsrGraph
+
+EDGES = [(0, 1), (0, 2), (1, 2), (3, 0)]
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = CsrGraph.from_edges(EDGES)
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.neighbors(1)) == [2]
+        assert list(g.neighbors(2)) == []
+        assert list(g.neighbors(3)) == [0]
+
+    def test_duplicate_edges_collapsed(self):
+        g = CsrGraph.from_edges([(0, 1), (0, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_neighbors_sorted_regardless_of_input_order(self):
+        g = CsrGraph.from_edges([(0, 9), (0, 3), (0, 7)])
+        assert list(g.neighbors(0)) == [3, 7, 9]
+
+    def test_explicit_num_nodes_allows_isolated_tail(self):
+        g = CsrGraph.from_edges([(0, 1)], num_nodes=10)
+        assert g.num_nodes == 10
+        assert g.out_degree(9) == 0
+
+    def test_num_nodes_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph.from_edges([(0, 5)], num_nodes=3)
+
+    def test_empty_graph(self):
+        g = CsrGraph.from_edges([], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 0
+
+    def test_malformed_csr_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph(np.array([0, 5], dtype=np.int64), np.array([1], np.int64))
+
+
+class TestQueries:
+    def test_out_degrees(self):
+        g = CsrGraph.from_edges(EDGES)
+        assert list(g.out_degrees()) == [2, 1, 0, 1]
+        assert g.out_degree(0) == 2
+
+    def test_has_edge(self):
+        g = CsrGraph.from_edges(EDGES)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(2, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_node_bounds_checked(self):
+        g = CsrGraph.from_edges(EDGES)
+        with pytest.raises(IndexError):
+            g.neighbors(4)
+        with pytest.raises(IndexError):
+            g.out_degree(-1)
+
+    def test_edges_iterates_in_order(self):
+        g = CsrGraph.from_edges(EDGES)
+        assert list(g.edges()) == [(0, 1), (0, 2), (1, 2), (3, 0)]
+
+
+class TestTranspose:
+    def test_reverses_all_edges(self):
+        g = CsrGraph.from_edges(EDGES)
+        t = g.transposed()
+        assert t.num_nodes == g.num_nodes
+        assert t.num_edges == g.num_edges
+        assert sorted(t.edges()) == sorted((b, a) for a, b in EDGES)
+
+    def test_double_transpose_is_identity(self):
+        g = CsrGraph.from_edges(EDGES)
+        tt = g.transposed().transposed()
+        assert list(tt.edges()) == list(g.edges())
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60
+        )
+    )
+    def test_transpose_edge_set_property(self, edge_set):
+        g = CsrGraph.from_edges(edge_set, num_nodes=16)
+        t = g.transposed()
+        assert set(t.edges()) == {(b, a) for a, b in edge_set}

@@ -1,0 +1,191 @@
+"""Unit + property tests for the D structure (DynamicEdgeIndex)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.dynamic_index import DynamicEdgeIndex, FreshEdge
+
+
+def make_index(retention=100.0, cap=None):
+    return DynamicEdgeIndex(retention=retention, max_edges_per_target=cap)
+
+
+class TestInsertAndQuery:
+    def test_fresh_sources_returns_recent_edges(self):
+        index = make_index()
+        index.insert(1, 50, timestamp=10.0)
+        index.insert(2, 50, timestamp=20.0)
+        fresh = index.fresh_sources(50, now=25.0, tau=30.0)
+        assert fresh == [FreshEdge(1, 10.0), FreshEdge(2, 20.0)]
+
+    def test_tau_filters_old_edges(self):
+        index = make_index()
+        index.insert(1, 50, timestamp=0.0)
+        index.insert(2, 50, timestamp=90.0)
+        fresh = index.fresh_sources(50, now=100.0, tau=20.0)
+        assert [edge.source for edge in fresh] == [2]
+
+    def test_future_edges_not_returned(self):
+        # An edge time-stamped after `now` (clock skew) must not count.
+        index = make_index()
+        index.insert(1, 50, timestamp=30.0)
+        assert index.fresh_sources(50, now=10.0, tau=50.0) == []
+
+    def test_unknown_target_empty(self):
+        assert make_index().fresh_sources(7, now=0.0, tau=10.0) == []
+
+    def test_duplicate_source_keeps_latest_only(self):
+        index = make_index()
+        index.insert(1, 50, timestamp=10.0)
+        index.insert(1, 50, timestamp=40.0)
+        fresh = index.fresh_sources(50, now=50.0, tau=100.0)
+        assert fresh == [FreshEdge(1, 40.0)]
+
+    def test_results_ordered_by_timestamp(self):
+        index = make_index()
+        index.insert(3, 50, timestamp=30.0)
+        index.insert(1, 50, timestamp=10.0)  # slightly out of order
+        index.insert(2, 50, timestamp=20.0)
+        fresh = index.fresh_sources(50, now=40.0, tau=100.0)
+        assert [edge.source for edge in fresh] == [1, 2, 3]
+
+    def test_tau_beyond_retention_rejected(self):
+        index = make_index(retention=50.0)
+        with pytest.raises(ValueError, match="retention"):
+            index.fresh_sources(1, now=0.0, tau=60.0)
+
+    def test_non_positive_tau_rejected(self):
+        with pytest.raises(ValueError):
+            make_index().fresh_sources(1, now=0.0, tau=0.0)
+
+
+class TestPruning:
+    def test_lazy_window_pruning_on_insert(self):
+        index = make_index(retention=10.0)
+        index.insert(1, 50, timestamp=0.0)
+        index.insert(2, 50, timestamp=100.0)  # 1's edge is now stale
+        assert index.num_edges == 1
+        assert index.evicted_total == 1
+
+    def test_per_target_cap_evicts_oldest(self):
+        index = make_index(cap=3)
+        for i in range(5):
+            index.insert(i, 50, timestamp=float(i))
+        fresh = index.fresh_sources(50, now=10.0, tau=100.0)
+        assert [edge.source for edge in fresh] == [2, 3, 4]
+        assert index.num_edges == 3
+        assert index.evicted_total == 2
+
+    def test_prune_expired_sweeps_all_targets(self):
+        index = make_index(retention=10.0)
+        for c in range(5):
+            index.insert(1, c, timestamp=0.0)
+        index.insert(1, 99, timestamp=100.0)
+        removed = index.prune_expired(now=100.0)
+        assert removed == 5
+        assert index.num_targets == 1
+        assert index.num_edges == 1
+
+    def test_prune_idempotent(self):
+        index = make_index(retention=10.0)
+        index.insert(1, 50, timestamp=0.0)
+        assert index.prune_expired(now=100.0) == 1
+        assert index.prune_expired(now=100.0) == 0
+
+    def test_empty_targets_removed_from_map(self):
+        index = make_index(retention=10.0)
+        index.insert(1, 50, timestamp=0.0)
+        index.prune_expired(now=100.0)
+        assert 50 not in list(index.targets())
+
+    def test_memory_decreases_after_prune(self):
+        index = make_index(retention=10.0)
+        for i in range(1000):
+            index.insert(i, i % 7, timestamp=0.0)
+        before = index.memory_bytes()
+        index.prune_expired(now=1000.0)
+        assert index.memory_bytes() < before
+
+
+class TestAccounting:
+    def test_counters(self):
+        index = make_index()
+        index.insert(1, 5, timestamp=0.0)
+        index.insert(2, 5, timestamp=1.0)
+        index.insert(3, 6, timestamp=2.0)
+        assert index.num_edges == 3
+        assert index.num_targets == 2
+        assert index.inserted_total == 3
+        assert sorted(index.targets()) == [5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicEdgeIndex(retention=0.0)
+        with pytest.raises(ValueError):
+            DynamicEdgeIndex(retention=10.0, max_edges_per_target=0)
+
+
+class TestProperties:
+    @given(
+        inserts=st.lists(
+            st.tuples(
+                st.integers(0, 10),   # b
+                st.integers(0, 5),    # c
+                st.floats(0, 1000),   # timestamp
+            ),
+            max_size=80,
+        ),
+        tau=st.floats(1.0, 500.0),
+    )
+    def test_fresh_sources_matches_naive_replay(self, inserts, tau):
+        """Whatever order edges arrive, freshness must match a full replay.
+
+        The index prunes only entries that can never satisfy any tau within
+        retention, so querying with `now` = max timestamp must agree with a
+        brute-force scan over the full history (restricted to the window).
+        """
+        retention = 1000.0  # large enough that nothing is ever pruned
+        index = DynamicEdgeIndex(retention=retention)
+        history = []
+        for b, c, t in inserts:
+            index.insert(b, c, t)
+            history.append((b, c, t))
+        if not history:
+            return
+        now = max(t for _, _, t in history)
+        for c in {c for _, c, _ in history}:
+            expected = {}
+            for b, c2, t in history:
+                if c2 == c and now - tau <= t <= now:
+                    expected[b] = max(expected.get(b, t), t)
+            got = index.fresh_sources(c, now=now, tau=tau)
+            assert {e.source: e.timestamp for e in got} == expected
+
+    @given(
+        inserts=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 3)),
+            max_size=60,
+        ),
+        cap=st.integers(1, 10),
+    )
+    def test_cap_invariant(self, inserts, cap):
+        """No target ever stores more than the cap."""
+        index = DynamicEdgeIndex(retention=1e9, max_edges_per_target=cap)
+        for i, (b, c) in enumerate(inserts):
+            index.insert(b, c, float(i))
+            for target in index.targets():
+                assert len(index._edges[target]) <= cap
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 3), st.floats(0, 100)),
+            max_size=60,
+        )
+    )
+    def test_edge_count_consistent(self, inserts):
+        """num_edges == inserted_total - evicted_total at all times."""
+        index = DynamicEdgeIndex(retention=50.0, max_edges_per_target=5)
+        for b, c, t in inserts:
+            index.insert(b, c, t)
+            assert index.num_edges == index.inserted_total - index.evicted_total

@@ -1,0 +1,143 @@
+"""Unit tests for the S structure (StaticFollowerIndex)."""
+
+from array import array
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.static_index import StaticFollowerIndex
+
+EDGES = [(0, 10), (1, 10), (2, 10), (2, 11), (3, 11), (0, 12)]
+
+
+class TestConstruction:
+    def test_inverts_follow_edges(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert list(index.followers_of(10)) == [0, 1, 2]
+        assert list(index.followers_of(11)) == [2, 3]
+        assert list(index.followers_of(12)) == [0]
+
+    def test_unknown_target_is_empty(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert list(index.followers_of(999)) == []
+
+    def test_duplicates_collapsed(self):
+        index = StaticFollowerIndex.from_follow_edges([(1, 5), (1, 5), (1, 5)])
+        assert list(index.followers_of(5)) == [1]
+        assert index.num_edges == 1
+
+    def test_lists_are_sorted_packed_arrays(self):
+        index = StaticFollowerIndex.from_follow_edges([(9, 1), (3, 1), (7, 1)])
+        followers = index.followers_of(1)
+        assert isinstance(followers, array)
+        assert list(followers) == [3, 7, 9]
+
+    def test_counts(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert index.num_targets == 3
+        assert index.num_edges == len(EDGES)
+
+    def test_empty_index(self):
+        index = StaticFollowerIndex.from_follow_edges([])
+        assert index.num_targets == 0
+        assert index.num_edges == 0
+        assert not index.has_edge(0, 0)
+
+
+class TestPartitionRestriction:
+    def test_include_source_filters_a_side(self):
+        evens = StaticFollowerIndex.from_follow_edges(
+            EDGES, include_source=lambda a: a % 2 == 0
+        )
+        assert list(evens.followers_of(10)) == [0, 2]
+        assert list(evens.followers_of(11)) == [2]
+
+    def test_partitions_cover_everything_disjointly(self):
+        full = StaticFollowerIndex.from_follow_edges(EDGES)
+        parts = [
+            StaticFollowerIndex.from_follow_edges(
+                EDGES, include_source=lambda a, p=p: a % 2 == p
+            )
+            for p in range(2)
+        ]
+        for b in (10, 11, 12):
+            union = sorted(
+                a for part in parts for a in part.followers_of(b)
+            )
+            assert union == list(full.followers_of(b))
+
+
+class TestInfluencerLimit:
+    def test_limits_follows_per_source(self):
+        # User 0 follows four accounts; cap at 2 keeps the two lowest ids
+        # under uniform weights.
+        edges = [(0, 10), (0, 11), (0, 12), (0, 13), (1, 13)]
+        index = StaticFollowerIndex.from_follow_edges(edges, influencer_limit=2)
+        kept = [b for b in (10, 11, 12, 13) if 0 in index.followers_of(b)]
+        assert kept == [10, 11]
+        # Other users unaffected.
+        assert 1 in index.followers_of(13)
+
+    def test_weighted_limit_keeps_top_weight(self):
+        edges = [(0, 10), (0, 11), (0, 12)]
+        weights = {(0, 10): 0.1, (0, 11): 0.9, (0, 12): 0.5}
+        index = StaticFollowerIndex.from_follow_edges(
+            edges,
+            influencer_limit=2,
+            edge_weight=lambda a, b: weights[(a, b)],
+        )
+        assert 0 in index.followers_of(11)
+        assert 0 in index.followers_of(12)
+        assert 0 not in index.followers_of(10)
+
+    def test_limit_reduces_edges_and_memory(self):
+        edges = [(0, b) for b in range(100)] + [(1, b) for b in range(100)]
+        full = StaticFollowerIndex.from_follow_edges(edges)
+        capped = StaticFollowerIndex.from_follow_edges(edges, influencer_limit=10)
+        assert capped.num_edges == 20
+        assert full.num_edges == 200
+        assert capped.memory_bytes() < full.memory_bytes()
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            StaticFollowerIndex.from_follow_edges(EDGES, influencer_limit=0)
+
+
+class TestHasEdge:
+    def test_present_and_absent(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert index.has_edge(0, 10)
+        assert index.has_edge(3, 11)
+        assert not index.has_edge(3, 10)
+        assert not index.has_edge(0, 999)
+
+    @given(
+        st.sets(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=50
+        )
+    )
+    def test_matches_edge_set(self, edge_set):
+        index = StaticFollowerIndex.from_follow_edges(edge_set)
+        for a in range(31):
+            for b in range(31):
+                assert index.has_edge(a, b) == ((a, b) in edge_set)
+
+
+class TestAccounting:
+    def test_membership_and_sources(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert 10 in index
+        assert 999 not in index
+        assert sorted(index.sources()) == [10, 11, 12]
+
+    def test_degree_histogram(self):
+        index = StaticFollowerIndex.from_follow_edges(EDGES)
+        assert index.degree_histogram() == {3: 1, 2: 1, 1: 1}
+
+    def test_memory_scales_with_edges(self):
+        small = StaticFollowerIndex.from_follow_edges([(a, 0) for a in range(10)])
+        large = StaticFollowerIndex.from_follow_edges(
+            [(a, 0) for a in range(10_000)]
+        )
+        assert large.memory_bytes() > small.memory_bytes() * 100

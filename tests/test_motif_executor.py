@@ -1,0 +1,192 @@
+"""Executor tests: declarative motifs vs the hand-coded diamond detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diamond import DiamondDetector
+from repro.core.engine import MotifEngine
+from repro.core.events import ActionType, EdgeEvent
+from repro.core.params import DetectionParams
+from repro.graph.dynamic_index import DynamicEdgeIndex
+from repro.graph.static_index import StaticFollowerIndex
+from repro.motif.catalog import (
+    MOTIF_CATALOG,
+    build_detector,
+    co_retweet_spec,
+    diamond_spec,
+    favorite_burst_spec,
+    wedge_spec,
+)
+from repro.motif.executor import DeclarativeDetector
+
+from tests.conftest import A1, A2, B1, B2, C2, FIGURE1_FOLLOWS
+
+
+def make_indexes(follows=FIGURE1_FOLLOWS, retention=3600.0):
+    s = StaticFollowerIndex.from_follow_edges(follows)
+    d = DynamicEdgeIndex(retention=retention)
+    return s, d
+
+
+class TestDeclarativeDiamond:
+    def test_figure1(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(diamond_spec(k=2, tau=600.0), s, d)
+        assert detector.on_edge(EdgeEvent(0.0, B1, C2)) == []
+        recs = detector.on_edge(EdgeEvent(10.0, B2, C2))
+        assert [(r.recipient, r.candidate) for r in recs] == [(A2, C2)]
+        assert recs[0].motif == "diamond"
+        assert recs[0].via == (B1, B2)
+
+    def test_explain_is_informative(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(diamond_spec(k=2, tau=600.0), s, d)
+        explain = detector.explain()
+        assert "plan for motif 'diamond'" in explain
+        assert "cost:" in explain
+
+    def test_operator_stats_accumulate(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(diamond_spec(k=2, tau=600.0), s, d)
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        detector.on_edge(EdgeEvent(10.0, B2, C2))
+        stats = dict(
+            (name.split("(")[0], (inv, rej))
+            for name, inv, rej in detector.plan.operator_stats()
+        )
+        assert stats["FetchFreshWitnesses"] == (2, 0)
+        assert stats["RequireCount"] == (2, 1)  # first edge below threshold
+
+    def test_works_inside_engine(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(
+            diamond_spec(k=2, tau=600.0), s, d, inserts_edges=False
+        )
+        engine = MotifEngine(s, d, [detector])
+        engine.process(EdgeEvent(0.0, B1, C2))
+        recs = engine.process(EdgeEvent(10.0, B2, C2))
+        assert [r.recipient for r in recs] == [A2]
+
+
+class TestEquivalenceWithHandCoded:
+    """Declarative diamond == hand-coded diamond, event for event."""
+
+    follow_edges = st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=40,
+    )
+    event_streams = st.lists(
+        st.tuples(st.floats(0, 100), st.integers(0, 12), st.integers(0, 12)).filter(
+            lambda e: e[1] != e[2]
+        ),
+        max_size=40,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(follows=follow_edges, raw_events=event_streams, k=st.integers(1, 3))
+    def test_equivalence(self, follows, raw_events, k):
+        tau = 20.0
+        events = sorted(
+            (EdgeEvent(t, b, c) for t, b, c in raw_events),
+            key=lambda e: e.created_at,
+        )
+
+        s1, d1 = make_indexes(follows, retention=tau)
+        hand_coded = DiamondDetector(s1, d1, DetectionParams(k=k, tau=tau))
+        s2, d2 = make_indexes(follows, retention=tau)
+        declarative = DeclarativeDetector(
+            diamond_spec(k=k, tau=tau), s2, d2, collect_statistics=False
+        )
+
+        for event in events:
+            expected = sorted(
+                (r.recipient, r.candidate) for r in hand_coded.on_edge(event)
+            )
+            got = sorted(
+                (r.recipient, r.candidate) for r in declarative.on_edge(event)
+            )
+            assert got == expected
+
+    def test_equivalence_with_statistics_enabled(self):
+        """The cost-based plan must not change semantics, only speed."""
+        follows = FIGURE1_FOLLOWS + [(A1, B2)]
+        events = [
+            EdgeEvent(0.0, B1, C2),
+            EdgeEvent(1.0, B2, C2),
+            EdgeEvent(2.0, B1, 7),
+            EdgeEvent(3.0, B2, 7),
+        ]
+        s1, d1 = make_indexes(follows)
+        hand_coded = DiamondDetector(s1, d1, DetectionParams(k=2, tau=600.0))
+        s2, d2 = make_indexes(follows)
+        declarative = DeclarativeDetector(diamond_spec(k=2, tau=600.0), s2, d2)
+        for event in events:
+            expected = {(r.recipient, r.candidate) for r in hand_coded.on_edge(event)}
+            got = {(r.recipient, r.candidate) for r in declarative.on_edge(event)}
+            assert got == expected
+
+
+class TestOtherCatalogMotifs:
+    def test_wedge_fires_on_single_witness(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(wedge_spec(tau=600.0), s, d)
+        recs = detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert {(r.recipient, r.candidate) for r in recs} == {(A1, C2), (A2, C2)}
+        assert recs[0].motif == "wedge"
+
+    def test_co_retweet_ignores_follows(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(co_retweet_spec(k=2, tau=600.0), s, d)
+        # Two FOLLOW events toward the same target: filtered by action.
+        detector.on_edge(EdgeEvent(0.0, B1, C2, ActionType.FOLLOW))
+        assert detector.on_edge(EdgeEvent(1.0, B2, C2, ActionType.FOLLOW)) == []
+
+    def test_co_retweet_fires_on_retweets(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(co_retweet_spec(k=2, tau=600.0), s, d)
+        tweet = 999
+        detector.on_edge(EdgeEvent(0.0, B1, tweet, ActionType.RETWEET))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, tweet, ActionType.RETWEET))
+        assert [(r.recipient, r.candidate) for r in recs] == [(A2, tweet)]
+        assert recs[0].action is ActionType.RETWEET
+
+    def test_favorite_burst(self):
+        s, d = make_indexes()
+        detector = DeclarativeDetector(favorite_burst_spec(k=2, tau=600.0), s, d)
+        tweet = 500
+        detector.on_edge(EdgeEvent(0.0, B1, tweet, ActionType.FAVORITE))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, tweet, ActionType.FAVORITE))
+        assert [r.recipient for r in recs] == [A2]
+
+    def test_mixed_action_streams_kept_separate(self):
+        """A retweet and a favorite toward the same tweet must not combine
+        for an action-filtered motif."""
+        s, d = make_indexes()
+        detector = DeclarativeDetector(co_retweet_spec(k=2, tau=600.0), s, d)
+        tweet = 999
+        detector.on_edge(EdgeEvent(0.0, B1, tweet, ActionType.RETWEET))
+        recs = detector.on_edge(EdgeEvent(1.0, B2, tweet, ActionType.FAVORITE))
+        assert recs == []
+
+
+class TestCatalogRegistry:
+    def test_build_detector_by_name(self):
+        s, d = make_indexes()
+        detector = build_detector("diamond", s, d, k=2, tau=600.0)
+        assert detector.name == "diamond"
+        detector.on_edge(EdgeEvent(0.0, B1, C2))
+        assert detector.on_edge(EdgeEvent(1.0, B2, C2)) != []
+
+    def test_unknown_name_lists_catalog(self):
+        s, d = make_indexes()
+        with pytest.raises(KeyError, match="co-retweet"):
+            build_detector("nonsense", s, d)
+
+    def test_all_catalog_entries_compile(self):
+        s, d = make_indexes()
+        for name in MOTIF_CATALOG:
+            detector = build_detector(name, s, d)
+            assert detector.plan.operators

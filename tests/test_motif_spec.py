@@ -1,0 +1,211 @@
+"""Unit tests for motif specs and the planner's fragment validation."""
+
+import pytest
+
+from repro.core.events import ActionType
+from repro.motif.optimizer import IndexStatistics, choose_algorithm, estimate_cost
+from repro.motif.planner import compile_motif
+from repro.motif.spec import (
+    EdgeKind,
+    MotifSpec,
+    PatternEdge,
+    UnsupportedMotifError,
+)
+from repro.motif.catalog import diamond_spec, wedge_spec
+
+
+class TestPatternEdge:
+    def test_dynamic_requires_window(self):
+        with pytest.raises(ValueError, match="within"):
+            PatternEdge("b", "c", EdgeKind.DYNAMIC)
+
+    def test_static_rejects_window_and_action(self):
+        with pytest.raises(ValueError):
+            PatternEdge("a", "b", EdgeKind.STATIC, within=10.0)
+        with pytest.raises(ValueError):
+            PatternEdge("a", "b", EdgeKind.STATIC, action=ActionType.FOLLOW)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PatternEdge("a", "a")
+
+    def test_describe(self):
+        edge = PatternEdge("b", "c", EdgeKind.DYNAMIC, within=60.0, action=ActionType.RETWEET)
+        assert "dynamic" in edge.describe()
+        assert "retweet" in edge.describe()
+        assert "static" in PatternEdge("a", "b").describe()
+
+
+class TestMotifSpecValidation:
+    def test_diamond_spec_well_formed(self):
+        spec = diamond_spec(k=3, tau=3600.0)
+        assert spec.count_at_least == {"b": 3}
+        assert len(spec.dynamic_edges()) == 1
+        assert len(spec.static_edges()) == 1
+        text = spec.describe()
+        assert "motif diamond" in text and "notify a about c" in text
+
+    def test_unknown_vertex_in_edge(self):
+        with pytest.raises(ValueError, match="not a declared vertex"):
+            MotifSpec(
+                name="bad",
+                vertices=("a", "b"),
+                edges=(PatternEdge("a", "z"),),
+            )
+
+    def test_unknown_count_vertex(self):
+        with pytest.raises(ValueError, match="unknown vertex"):
+            MotifSpec(
+                name="bad",
+                vertices=("a", "b"),
+                edges=(PatternEdge("a", "b"),),
+                count_at_least={"z": 2},
+            )
+
+    def test_dynamic_forbid_rejected(self):
+        with pytest.raises(ValueError, match="static edges only"):
+            MotifSpec(
+                name="bad",
+                vertices=("a", "b", "c"),
+                edges=(
+                    PatternEdge("a", "b"),
+                    PatternEdge("b", "c", EdgeKind.DYNAMIC, within=60.0),
+                ),
+                count_at_least={"b": 2},
+                forbid=(PatternEdge("a", "c", EdgeKind.DYNAMIC, within=60.0),),
+            )
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MotifSpec(
+                name="bad",
+                vertices=("a", "a"),
+                edges=(PatternEdge("a", "c"),),
+            )
+
+
+class TestPlannerFragment:
+    def base_spec(self, **overrides):
+        fields = dict(
+            name="m",
+            vertices=("a", "b", "c"),
+            edges=(
+                PatternEdge("a", "b"),
+                PatternEdge("b", "c", EdgeKind.DYNAMIC, within=60.0),
+            ),
+            count_at_least={"b": 2},
+            emit=("a", "c"),
+        )
+        fields.update(overrides)
+        return MotifSpec(**fields)
+
+    def test_diamond_compiles(self):
+        plan = compile_motif(diamond_spec())
+        explain = plan.explain()
+        assert "FetchFreshWitnesses" in explain
+        assert "KOverlap" in explain
+        assert "Emit" in explain
+
+    def test_two_dynamic_edges_rejected(self):
+        spec = self.base_spec(
+            vertices=("a", "b", "c", "d"),
+            edges=(
+                PatternEdge("a", "b"),
+                PatternEdge("b", "c", EdgeKind.DYNAMIC, within=60.0),
+                PatternEdge("b", "d", EdgeKind.DYNAMIC, within=60.0),
+            ),
+        )
+        with pytest.raises(UnsupportedMotifError, match="dynamic edges"):
+            compile_motif(spec)
+
+    def test_missing_threshold_rejected(self):
+        spec = self.base_spec(count_at_least={})
+        with pytest.raises(UnsupportedMotifError, match="count threshold"):
+            compile_motif(spec)
+
+    def test_threshold_on_wrong_vertex_rejected(self):
+        spec = self.base_spec(count_at_least={"a": 2})
+        with pytest.raises(UnsupportedMotifError, match="count threshold"):
+            compile_motif(spec)
+
+    def test_emitting_non_target_rejected(self):
+        spec = self.base_spec(emit=("a", "b"), count_at_least={"b": 2})
+        with pytest.raises(UnsupportedMotifError, match="reverse lookup"):
+            compile_motif(spec)
+
+    def test_notifying_witness_rejected(self):
+        spec = self.base_spec(emit=("b", "c"))
+        with pytest.raises(UnsupportedMotifError, match="broadcast"):
+            compile_motif(spec)
+
+    def test_long_static_chain_rejected(self):
+        spec = self.base_spec(
+            vertices=("a", "x", "b", "c"),
+            edges=(
+                PatternEdge("a", "x"),
+                PatternEdge("x", "b"),
+                PatternEdge("b", "c", EdgeKind.DYNAMIC, within=60.0),
+            ),
+        )
+        with pytest.raises(UnsupportedMotifError, match="exactly one static edge"):
+            compile_motif(spec)
+
+    def test_unsupported_forbid_rejected(self):
+        spec = self.base_spec(forbid=(PatternEdge("b", "a"),))
+        with pytest.raises(UnsupportedMotifError, match="forbid"):
+            compile_motif(spec)
+
+    def test_cap_below_k_rejected(self):
+        with pytest.raises(UnsupportedMotifError, match="never complete"):
+            compile_motif(diamond_spec(k=3), max_witnesses=2)
+
+    def test_cap_adds_operator(self):
+        plan = compile_motif(diamond_spec(k=2), max_witnesses=10)
+        assert "CapWitnesses" in plan.explain()
+
+
+class TestOptimizer:
+    def test_choose_algorithm_shapes(self):
+        assert choose_algorithm(3, expected_lists=3.0, expected_list_length=100) == "intersect"
+        assert choose_algorithm(2, expected_lists=10.0, expected_list_length=10) == "scancount"
+        assert choose_algorithm(2, expected_lists=10.0, expected_list_length=10_000) == "numpy"
+
+    def test_estimate_cost_describe(self):
+        stats = IndexStatistics(
+            mean_followers=50.0, p99_followers=900.0, mean_fresh_sources=4.0
+        )
+        cost = estimate_cost(3, stats)
+        assert cost.expected_lists == 4.0
+        assert cost.expected_work == 200.0
+        assert "lists" in cost.describe()
+
+    def test_collect_statistics(self):
+        from repro.graph.dynamic_index import DynamicEdgeIndex
+        from repro.graph.static_index import StaticFollowerIndex
+
+        s = StaticFollowerIndex.from_follow_edges(
+            [(a, 0) for a in range(10)] + [(1, 1), (2, 1)]
+        )
+        d = DynamicEdgeIndex(retention=100.0)
+        d.insert(1, 5, 0.0)
+        d.insert(2, 5, 1.0)
+        stats = IndexStatistics.collect(s, d)
+        assert stats.mean_followers == pytest.approx(6.0)
+        assert stats.mean_fresh_sources == pytest.approx(2.0)
+
+    def test_collect_empty_indexes(self):
+        from repro.graph.dynamic_index import DynamicEdgeIndex
+        from repro.graph.static_index import StaticFollowerIndex
+
+        stats = IndexStatistics.collect(
+            StaticFollowerIndex.from_follow_edges([]),
+            DynamicEdgeIndex(retention=10.0),
+        )
+        assert stats.mean_followers == 0.0
+        assert stats.mean_fresh_sources == 0.0
+
+    def test_wedge_uses_union_friendly_algorithm(self):
+        plan = compile_motif(wedge_spec())
+        # k=1 with a single expected list compiles to the intersect fast
+        # path, which degrades gracefully to scancount at runtime.
+        assert "KOverlap(k=1" in plan.explain()

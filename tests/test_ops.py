@@ -1,0 +1,178 @@
+"""Unit tests for the ops package: metrics, monitoring, admission control."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import DetectionParams, EdgeEvent
+from repro.ops import (
+    AdmissionController,
+    AdmissionPolicy,
+    ClusterMonitor,
+    MetricsRegistry,
+    TokenBucket,
+)
+
+from tests.conftest import B1, B2, C2
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+class TestMetricsRegistry:
+    def test_counter_identity_and_increment(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events", partition="1")
+        b = registry.counter("events", partition="1")
+        assert a is b
+        a.increment()
+        a.increment(4)
+        assert b.value == 5
+
+    def test_counter_never_decrements(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").increment(-1)
+
+    def test_labels_distinguish_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("events", partition="1").increment()
+        registry.counter("events", partition="2").increment(2)
+        snap = registry.snapshot()
+        assert snap["events{partition=1}"] == 1
+        assert snap["events{partition=2}"] == 2
+
+    def test_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", p="1", r="0")
+        b = registry.counter("x", r="0", p="1")
+        assert a is b
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("memory")
+        gauge.set(100.0)
+        gauge.add(-20.0)
+        assert registry.snapshot()["memory"] == 80.0
+
+    def test_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for v in (0.001, 0.002, 0.003):
+            histogram.observe(v)
+        snap = registry.snapshot()["latency"]
+        assert snap["count"] == 3
+        assert snap["p50"] == 0.002
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert all(bucket.try_acquire(0.0) for _ in range(3))
+        assert not bucket.try_acquire(0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        assert bucket.try_acquire(1.0)  # 2 tokens refilled, capped at burst
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(100.0)
+        assert bucket.available <= 2.0
+
+    def test_clock_must_be_monotonic(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        bucket.try_acquire(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            bucket.try_acquire(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_steady_rate_admitted(self):
+        controller = AdmissionController(rate=10.0, burst=5.0)
+        admitted = sum(controller.admit(now=i * 0.1) for i in range(100))
+        assert admitted == 100
+        assert controller.shed_fraction() == 0.0
+
+    def test_overload_shed_with_drop_policy(self):
+        controller = AdmissionController(rate=10.0, burst=5.0)
+        admitted = sum(controller.admit(now=0.0) for _ in range(100))
+        assert admitted == 5  # only the burst credit
+        assert controller.shed_fraction() == pytest.approx(0.95)
+
+    def test_sample_policy_keeps_one_in_n(self):
+        controller = AdmissionController(
+            rate=10.0, burst=5.0,
+            policy=AdmissionPolicy.SAMPLE, sample_one_in=10,
+        )
+        admitted = sum(controller.admit(now=0.0) for _ in range(105))
+        assert admitted == 5 + 10  # burst + 1-in-10 of the 100 overflow
+
+    def test_counters_published(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(rate=1.0, burst=1.0, registry=registry)
+        controller.admit(0.0)
+        controller.admit(0.0)
+        snap = registry.snapshot()
+        assert snap["admission_offered"] == 2
+        assert snap["admission_admitted"] == 1
+        assert snap["admission_shed"] == 1
+
+
+class TestClusterMonitor:
+    def build(self, figure1_snapshot, replicas=2):
+        return Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, replication_factor=replicas),
+        )
+
+    def test_healthy_fleet_no_alerts(self, figure1_snapshot):
+        cluster = self.build(figure1_snapshot)
+        monitor = ClusterMonitor(cluster)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        assert monitor.alerts() == []
+        health = monitor.poll()
+        assert len(health) == 2
+        assert all(p.healthy_replicas == 2 for p in health)
+        assert all(not p.at_risk for p in health)
+
+    def test_single_replica_alert(self, figure1_snapshot):
+        cluster = self.build(figure1_snapshot)
+        cluster.replica_sets[0].mark_down(1)
+        monitor = ClusterMonitor(cluster)
+        alerts = monitor.alerts()
+        assert any("single healthy replica" in a for a in alerts)
+
+    def test_all_down_alert(self, figure1_snapshot):
+        cluster = self.build(figure1_snapshot)
+        cluster.replica_sets[1].mark_down(0)
+        cluster.replica_sets[1].mark_down(1)
+        alerts = ClusterMonitor(cluster).alerts()
+        assert any("ALL REPLICAS DOWN" in a for a in alerts)
+
+    def test_divergence_alert_after_missed_events(self, figure1_snapshot):
+        cluster = self.build(figure1_snapshot)
+        cluster.replica_sets[0].mark_down(1)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        cluster.replica_sets[0].mark_up(1)  # rejoin WITHOUT resync
+        monitor = ClusterMonitor(cluster)
+        alerts = monitor.alerts()
+        assert any("divergence" in a for a in alerts)
+
+    def test_metrics_published_per_replica(self, figure1_snapshot):
+        cluster = self.build(figure1_snapshot)
+        monitor = ClusterMonitor(cluster)
+        cluster.process_event(EdgeEvent(0.0, B1, C2))
+        monitor.poll()
+        snap = monitor.registry.snapshot()
+        assert snap["replica_available{partition=0,replica=0}"] == 1.0
+        assert snap["d_edges{partition=1,replica=1}"] == 1

@@ -1,0 +1,156 @@
+"""Property tests for delivery-filter and queue/DES invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recommendation import Recommendation
+from repro.delivery import DedupFilter, FatigueFilter, WakingHoursFilter
+from repro.sim.des import DiscreteEventSimulator
+from repro.sim.latency import FixedDelay
+from repro.streaming import MessageQueue
+
+
+def rec(recipient, candidate):
+    return Recommendation(recipient=recipient, candidate=candidate, created_at=0.0)
+
+
+offers = st.lists(
+    st.tuples(
+        st.integers(0, 5),      # recipient
+        st.integers(0, 5),      # candidate
+        st.floats(0, 10_000),   # offer time
+    ),
+    max_size=60,
+)
+
+
+class TestDedupProperties:
+    @given(offers=offers, window=st.floats(1.0, 5_000.0))
+    def test_no_pair_passes_twice_within_window(self, offers, window):
+        dedup = DedupFilter(window=window)
+        passed: list[tuple[int, int, float]] = []
+        for recipient, candidate, t in sorted(offers, key=lambda o: o[2]):
+            if dedup.allow(rec(recipient, candidate), now=t):
+                passed.append((recipient, candidate, t))
+        # Within any window, each pair appears at most once.
+        for i, (r1, c1, t1) in enumerate(passed):
+            for r2, c2, t2 in passed[i + 1 :]:
+                if (r1, c1) == (r2, c2):
+                    assert t2 - t1 >= window
+
+    @given(offers=offers)
+    def test_first_offer_of_each_pair_always_passes(self, offers):
+        dedup = DedupFilter(window=1e9)
+        seen: set[tuple[int, int]] = set()
+        for recipient, candidate, t in sorted(offers, key=lambda o: o[2]):
+            allowed = dedup.allow(rec(recipient, candidate), now=t)
+            if (recipient, candidate) not in seen:
+                assert allowed
+                seen.add((recipient, candidate))
+            else:
+                assert not allowed
+
+
+class TestFatigueProperties:
+    @given(
+        offers=offers,
+        cap=st.integers(1, 4),
+        window=st.floats(10.0, 5_000.0),
+    )
+    def test_cap_never_exceeded_in_any_window(self, offers, cap, window):
+        fatigue = FatigueFilter(max_per_window=cap, window=window)
+        delivered: dict[int, list[float]] = {}
+        for recipient, candidate, t in sorted(offers, key=lambda o: o[2]):
+            if fatigue.allow(rec(recipient, candidate), now=t):
+                delivered.setdefault(recipient, []).append(t)
+        for times in delivered.values():
+            for i, start in enumerate(times):
+                in_window = [t for t in times if start <= t < start + window]
+                assert len(in_window) <= cap
+
+
+class TestWakingProperties:
+    @given(user=st.integers(0, 10_000), salt=st.integers(0, 100))
+    def test_offsets_in_valid_range(self, user, salt):
+        waking = WakingHoursFilter(timezone_salt=salt)
+        assert -11 <= waking.timezone_offset_hours(user) <= 12
+
+    @given(
+        user=st.integers(0, 10_000),
+        home=st.integers(-8, 8),
+        spread=st.integers(0, 4),
+    )
+    def test_concentrated_offsets_near_home(self, user, home, spread):
+        waking = WakingHoursFilter(
+            home_offset_hours=home, offset_spread_hours=spread
+        )
+        offset = waking.timezone_offset_hours(user)
+        assert home - spread <= offset <= home + spread
+
+    @given(user=st.integers(0, 1_000), now=st.floats(0, 1e6))
+    def test_awake_iff_local_hour_in_interval(self, user, now):
+        waking = WakingHoursFilter(waking_start_hour=8, waking_end_hour=23)
+        hour = waking.local_hour(user, now)
+        assert waking.is_awake(user, now) == (8 <= hour < 23)
+
+    @given(user=st.integers(0, 500))
+    def test_awake_fraction_over_a_day(self, user):
+        """Each user is awake for exactly the configured local interval."""
+        waking = WakingHoursFilter(waking_start_hour=6, waking_end_hour=18)
+        awake_hours = sum(
+            waking.is_awake(user, h * 3600.0 + 1.0) for h in range(24)
+        )
+        assert awake_hours == 12
+
+
+class TestQueueProperties:
+    @given(
+        items=st.lists(st.integers(), max_size=30),
+        delay=st.floats(0.0, 100.0),
+    )
+    def test_exactly_once_delivery_per_subscriber(self, items, delay):
+        sim = DiscreteEventSimulator()
+        queue = MessageQueue(sim, "q", FixedDelay(delay))
+        first: list[int] = []
+        second: list[int] = []
+        queue.subscribe(lambda item, pub, dlv: first.append(item))
+        queue.subscribe(lambda item, pub, dlv: second.append(item))
+        for item in items:
+            queue.publish(item)
+        sim.run()
+        assert sorted(first) == sorted(items)
+        assert sorted(second) == sorted(items)
+        assert queue.stats.delivered == len(items)
+
+    @given(
+        schedule=st.lists(st.floats(0.0, 1_000.0), min_size=1, max_size=40)
+    )
+    def test_des_executes_in_nondecreasing_time(self, schedule):
+        sim = DiscreteEventSimulator()
+        executed: list[float] = []
+        for t in schedule:
+            sim.schedule_at(t, lambda t=t: executed.append(sim.clock.now()))
+        sim.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(schedule)
+
+    @settings(deadline=None)
+    @given(
+        delays=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=20)
+    )
+    def test_chained_queues_accumulate_delay(self, delays):
+        """An item relayed through N queues arrives after the delay sum."""
+        sim = DiscreteEventSimulator()
+        queues = [
+            MessageQueue(sim, f"q{i}", FixedDelay(d))
+            for i, d in enumerate(delays)
+        ]
+        for upstream, downstream in zip(queues, queues[1:]):
+            upstream.subscribe(
+                lambda item, pub, dlv, q=downstream: q.publish(item)
+            )
+        arrival: list[float] = []
+        queues[-1].subscribe(lambda item, pub, dlv: arrival.append(dlv))
+        queues[0].publish("x")
+        sim.run()
+        assert arrival[0] == sum(delays)

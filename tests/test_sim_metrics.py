@@ -1,0 +1,76 @@
+"""Unit tests for latency breakdowns and funnel counters."""
+
+import pytest
+
+from repro.sim.metrics import FunnelCounter, LatencyBreakdown
+
+
+class TestLatencyBreakdown:
+    def test_stage_registration_lazy(self):
+        breakdown = LatencyBreakdown()
+        assert breakdown.stages() == []
+        breakdown.record("queue:firehose", 2.0)
+        breakdown.record("detection", 0.002)
+        assert breakdown.stages() == ["queue:firehose", "detection"]
+
+    def test_share_of_total(self):
+        breakdown = LatencyBreakdown()
+        for _ in range(10):
+            breakdown.record("queue", 9.0)
+            breakdown.record("detection", 1.0)
+            breakdown.record_total(10.0)
+        assert breakdown.share_of_total("queue") == pytest.approx(0.9)
+        assert breakdown.share_of_total("detection") == pytest.approx(0.1)
+
+    def test_share_requires_totals(self):
+        breakdown = LatencyBreakdown()
+        breakdown.record("queue", 1.0)
+        with pytest.raises(ValueError):
+            breakdown.share_of_total("queue")
+
+    def test_summary_structure(self):
+        breakdown = LatencyBreakdown()
+        breakdown.record("queue", 1.0)
+        breakdown.record_total(2.0)
+        summary = breakdown.summary()
+        assert set(summary) == {"total", "queue"}
+        assert summary["queue"]["count"] == 1
+        assert summary["total"]["p50"] == 2.0
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(KeyError):
+            LatencyBreakdown().stage("nope")
+
+
+class TestFunnelCounter:
+    def test_counts_and_rows(self):
+        funnel = FunnelCounter()
+        funnel.count("raw", 1_000)
+        funnel.count("passed:dedup", 100)
+        funnel.count("delivered", 10)
+        assert funnel.get("raw") == 1_000
+        assert funnel.as_rows()[0] == ("raw", 1_000)
+
+    def test_reduction_ratio(self):
+        funnel = FunnelCounter()
+        funnel.count("raw", 5_000)
+        funnel.count("delivered", 5)
+        assert funnel.reduction_ratio() == 1_000.0
+
+    def test_reduction_ratio_no_survivors(self):
+        funnel = FunnelCounter()
+        funnel.count("raw", 10)
+        assert funnel.reduction_ratio() == float("inf")
+
+    def test_survival_rate(self):
+        funnel = FunnelCounter()
+        funnel.count("raw", 200)
+        funnel.count("delivered", 50)
+        assert funnel.survival_rate("raw", "delivered") == 0.25
+        assert funnel.survival_rate("missing", "delivered") == 0.0
+
+    def test_incremental_counting(self):
+        funnel = FunnelCounter()
+        for _ in range(5):
+            funnel.count("raw")
+        assert funnel.get("raw") == 5

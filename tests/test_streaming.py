@@ -1,0 +1,112 @@
+"""Integration tests for queues and the end-to-end streaming topology."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import DetectionParams, EdgeEvent
+from repro.delivery import DeliveryPipeline
+from repro.sim.des import DiscreteEventSimulator
+from repro.sim.latency import FixedDelay
+from repro.streaming import MessageQueue, ReplaySource, StreamingTopology
+
+from tests.conftest import A2, B1, B2, C2
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+class TestMessageQueue:
+    def test_delivers_after_delay(self):
+        sim = DiscreteEventSimulator()
+        queue = MessageQueue(sim, "q", FixedDelay(2.0))
+        seen = []
+        queue.subscribe(lambda item, pub, dlv: seen.append((item, pub, dlv)))
+        sim.schedule_at(1.0, lambda: queue.publish("hello"))
+        sim.run()
+        assert seen == [("hello", 1.0, 3.0)]
+        assert queue.stats.published == 1
+        assert queue.stats.delivered == 1
+        assert queue.stats.delay.median() == 2.0
+
+    def test_zero_delay_default(self):
+        sim = DiscreteEventSimulator()
+        queue = MessageQueue(sim, "q")
+        seen = []
+        queue.subscribe(lambda item, pub, dlv: seen.append(dlv - pub))
+        queue.publish(1)
+        sim.run()
+        assert seen == [0.0]
+
+    def test_fan_out_to_multiple_subscribers(self):
+        sim = DiscreteEventSimulator()
+        queue = MessageQueue(sim, "q")
+        hits = []
+        queue.subscribe(lambda item, pub, dlv: hits.append("a"))
+        queue.subscribe(lambda item, pub, dlv: hits.append("b"))
+        queue.publish(1)
+        sim.run()
+        assert hits == ["a", "b"]
+
+    def test_replay_source_schedules_at_event_times(self):
+        sim = DiscreteEventSimulator()
+        queue = MessageQueue(sim, "q")
+        arrivals = []
+        queue.subscribe(lambda item, pub, dlv: arrivals.append((item.actor, dlv)))
+        source = ReplaySource(sim, queue)
+        source.load([EdgeEvent(5.0, 1, 2), EdgeEvent(2.0, 3, 4)])
+        sim.run()
+        assert source.events_scheduled == 2
+        assert arrivals == [(3, 2.0), (1, 5.0)]
+
+
+class TestStreamingTopology:
+    def build_topology(self, snapshot, hop_seconds=1.0):
+        cluster = Cluster.build(snapshot, PARAMS, ClusterConfig(num_partitions=2))
+        hops = {name: FixedDelay(hop_seconds) for name in ("firehose", "fanout", "push")}
+        # No waking-hours/fatigue here: deterministic delivery for assertions.
+        delivery = DeliveryPipeline(filters=[])
+        return StreamingTopology(cluster, delivery=delivery, hop_models=hops)
+
+    def test_figure1_flows_end_to_end(self, figure1_snapshot):
+        topology = self.build_topology(figure1_snapshot)
+        report = topology.run(
+            [EdgeEvent(0.0, B1, C2), EdgeEvent(10.0, B2, C2)]
+        )
+        assert report.events_ingested == 2
+        assert report.candidates_detected == 1
+        assert len(report.notifications) == 1
+        notification = report.notifications[0]
+        assert notification.recipient == A2
+        # Three fixed 1 s hops plus sub-ms detection.
+        assert notification.latency == pytest.approx(3.0, abs=0.1)
+
+    def test_latency_breakdown_dominated_by_queues(self, figure1_snapshot):
+        topology = self.build_topology(figure1_snapshot, hop_seconds=2.0)
+        report = topology.run(
+            [EdgeEvent(0.0, B1, C2), EdgeEvent(10.0, B2, C2)]
+        )
+        assert report.queue_share() > 0.99
+        assert report.detection_share() < 0.01
+
+    def test_breakdown_stages_present(self, figure1_snapshot):
+        topology = self.build_topology(figure1_snapshot)
+        report = topology.run([EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)])
+        stages = set(report.breakdown.stages())
+        assert {"queue:firehose", "queue:fanout", "queue:push", "detection"} <= stages
+
+    def test_no_motif_no_notification(self, figure1_snapshot):
+        topology = self.build_topology(figure1_snapshot)
+        report = topology.run([EdgeEvent(0.0, B1, C2)])
+        assert report.candidates_detected == 0
+        assert report.notifications == []
+
+    def test_default_hop_models_near_paper_distribution(self, figure1_snapshot):
+        """With calibrated hops, a single motif's latency lands in 3-40 s."""
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=1)
+        )
+        topology = StreamingTopology(
+            cluster, delivery=DeliveryPipeline(filters=[]), seed=5
+        )
+        report = topology.run([EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)])
+        assert len(report.notifications) == 1
+        assert 2.0 < report.notifications[0].latency < 40.0

@@ -1,0 +1,83 @@
+"""Unit tests for the detection consumer (queue-side broker glue)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import DetectionParams, EdgeEvent
+from repro.ops import AdmissionController, AdmissionPolicy
+from repro.sim.des import DiscreteEventSimulator
+from repro.sim.metrics import LatencyBreakdown
+from repro.streaming.consumer import CandidateBatch, DetectionConsumer
+from repro.streaming.queue import MessageQueue
+
+from tests.conftest import A2, B1, B2, C2
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+@pytest.fixture
+def rig(figure1_snapshot):
+    sim = DiscreteEventSimulator()
+    cluster = Cluster.build(figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2))
+    output: MessageQueue[CandidateBatch] = MessageQueue(sim, "push")
+    breakdown = LatencyBreakdown()
+    batches: list[CandidateBatch] = []
+    output.subscribe(lambda batch, pub, dlv: batches.append(batch))
+    return sim, cluster, output, breakdown, batches
+
+
+class TestDetectionConsumer:
+    def test_produces_batch_on_completed_motif(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        consumer(EdgeEvent(1.0, B2, C2), 1.0, 1.0)
+        sim.run()
+        assert consumer.events_consumed == 2
+        assert consumer.candidates_produced == 1
+        assert len(batches) == 1
+        batch = batches[0]
+        assert batch.recommendations[0].recipient == A2
+        assert batch.detection_seconds > 0.0
+        assert batch.origin_event.actor == B2
+
+    def test_no_batch_without_candidates(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        sim.run()
+        assert batches == []
+        assert "detection" in breakdown.stages()
+
+    def test_detection_time_recorded_per_event(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        for i in range(5):
+            consumer(EdgeEvent(float(i), B1, C2), float(i), float(i))
+        assert len(breakdown.stage("detection")) == 5
+
+    def test_admission_sheds_before_detection(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        admission = AdmissionController(
+            rate=1.0, burst=1.0, policy=AdmissionPolicy.DROP
+        )
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, admission=admission
+        )
+        for i in range(10):
+            consumer(EdgeEvent(float(i), B1, C2), 0.0, 0.0)
+        assert consumer.events_shed == 9
+        assert consumer.events_consumed == 1
+        # Shed events never reach the cluster.
+        replica = cluster.replica_sets[0].replicas[0]
+        assert replica.events_processed() == 1
+
+    def test_shed_events_produce_no_detection_record(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        admission = AdmissionController(rate=1.0, burst=1.0)
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, admission=admission
+        )
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        consumer(EdgeEvent(0.0, B2, C2), 0.0, 0.0)  # shed
+        assert len(breakdown.stage("detection")) == 1

@@ -1,0 +1,65 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.5, "x")
+        require_positive(3, "x")
+
+    @pytest.mark.parametrize("value", [0, 0.0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(value, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            require_non_negative(-1e-9, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="probability"):
+            require_probability(value, "p")
+
+
+class TestRequireType:
+    def test_accepts_instance(self):
+        require_type(3, int, "n")
+        require_type("s", (int, str), "n")
+
+    def test_rejects_wrong_type_with_names(self):
+        with pytest.raises(TypeError, match="n must be int, got str"):
+            require_type("3", int, "n")
+
+    def test_union_message_lists_alternatives(self):
+        with pytest.raises(TypeError, match="int | float"):
+            require_type("3", (int, float), "n")
