@@ -26,7 +26,15 @@ def report() -> Reporter:
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Print every collected experiment table and persist them."""
+    """Print every collected experiment table and persist them.
+
+    Machine-readable records registered via ``report.record(...)`` are
+    written as ``benchmarks/results/BENCH_<name>.json`` so the perf
+    trajectory can be tracked across PRs.
+    """
+    if _REPORTER.records:
+        for path in _REPORTER.write_json(RESULTS_DIR):
+            terminalreporter.write_line(f"wrote {path}")
     if not _REPORTER.tables:
         return
     text = _REPORTER.render()

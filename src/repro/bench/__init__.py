@@ -12,6 +12,8 @@ from repro.bench.workloads import (
     bench_engine,
     bursty_events,
     bursty_workload,
+    drive_stream,
+    firehose_stream_config,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "bench_engine",
     "bursty_events",
     "bursty_workload",
+    "drive_stream",
+    "firehose_stream_config",
 ]

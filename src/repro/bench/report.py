@@ -1,8 +1,17 @@
-"""Paper-versus-measured tables for the benchmark terminal summary."""
+"""Paper-versus-measured tables for the benchmark terminal summary,
+plus machine-readable ``BENCH_*.json`` result files.
+
+The JSON side exists so the performance trajectory can be tracked across
+PRs: each benchmark registers one or more records (name + params +
+metrics), and the session writes one ``BENCH_<name>.json`` per benchmark
+name containing every record under a ``results`` key.  The format is
+documented in the README ("Benchmark result files")."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 
 @dataclass
@@ -52,11 +61,68 @@ def format_table(table: ExperimentTable) -> str:
     return "\n".join(out)
 
 
+@dataclass(frozen=True)
+class BenchRecord:
+    """One machine-readable benchmark measurement.
+
+    Attributes:
+        benchmark: result-file key (``BENCH_<benchmark>.json``).
+        params: the configuration measured (batch size, partitions, ...).
+        metrics: the numbers observed (events/s, p99 seconds, ...).
+    """
+
+    benchmark: str
+    params: dict
+    metrics: dict
+
+
 class Reporter:
     """Collects experiment tables across the benchmark session."""
 
     def __init__(self) -> None:
         self.tables: list[ExperimentTable] = []
+        self.records: list[BenchRecord] = []
+
+    def record(self, benchmark: str, params: dict, metrics: dict) -> None:
+        """Register one machine-readable measurement for JSON output."""
+        self.records.append(BenchRecord(benchmark, dict(params), dict(metrics)))
+
+    def write_json(self, directory: Path) -> list[Path]:
+        """Write one ``BENCH_<name>.json`` per benchmark name.
+
+        Each file holds ``{"benchmark": name, "results": [{"params": ...,
+        "metrics": ...}, ...]}`` with records in registration order.
+        Results are *merged* into an existing file by their ``params``: a
+        partial benchmark run refreshes the configurations it measured and
+        leaves the rest of the tracked trajectory intact instead of
+        clobbering it.  Returns the written paths.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        by_name: dict[str, list[BenchRecord]] = {}
+        for record in self.records:
+            by_name.setdefault(record.benchmark, []).append(record)
+        written: list[Path] = []
+        for name, records in by_name.items():
+            path = directory / f"BENCH_{name}.json"
+            results: list[dict] = []
+            if path.exists():
+                try:
+                    results = json.loads(path.read_text()).get("results", [])
+                except (json.JSONDecodeError, AttributeError):
+                    results = []
+            for record in records:
+                row = {"params": record.params, "metrics": record.metrics}
+                for i, existing in enumerate(results):
+                    if existing.get("params") == record.params:
+                        results[i] = row
+                        break
+                else:
+                    results.append(row)
+            payload = {"benchmark": name, "results": results}
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            written.append(path)
+        return written
 
     def table(
         self,

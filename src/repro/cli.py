@@ -71,6 +71,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     run.add_argument("--k", type=int, default=3)
     run.add_argument("--tau", type=float, default=1_800.0)
     run.add_argument("--top", type=int, default=5, help="top candidates to print")
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="columnar micro-batch size for ingestion (1 = per-event)",
+    )
 
     simulate = commands.add_parser("simulate", help="end-to-end latency simulation")
     simulate.add_argument("graph", type=Path)
@@ -79,6 +85,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--tau", type=float, default=1_800.0)
     simulate.add_argument("--partitions", type=int, default=4)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="detection-consumer micro-batch size (1 = per-event)",
+    )
+    simulate.add_argument(
+        "--max-batch-wait",
+        type=float,
+        default=0.05,
+        help="micro-batch flush deadline in virtual seconds",
+    )
 
     explain = commands.add_parser("explain", help="print a motif's compiled plan")
     explain.add_argument(
@@ -181,7 +199,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     engine = MotifEngine.from_snapshot(
         snapshot, DetectionParams(k=args.k, tau=args.tau)
     )
-    recs = engine.process_stream(events)
+    recs = engine.process_stream(events, batch_size=args.batch_size)
     latency = engine.stats.query_latency.snapshot()
     print(f"events processed : {engine.stats.events_processed}", file=out)
     print(f"raw candidates   : {len(recs)}", file=out)
@@ -205,7 +223,11 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         ClusterConfig(num_partitions=args.partitions),
     )
     topology = StreamingTopology(
-        cluster, delivery=DeliveryPipeline(filters=[DedupFilter()]), seed=args.seed
+        cluster,
+        delivery=DeliveryPipeline(filters=[DedupFilter()]),
+        seed=args.seed,
+        batch_size=args.batch_size,
+        max_wait=args.max_batch_wait,
     )
     result = topology.run(events)
     summary = result.breakdown.summary()

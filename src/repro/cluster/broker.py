@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.replica import AllReplicasDown, ReplicaSet
+from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.recommendation import Recommendation
 from repro.util.validation import require
@@ -69,6 +70,41 @@ class Broker:
             worst_latency = max(worst_latency, latency)
             gathered.extend(local)
         self.stats.gather_results += len(gathered)
+        return gathered, worst_latency
+
+    def process_batch(
+        self, batch: EventBatch, now: float | None = None
+    ) -> tuple[list[list[Recommendation]], float]:
+        """Route a columnar micro-batch through the whole cluster.
+
+        Batched RPC accounting: each partition's replica set is reached by
+        *one* fan-out call carrying the whole batch (one virtual round-trip
+        per batch, matching how production brokers pipeline), so
+        ``stats.fan_out_calls`` grows per batch instead of per event.
+
+        Returns the gathered candidates positionally aligned with the batch
+        (one list per event; partitions own disjoint A's, so gathering is
+        per-event concatenation) plus the slowest partition's ack latency.
+        Partitions whose replicas are all down lose the whole batch.
+        """
+        n = len(batch)
+        gathered: list[list[Recommendation]] = [[] for _ in range(n)]
+        worst_latency = 0.0
+        self.stats.events_routed += n
+        total = 0
+        for replica_set in self.replica_sets:
+            self.stats.fan_out_calls += 1
+            try:
+                local, latency = replica_set.ingest_batch(batch, now)
+            except AllReplicasDown:
+                self.stats.partitions_lost_events += n
+                continue
+            worst_latency = max(worst_latency, latency)
+            for i, recs in enumerate(local):
+                if recs:
+                    gathered[i].extend(recs)
+                    total += len(recs)
+        self.stats.gather_results += total
         return gathered, worst_latency
 
     def query_audience(self, target: int, now: float) -> tuple[list[int], float]:

@@ -17,6 +17,7 @@ from repro.cluster.partition import PartitionServer
 from repro.cluster.partitioner import HashPartitioner, Partitioner
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.rpc import SimulatedChannel
+from repro.core.batch import EventBatch, iter_event_batches
 from repro.core.detector import OnlineDetector
 from repro.core.events import EdgeEvent
 from repro.core.params import DetectionParams
@@ -150,8 +151,32 @@ class Cluster:
         recommendations, _latency = self.broker.process_event(event)
         return recommendations
 
-    def process_stream(self, events: list[EdgeEvent]) -> list[Recommendation]:
-        """Route a whole stream; returns all gathered candidates."""
+    def process_batch(self, batch: EventBatch) -> list[Recommendation]:
+        """Route a columnar micro-batch through broker and partitions.
+
+        One fan-out round-trip per partition per batch; emits exactly the
+        candidates the per-event loop would, in the same order.
+        """
+        grouped, _latency = self.broker.process_batch(batch)
+        out: list[Recommendation] = []
+        for per_event in grouped:
+            out.extend(per_event)
+        return out
+
+    def process_stream(
+        self, events: list[EdgeEvent], batch_size: int = 1
+    ) -> list[Recommendation]:
+        """Route a whole stream; returns all gathered candidates.
+
+        ``batch_size > 1`` routes the stream through the columnar
+        :meth:`process_batch` path in chunks of that size.
+        """
+        require_positive(batch_size, "batch_size")
+        if batch_size > 1:
+            out = []
+            for batch in iter_event_batches(events, batch_size):
+                out.extend(self.process_batch(batch))
+            return out
         out: list[Recommendation] = []
         for event in events:
             out.extend(self.process_event(event))

@@ -9,6 +9,7 @@ while its S shard holds only the A's this partition owns.
 
 from __future__ import annotations
 
+from repro.core.batch import EventBatch
 from repro.core.detector import OnlineDetector
 from repro.core.diamond import DiamondDetector
 from repro.core.engine import MotifEngine
@@ -89,6 +90,17 @@ class PartitionServer:
         for freshness (defaults to the event's creation time).
         """
         return self._engine.process(event, now)
+
+    def ingest_batch(
+        self, batch: EventBatch, now: float | None = None
+    ) -> list[list[Recommendation]]:
+        """Consume a columnar micro-batch; one local candidate list per event.
+
+        Same semantics as calling :meth:`ingest` per event, with the work
+        amortized by the engine's batched path; results stay positionally
+        aligned with the batch so brokers can gather per event.
+        """
+        return self._engine.process_batch_grouped(batch, now)
 
     def query_audience(self, target: int, now: float) -> list[int]:
         """Read-only: local A's who currently qualify for *target*."""

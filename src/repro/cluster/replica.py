@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.cluster.partition import PartitionServer
 from repro.cluster.rpc import RpcError, SimulatedChannel
+from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.recommendation import Recommendation
 from repro.util.validation import require
@@ -137,6 +138,46 @@ class ReplicaSet:
                 f"partition {self.partition_id}: event lost, all replicas down"
             )
         return primary_output or [], worst_latency
+
+    def ingest_batch(
+        self, batch: EventBatch, now: float | None = None
+    ) -> tuple[list[list[Recommendation]], float]:
+        """Deliver a columnar micro-batch to every healthy replica.
+
+        One simulated RPC per replica carries the whole batch (pipelined
+        delivery — the virtual latency is paid once per batch, not once per
+        event).  Returns the primary's per-event candidate lists plus the
+        maximum channel latency, mirroring :meth:`ingest`.
+
+        Raises:
+            AllReplicasDown: when no replica accepted the batch.
+        """
+        primary_output: list[list[Recommendation]] | None = None
+        worst_latency = 0.0
+        delivered = False
+        n = len(batch)
+        for i, (replica, channel) in enumerate(zip(self.replicas, self.channels)):
+            if not channel.available:
+                self.missed_events[i] += n
+                continue
+            try:
+                result = channel.call(replica.ingest_batch, batch, now)
+            except RpcError:
+                # Transient fault: this replica missed the whole batch and
+                # now diverges from its siblings until resynced.
+                self.missed_events[i] += n
+                continue
+            worst_latency = max(worst_latency, result.latency)
+            delivered = True
+            if primary_output is None:  # lowest-index healthy = primary
+                primary_output = result.value
+        if not delivered:
+            raise AllReplicasDown(
+                f"partition {self.partition_id}: batch lost, all replicas down"
+            )
+        if primary_output is None:
+            primary_output = [[] for _ in range(n)]
+        return primary_output, worst_latency
 
     def query_audience(self, target: int, now: float) -> tuple[list[int], float]:
         """Round-robin a read across healthy replicas, with failover.

@@ -12,6 +12,7 @@ into a single-machine serving unit; the distributed version lives in
 """
 
 from repro.core.events import ActionType, EdgeEvent
+from repro.core.batch import EventBatch, iter_event_batches
 from repro.core.params import DetectionParams
 from repro.core.recommendation import Recommendation
 from repro.core.detector import OnlineDetector
@@ -22,6 +23,8 @@ from repro.core.spree import SpreeAlert, SpreeDetector
 __all__ = [
     "ActionType",
     "EdgeEvent",
+    "EventBatch",
+    "iter_event_batches",
     "DetectionParams",
     "Recommendation",
     "OnlineDetector",

@@ -5,6 +5,21 @@ relevant data structures" from "the 'program' that performs the motif
 detection", and anticipates multiple motif programs sharing the
 infrastructure.  ``OnlineDetector`` is that program interface; the engine
 and the partition servers drive any number of them off the same S and D.
+
+Detectors may additionally implement the *optional* batched entry point::
+
+    def process_batch(self, batch: EventBatch, now: float | None = None)
+        -> list[list[Recommendation]]
+
+returning one candidate list per batch event (positionally aligned).  The
+engine discovers it with ``getattr``; if any registered detector lacks it,
+the engine processes the whole batch through the interleaved per-event
+``on_edge`` loop instead (exact for arbitrary detectors, unamortized).
+When the engine owns the inserts (``inserts_edges=False``) it only ever
+passes ``process_batch`` batches with distinct targets whose edges are
+already in D (see
+:meth:`repro.core.batch.EventBatch.distinct_target_runs`), which is what
+makes batched processing exactly equivalent to the per-event loop.
 """
 
 from __future__ import annotations

@@ -21,6 +21,7 @@ from repro.gen.stream_gen import (
     BurstSpec,
     StreamConfig,
     diurnal_rate_factor,
+    generate_event_batch,
     generate_event_stream,
 )
 from repro.gen.scenarios import Scenario, breaking_news, celebrity_join, quiet_day
@@ -33,6 +34,7 @@ __all__ = [
     "BurstSpec",
     "StreamConfig",
     "diurnal_rate_factor",
+    "generate_event_batch",
     "generate_event_stream",
     "Scenario",
     "breaking_news",

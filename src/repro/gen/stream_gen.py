@@ -18,11 +18,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.events import ActionType, EdgeEvent
 from repro.gen.zipf import ZipfSampler
 from repro.util.rng import make_rng
 from repro.util.validation import require, require_non_negative, require_positive
+
+if TYPE_CHECKING:
+    from repro.core.batch import EventBatch
 
 
 @dataclass(frozen=True)
@@ -104,10 +110,15 @@ class StreamConfig:
             )
 
 
-def generate_event_stream(config: StreamConfig) -> list[EdgeEvent]:
-    """Generate the event stream described by *config*, sorted by time."""
+def _generate_rows(config: StreamConfig):
+    """Yield ``(created_at, actor, target, action)`` rows, unsorted.
+
+    The single source of the stream's RNG draws, shared by the object and
+    columnar generators so the two can never desynchronize: background rows
+    first (concatenation order matters — the final stable timestamp sort
+    keeps background before bursts at equal times), then each burst's rows.
+    """
     rng = make_rng(config.seed, "stream")
-    events: list[EdgeEvent] = []
 
     # Background: (possibly non-homogeneous) Poisson arrivals, Zipf actor
     # and target.  Diurnal modulation uses Lewis-Shedler thinning: draw at
@@ -132,7 +143,7 @@ def generate_event_stream(config: StreamConfig) -> list[EdgeEvent]:
             target = target_sampler.sample()
             if actor == target:
                 continue
-            events.append(EdgeEvent(clock, actor, target))
+            yield clock, actor, target, ActionType.FOLLOW
 
     # Bursts: distinct popular actors hitting one target inside the window.
     for index, burst in enumerate(config.bursts):
@@ -147,12 +158,58 @@ def generate_event_stream(config: StreamConfig) -> list[EdgeEvent]:
         burst_rng.shuffle(actors)
         for actor in actors:
             offset = burst_rng.random() * burst.duration
-            events.append(
-                EdgeEvent(burst.start + offset, actor, burst.target, burst.action)
-            )
+            yield burst.start + offset, actor, burst.target, burst.action
 
+
+def generate_event_stream(config: StreamConfig) -> list[EdgeEvent]:
+    """Generate the event stream described by *config*, sorted by time."""
+    events = [
+        EdgeEvent(created_at, actor, target, action)
+        for created_at, actor, target, action in _generate_rows(config)
+    ]
     events.sort(key=lambda event: event.created_at)
     return events
+
+
+def generate_event_batch(config: StreamConfig) -> "EventBatch":
+    """Generate the stream of *config* directly in columnar form.
+
+    Produces exactly the events :func:`generate_event_stream` would (same
+    :func:`_generate_rows` draws, same stable timestamp sort) but builds
+    the :class:`~repro.core.batch.EventBatch` columns without
+    materializing a Python object per event — the natural source for the
+    batched ingestion path, where the firehose arrives as arrays rather
+    than records.
+    """
+    from repro.core.batch import ACTION_CODES, EventBatch
+
+    timestamps: list[float] = []
+    actors: list[int] = []
+    targets: list[int] = []
+    action_codes: list[int] = []
+    for created_at, actor, target, action in _generate_rows(config):
+        timestamps.append(created_at)
+        actors.append(actor)
+        targets.append(target)
+        action_codes.append(ACTION_CODES[action])
+
+    batch = EventBatch(
+        timestamps,
+        actors,
+        targets,
+        np.asarray(action_codes, dtype=np.uint8),
+        validate=False,
+    )
+    # Stable sort on timestamp matches list.sort's tie behavior in
+    # generate_event_stream (background before bursts at equal times).
+    order = np.argsort(batch.timestamps, kind="stable")
+    return EventBatch(
+        batch.timestamps[order],
+        batch.actors[order],
+        batch.targets[order],
+        batch.actions[order],
+        validate=False,
+    )
 
 
 #: UTC hour of the diurnal activity trough.

@@ -23,6 +23,7 @@ from repro.graph.intersect import (
     intersect_merge,
     intersect_many,
     intersect_sorted,
+    k_overlap_arrays,
     k_overlap_heap,
     k_overlap_scancount,
     k_overlap,
@@ -41,6 +42,7 @@ __all__ = [
     "intersect_merge",
     "intersect_many",
     "intersect_sorted",
+    "k_overlap_arrays",
     "k_overlap_heap",
     "k_overlap_scancount",
     "k_overlap",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.graph.ids import UserId
 from repro.util.validation import require_positive
@@ -43,6 +43,11 @@ class FreshEdge:
     source: UserId
     timestamp: float
     action: object | None = None
+
+
+#: Shared empty result for :meth:`DynamicEdgeIndex.fresh_sources_multi`
+#: queries with no fresh sources; never mutated.
+_NO_FRESH_SOURCES: list = []
 
 
 class DynamicEdgeIndex:
@@ -107,6 +112,131 @@ class DynamicEdgeIndex:
                 entry.popleft()
             self._num_edges -= overflow
             self._evicted_total += overflow
+
+    def insert_batch(self, batch, distinct_targets: bool = False) -> None:
+        """Insert every edge of an :class:`~repro.core.batch.EventBatch`.
+
+        Equivalent to calling :meth:`insert` once per event in batch order,
+        but with the per-target work amortized: one dict lookup, one window
+        prune, and one cap application per *distinct target* in the batch
+        instead of per event.
+
+        ``distinct_targets=True`` asserts the caller already knows no
+        target repeats in the batch (an engine run), skipping the grouping
+        pass entirely.
+
+        The bulk per-target path is taken only when it is provably identical
+        to the interleaved loop: the group cannot overflow the per-target
+        cap mid-batch, and the group's timestamp skew stays within the
+        retention window (both pruning mechanisms pop only from the old end,
+        so under these conditions the final deque is the same suffix either
+        way).  Groups violating either condition — pathological reordering
+        or cap-overflowing floods — fall back to the exact per-event loop,
+        still amortizing the dict lookup.
+        """
+        timestamps, actors, _targets, actions = batch.columns()
+        if not timestamps:
+            return
+        targets = _targets
+        edges = self._edges
+        retention = self.retention
+        cap = self.max_edges_per_target
+        has_cap = cap is not None
+        inserted = 0
+        evicted = 0
+
+        if distinct_targets:
+            # Same append/prune/cap block as the fallback loop below; both
+            # must stay in sync with insert().  Kept inline: a shared
+            # helper would cost one function call per event on the hottest
+            # loop in the repo.
+            for i, c in enumerate(targets):
+                entry = edges.get(c)
+                if entry is None:
+                    entry = deque()
+                    edges[c] = entry
+                timestamp = timestamps[i]
+                entry.append((timestamp, actors[i], actions[i]))
+                inserted += 1
+                cutoff = timestamp - retention
+                # The just-appended entry survives its own cutoff, so the
+                # deque can never empty here.
+                while entry[0][0] < cutoff:
+                    entry.popleft()
+                    evicted += 1
+                while has_cap and len(entry) > cap:
+                    # Normally at most one pop per append; the loop also
+                    # repairs over-cap state inherited via clone_state_from
+                    # from a differently-capped sibling.
+                    entry.popleft()
+                    evicted += 1
+            self._num_edges += inserted - evicted
+            self._inserted_total += inserted
+            self._evicted_total += evicted
+            return
+
+        # Group event indexes by target.  The overwhelmingly common case is
+        # one event per target, so singleton groups stay bare ints and a
+        # list is only allocated on the first repeat.
+        groups: dict[UserId, int | list[int]] = {}
+        for i, c in enumerate(targets):
+            group = groups.get(c)
+            if group is None:
+                groups[c] = i
+            elif type(group) is int:
+                groups[c] = [group, i]
+            else:
+                group.append(i)
+
+        for c, idxs in groups.items():
+            entry = edges.get(c)
+            if entry is None:
+                entry = deque()
+                edges[c] = entry
+            if type(idxs) is int:
+                # A singleton group is just one per-event insert; the exact
+                # loop below handles it without a dedicated copy.
+                idxs = (idxs,)
+                bulk_safe = False
+            else:
+                m = len(idxs)
+                group_ts = [timestamps[i] for i in idxs]
+                t_max = max(group_ts)
+                bulk_safe = (t_max - min(group_ts)) <= retention and (
+                    cap is None or len(entry) + m <= cap
+                )
+            if bulk_safe:
+                entry.extend(
+                    (timestamps[i], actors[i], actions[i]) for i in idxs
+                )
+                inserted += m
+                cutoff = t_max - retention
+                # bulk_safe guarantees the cap cannot trigger (pruning only
+                # shrinks the entry), so only the window pass is needed.
+                while entry[0][0] < cutoff:
+                    entry.popleft()
+                    evicted += 1
+            else:
+                # Exact replica of the per-event insert loop for this
+                # target (same block as the distinct_targets fast path
+                # above — the two must stay in sync with insert()).
+                for i in idxs:
+                    timestamp = timestamps[i]
+                    entry.append((timestamp, actors[i], actions[i]))
+                    inserted += 1
+                    cutoff = timestamp - retention
+                    while entry[0][0] < cutoff:
+                        entry.popleft()
+                        evicted += 1
+                    if cap is not None and len(entry) > cap:
+                        overflow = len(entry) - cap
+                        for _ in range(overflow):
+                            entry.popleft()
+                        evicted += overflow
+
+        self._num_edges += inserted - evicted
+        self._inserted_total += inserted
+        self._evicted_total += evicted
 
     def clone_state_from(self, other: "DynamicEdgeIndex") -> None:
         """Replace this index's contents with a deep copy of *other*'s.
@@ -213,6 +343,99 @@ class DynamicEdgeIndex:
                 latest.items(), key=lambda item: (item[1][0], item[0])
             )
         ]
+
+    def fresh_sources_multi(
+        self,
+        targets: Sequence[UserId],
+        nows: Sequence[float],
+        tau: float,
+        action: object | None = None,
+        min_count: int = 0,
+        raw: bool = False,
+    ) -> list[list[FreshEdge]] | list[list[tuple[float, UserId, object | None]]]:
+        """Batched :meth:`fresh_sources`: one call for many ``(c, now)`` pairs.
+
+        *targets* and *nows* are positionally-aligned parallel columns (one
+        query per index).  Returns one fresh-source list per query, aligned
+        the same way, with identical per-query semantics (latest edge per
+        distinct B, ascending timestamp order, optional action filter).
+        Validation and attribute lookups are paid once per batch instead of
+        once per event, and queries with no fresh sources share one
+        immutable empty result list (callers must not mutate results).
+
+        ``min_count`` is a threshold hint: targets whose stored entry holds
+        fewer than ``min_count`` edges are reported as having no fresh
+        sources without scanning.  Since the fresh-source count can never
+        exceed the stored-entry count, callers that discard results below
+        ``min_count`` (the detector's ``k``) observe identical decisions —
+        this is what lets the firehose's cold targets skip all per-event
+        object construction.
+
+        ``raw=True`` returns each fresh edge as its stored
+        ``(timestamp, source, action)`` tuple instead of boxing a
+        :class:`FreshEdge` — the allocation-free representation the batched
+        detector consumes (same edges, same order).
+        """
+        require_positive(tau, "tau")
+        if tau > self.retention:
+            raise ValueError(
+                f"tau={tau} exceeds retention={self.retention}; "
+                "fresh edges may already have been pruned"
+            )
+        edges = self._edges
+        empty = _NO_FRESH_SOURCES
+        results: list[list] = []
+        append = results.append
+        for c, now in zip(targets, nows):
+            entry = edges.get(c)
+            if entry is None or len(entry) < min_count or not entry:
+                append(empty)
+                continue
+            cutoff = now - tau
+            if len(entry) == 1:
+                head = entry[0]
+                timestamp, b, edge_action = head
+                if (
+                    timestamp < cutoff
+                    or timestamp > now
+                    or (action is not None and edge_action is not action)
+                ):
+                    append(empty)
+                elif raw:
+                    append([head])
+                else:
+                    append(
+                        [FreshEdge(source=b, timestamp=timestamp, action=edge_action)]
+                    )
+                continue
+            latest: dict[UserId, tuple[float, object | None]] = {}
+            for timestamp, b, edge_action in entry:
+                if timestamp < cutoff or timestamp > now:
+                    continue
+                if action is not None and edge_action is not action:
+                    continue
+                previous = latest.get(b)
+                if previous is None or timestamp > previous[0]:
+                    latest[b] = (timestamp, edge_action)
+            if raw:
+                # Tuple order (t, b, action) sorts by (timestamp, source):
+                # b is unique per entry, so the action field never compares.
+                flat = [
+                    (t, b, edge_action)
+                    for b, (t, edge_action) in latest.items()
+                ]
+                flat.sort()
+                append(flat)
+            else:
+                append(
+                    [
+                        FreshEdge(source=b, timestamp=t, action=edge_action)
+                        for b, (t, edge_action) in sorted(
+                            latest.items(), key=lambda item: (item[1][0], item[0])
+                        )
+                    ]
+                )
+        return results
 
     def targets(self) -> Iterable[UserId]:
         """All C's that currently have at least one stored edge."""

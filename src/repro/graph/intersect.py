@@ -172,6 +172,30 @@ def k_overlap_heap(lists: Sequence[IdList], k: int) -> list[int]:
     return result
 
 
+def k_overlap_arrays(arrays: Sequence[np.ndarray], k: int) -> np.ndarray:
+    """Vectorised k-overlap over ready-made int64 arrays, as an array.
+
+    The batched detector's inner kernel: one concatenate + in-place sort,
+    then a run-length threshold — a value occurs >= *k* times in the sorted
+    multiset iff its first occurrence still matches ``k - 1`` slots later.
+    Skips :func:`k_overlap_numpy`'s per-call list->array conversions and
+    ``np.unique`` wrapper overhead, which dominate at hot-path call rates.
+    Returns the qualifying values ascending; inputs must be non-empty
+    int64 arrays of sorted distinct ids (``len(arrays) >= k >= 1``).
+    """
+    stacked = np.concatenate(arrays)
+    stacked.sort()
+    total = len(stacked)
+    firsts = np.empty(total, dtype=bool)
+    firsts[0] = True
+    np.not_equal(stacked[1:], stacked[:-1], out=firsts[1:])
+    if k == 1:
+        return stacked[firsts]
+    first_idx = np.flatnonzero(firsts)
+    candidates = first_idx[first_idx <= total - k]
+    return stacked[candidates[stacked[candidates + k - 1] == stacked[candidates]]]
+
+
 def k_overlap_numpy(lists: Sequence[IdList], k: int) -> list[int]:
     """Vectorised k-overlap via concatenate + unique counts.
 
@@ -187,6 +211,16 @@ def k_overlap_numpy(lists: Sequence[IdList], k: int) -> list[int]:
     return values[counts >= k].tolist()
 
 
+#: Total-input-size crossover at which :func:`k_overlap` switches from
+#: ScanCount to the vectorised numpy path.  Below this, the per-call numpy
+#: overhead (array conversion, ufunc dispatch) outweighs the C-speed
+#: counting; above it, ScanCount's per-element dict operations lose.  The
+#: value comes from the E11 ablation (``benchmarks/bench_intersection.py``),
+#: which sweeps the kernels across input sizes; re-run it when changing
+#: this.
+KOVERLAP_NUMPY_CROSSOVER = 4096
+
+
 def k_overlap(lists: Sequence[IdList], k: int) -> list[int]:
     """Values present in at least *k* of the sorted *lists* (adaptive).
 
@@ -195,15 +229,15 @@ def k_overlap(lists: Sequence[IdList], k: int) -> list[int]:
     * ``k == len(lists)`` — plain intersection via :func:`intersect_many`,
       which is what the paper's worked example computes;
     * otherwise ScanCount for small inputs and the vectorised numpy path
-      for large ones, per the E11 ablation crossover (the pure-Python heap
-      merge exists for the ablation but loses to numpy well before the
-      crossover).
+      for large ones, per the :data:`KOVERLAP_NUMPY_CROSSOVER` ablation
+      crossover (the pure-Python heap merge exists for the ablation but
+      loses to numpy well before the crossover).
     """
     _check_k(lists, k)
     if k == len(lists):
         return intersect_many(lists)
     total = sum(len(values) for values in lists)
-    if total <= 4096:
+    if total <= KOVERLAP_NUMPY_CROSSOVER:
         return k_overlap_scancount(lists, k)
     return k_overlap_numpy(lists, k)
 

@@ -74,6 +74,8 @@ class StreamingTopology:
         hop_models: dict[str, DelayModel] | None = None,
         admission=None,
         seed: int = 0,
+        batch_size: int = 1,
+        max_wait: float = 0.05,
     ) -> None:
         """Build the topology.
 
@@ -88,6 +90,9 @@ class StreamingTopology:
                 :class:`~repro.ops.admission.AdmissionController` gating
                 the detection consumer (overload shedding).
             seed: randomness for the default delay models.
+            batch_size: detection-consumer micro-batch size (1 = per-event).
+            max_wait: micro-batch flush deadline in virtual seconds; time
+                spent waiting is reported as the ``path:batching`` stage.
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -114,7 +119,13 @@ class StreamingTopology:
         )
         self.source = ReplaySource(self.sim, self.firehose)
         self.consumer = DetectionConsumer(
-            self.sim, cluster, self.push, self.breakdown, admission=admission
+            self.sim,
+            cluster,
+            self.push,
+            self.breakdown,
+            admission=admission,
+            batch_size=batch_size,
+            max_wait=max_wait,
         )
         self._notifications: list[PushNotification] = []
 
@@ -144,11 +155,17 @@ class StreamingTopology:
         # the distribution toward the fastest duplicate.
         total = delivered_at - batch.origin_event.created_at
         processing = batch.detection_seconds + batch.rpc_seconds
-        queue_path = total - processing
+        batching = batch.batching_seconds
+        queue_path = total - processing - batching
         for rec in batch.recommendations:
             self.breakdown.record_total(total)
             self.breakdown.record("path:queue", queue_path)
             self.breakdown.record("path:processing", processing)
+            if batch.micro_batched:
+                # Zero-wait samples (the size-trigger's final event) count
+                # too, or the stage's percentiles would overstate the
+                # typical batching delay.
+                self.breakdown.record("path:batching", batching)
             notification = self.delivery.offer(rec, delivered_at)
             if notification is not None:
                 self._notifications.append(notification)

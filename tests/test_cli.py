@@ -55,6 +55,22 @@ class TestGenerateAndRun:
         assert "raw candidates" in output
         assert "query latency" in output
 
+    def test_run_command_batched_matches_per_event(self, artifacts):
+        graph, stream = artifacts
+        code_one, output_one = run_cli("run", str(graph), str(stream), "--k", "2")
+        code_batched, output_batched = run_cli(
+            "run", str(graph), str(stream), "--k", "2", "--batch-size", "64"
+        )
+        assert code_one == 0 and code_batched == 0
+
+        def counts(output):
+            return [
+                line for line in output.splitlines()
+                if "events processed" in line or "raw candidates" in line
+            ]
+
+        assert counts(output_one) == counts(output_batched)
+
     def test_simulate_command(self, artifacts):
         graph, stream = artifacts
         code, output = run_cli(
@@ -64,6 +80,16 @@ class TestGenerateAndRun:
         assert code == 0
         assert "events ingested" in output
         assert "notifications" in output
+
+    def test_simulate_command_micro_batched(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--batch-size", "16", "--max-batch-wait", "0.2",
+        )
+        assert code == 0
+        assert "events ingested" in output
 
     def test_analyze_command(self, artifacts):
         graph, _ = artifacts

@@ -9,12 +9,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.graph.intersect import (
+    KOVERLAP_NUMPY_CROSSOVER,
     intersect_galloping,
     intersect_hash,
     intersect_many,
     intersect_merge,
     intersect_sorted,
     k_overlap,
+    k_overlap_arrays,
     k_overlap_heap,
     k_overlap_numpy,
     k_overlap_scancount,
@@ -164,11 +166,48 @@ class TestKOverlap:
     def test_dispatch_k_equals_n_is_intersection(self, lists):
         assert k_overlap(lists, len(lists)) == reference_intersection(lists)
 
-    def test_dispatch_large_input_uses_heap_path(self):
-        # Total size > 4096 exercises the heap branch of k_overlap.
+    def test_dispatch_large_input_uses_numpy_path(self):
+        # Total size > the crossover exercises the numpy branch of k_overlap.
         lists = [list(range(0, 6000, 2)), list(range(0, 6000, 3))]
         expected = reference_k_overlap(lists, 1)
         assert k_overlap(lists, 1) == expected
+
+    @pytest.mark.parametrize("offset", [-1, 0, 1])
+    def test_dispatch_agrees_at_numpy_crossover_boundary(self, offset):
+        """Both sides of the ScanCount/numpy crossover give identical results.
+
+        Builds three lists (k=2 < len(lists), so the size-based dispatch —
+        not the k == n intersection shortcut — runs) whose total length
+        lands exactly on KOVERLAP_NUMPY_CROSSOVER + offset: offset <= 0
+        takes the ScanCount branch, offset == 1 the numpy branch.
+        """
+        total = KOVERLAP_NUMPY_CROSSOVER + offset
+        third = list(range(total // 2 - 8, total // 2 - 4))
+        first = list(range(0, total // 2))
+        second_len = total - len(first) - len(third)
+        second = list(range(total // 2 - 10, total // 2 - 10 + second_len))
+        lists = [first, second, third]
+        assert sum(len(values) for values in lists) == total
+        expected = reference_k_overlap(lists, 2)
+        assert k_overlap(lists, 2) == expected
+        assert k_overlap_scancount(lists, 2) == expected
+        assert k_overlap_numpy(lists, 2) == expected
+        # The overlap straddles the lists, so the result is non-trivial.
+        assert expected
+
+    @given(
+        lists=st.lists(sorted_ids.filter(len), min_size=1, max_size=5),
+        k_fraction=st.floats(0.01, 1.0),
+    )
+    def test_arrays_kernel_matches_reference(self, lists, k_fraction):
+        """The batched detector's array kernel agrees with the others."""
+        import numpy as np
+
+        k = max(1, round(k_fraction * len(lists)))
+        arrays = [np.asarray(values, dtype=np.int64) for values in lists]
+        assert k_overlap_arrays(arrays, k).tolist() == reference_k_overlap(
+            lists, k
+        )
 
     @given(lists=st.lists(sorted_ids, min_size=2, max_size=5))
     def test_monotone_in_k(self, lists):

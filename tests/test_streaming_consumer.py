@@ -81,3 +81,86 @@ class TestDetectionConsumer:
         consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
         consumer(EdgeEvent(0.0, B2, C2), 0.0, 0.0)  # shed
         assert len(breakdown.stage("detection")) == 1
+
+
+class TestMicroBatching:
+    def test_flushes_when_batch_fills(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=2, max_wait=10.0
+        )
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        assert consumer.pending_events == 1  # waiting for the batch to fill
+        consumer(EdgeEvent(1.0, B2, C2), 1.0, 1.0)
+        assert consumer.pending_events == 0  # size trigger flushed at once
+        sim.run()
+        assert consumer.events_consumed == 2
+        assert len(batches) == 1
+        assert batches[0].recommendations[0].recipient == A2
+        # Only the second event waited zero seconds; the first waited 1.0s
+        # of virtual time, reported as the batching stage.
+        assert batches[0].batching_seconds == 0.0
+        batching = breakdown.stage("batching")
+        assert len(batching) == 2
+        assert batching.percentile(0) == 0.0
+        assert batching.percentile(100) == 1.0
+
+    def test_max_wait_timer_flushes_trickle(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=100, max_wait=5.0
+        )
+
+        def deliver():
+            consumer(EdgeEvent(0.0, B1, C2), 0.0, sim.clock.now())
+            consumer(EdgeEvent(1.0, B2, C2), 1.0, sim.clock.now())
+
+        sim.schedule_at(0.0, deliver)
+        sim.run()
+        # The timer fired at +5.0s and drained the partial batch.
+        assert consumer.events_consumed == 2
+        assert consumer.pending_events == 0
+        assert len(batches) == 1
+        assert batches[0].batching_seconds == pytest.approx(5.0)
+
+    def test_batched_output_matches_per_event(self, rig, figure1_snapshot):
+        sim, cluster, output, breakdown, batches = rig
+        per_event_cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        events = [EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)]
+        expected = per_event_cluster.process_stream(events)
+
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=2, max_wait=10.0
+        )
+        for event in events:
+            consumer(event, event.created_at, event.created_at)
+        sim.run()
+        produced = [rec for batch in batches for rec in batch.recommendations]
+        assert produced == expected
+
+    def test_batch_size_one_keeps_legacy_behavior(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=1
+        )
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        consumer(EdgeEvent(1.0, B2, C2), 1.0, 1.0)
+        sim.run()
+        assert len(batches) == 1
+        assert batches[0].batching_seconds == 0.0
+        assert "batching" not in breakdown.stages()
+
+    def test_admission_sheds_before_buffering(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        admission = AdmissionController(
+            rate=1.0, burst=1.0, policy=AdmissionPolicy.DROP
+        )
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, admission=admission, batch_size=4
+        )
+        for i in range(10):
+            consumer(EdgeEvent(float(i), B1, C2), 0.0, 0.0)
+        assert consumer.events_shed == 9
+        assert consumer.pending_events == 1
