@@ -16,7 +16,6 @@ from repro.core.diamond import DiamondDetector
 from repro.graph import DynamicEdgeIndex, build_follower_snapshot
 from repro.motif import DeclarativeDetector, compile_motif
 from repro.motif.catalog import diamond_spec
-from repro.motif.optimizer import IndexStatistics
 
 K, TAU = 3, 1800.0
 PARAMS = DetectionParams(k=K, tau=TAU)

@@ -14,7 +14,7 @@ order-of-magnitude reduction dominated by dedup.
 
 import pytest
 
-from repro.bench.workloads import BENCH_PARAMS, bench_engine
+from repro.bench.workloads import bench_engine
 from repro.delivery import DeliveryPipeline, PushNotifier
 from repro.gen import (
     BurstSpec,

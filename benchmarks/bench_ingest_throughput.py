@@ -31,6 +31,7 @@ from repro.bench.workloads import (
     bench_engine,
     bursty_workload,
     firehose_stream_config,
+    viral_firehose_stream_config,
 )
 from repro.core import DiamondDetector, MotifEngine
 from repro.gen import StreamConfig, generate_event_batch, generate_event_stream
@@ -210,6 +211,171 @@ def test_batched_ingest_sweep(workload, report):
         f"batch=256 only {best[1] / best[256]:.2f}x over batch=1; "
         "the batched hot path failed to amortize"
     )
+
+
+#: The S x D storage-backend matrix swept at batch=256.
+BACKEND_MATRIX = (
+    ("packed", "list"),
+    ("csr", "list"),
+    ("packed", "ring"),
+    ("csr", "ring"),
+)
+
+
+def test_backend_matrix_batch256(workload, report):
+    """S/D storage-backend matrix at batch=256 (E14).
+
+    Sweeps {packed, csr} x {list, ring} over two firehose shapes:
+
+    * **firehose-cold** — the design-target stream (PR 1's packed/list
+      configuration is the baseline row); the columnar backends must not
+      tax the cold path, and in practice edge out the baseline;
+    * **firehose-viral** — the cold stream plus one persistently-viral
+      target whose D entry sits at the cap, where the ring's vectorized
+      freshness scan is the whole point.
+
+    Also records the deterministic structural wins: csr's S memory
+    footprint versus packed, and the ring-vs-list freshness-scan
+    microbenchmark at cap depth.  Measurements are interleaved round-robin
+    (best round kept) so machine noise hits every configuration equally.
+    """
+    snapshot, _ = workload
+    statics = {
+        backend: build_follower_snapshot(snapshot, backend=backend)
+        for backend in ("packed", "csr")
+    }
+
+    def run(event_batch, n, s_backend, d_backend):
+        dynamic_index = DynamicEdgeIndex(
+            retention=BENCH_PARAMS.tau,
+            max_edges_per_target=BENCH_D_CAP,
+            backend=d_backend,
+        )
+        detector = DiamondDetector(
+            statics[s_backend], dynamic_index, BENCH_PARAMS, inserts_edges=False
+        )
+        engine = MotifEngine(
+            statics[s_backend], dynamic_index, [detector], track_latency=False
+        )
+        started = time.perf_counter()
+        for start in range(0, n, 256):
+            engine.process_batch(event_batch.slice(start, min(start + 256, n)))
+        return time.perf_counter() - started, engine.stats.recommendations_emitted
+
+    table = report.table(
+        "E14",
+        "storage-backend matrix (batch=256, best of interleaved rounds)",
+        ["workload", "S backend", "D backend", "events/sec", "vs packed/list"],
+    )
+    speedups = {}
+    for workload_name, config in (
+        ("firehose-cold", firehose_stream_config(num_users=snapshot.num_users)),
+        ("firehose-viral", viral_firehose_stream_config(num_users=snapshot.num_users)),
+    ):
+        event_batch = generate_event_batch(config)
+        n = len(event_batch)
+        best: dict[tuple, float] = {}
+        emitted: dict[tuple, int] = {}
+        for _round in range(4):
+            for combo in BACKEND_MATRIX:
+                elapsed, recs = run(event_batch, n, *combo)
+                best[combo] = min(best.get(combo, float("inf")), elapsed)
+                emitted[combo] = recs
+        # Representation must never change results.
+        assert len(set(emitted.values())) == 1, f"backends diverged: {emitted}"
+        baseline = best[("packed", "list")]
+        for combo in BACKEND_MATRIX:
+            speedup = baseline / best[combo]
+            speedups[(workload_name, combo)] = speedup
+            table.add_row(
+                workload_name, combo[0], combo[1],
+                f"{n / best[combo]:,.0f}", f"{speedup:.2f}x",
+            )
+            report.record(
+                "ingest",
+                {
+                    "workload": workload_name,
+                    "num_users": snapshot.num_users,
+                    "events": n,
+                    "batch_size": 256,
+                    "path": "batched",
+                    "s_backend": combo[0],
+                    "d_backend": combo[1],
+                },
+                {
+                    "events_per_sec": round(n / best[combo], 1),
+                    "speedup_vs_packed_list": round(speedup, 3),
+                },
+            )
+
+    # Deterministic structural wins, recorded alongside the timings.
+    s_memory = {b: statics[b].memory_bytes() for b in ("packed", "csr")}
+    memory_ratio = s_memory["csr"] / s_memory["packed"]
+    scan = _viral_scan_best_times(entries=BENCH_D_CAP)
+    scan_speedup = scan["list"] / scan["ring"]
+    table.add_note(
+        f"csr S memory: {memory_ratio:.2f}x of packed "
+        f"({s_memory['csr'] / 1e6:.1f} vs {s_memory['packed'] / 1e6:.1f} MB); "
+        f"ring freshness scan at cap depth: {scan_speedup:.2f}x over list"
+    )
+    report.record(
+        "ingest",
+        {"workload": "s-memory", "num_users": snapshot.num_users},
+        {
+            "packed_bytes": s_memory["packed"],
+            "csr_bytes": s_memory["csr"],
+            "csr_vs_packed_ratio": round(memory_ratio, 3),
+        },
+    )
+    report.record(
+        "ingest",
+        {"workload": "viral-scan", "entries": BENCH_D_CAP},
+        {
+            "list_us": round(scan["list"] * 1e6, 2),
+            "ring_us": round(scan["ring"] * 1e6, 2),
+            "ring_speedup": round(scan_speedup, 3),
+        },
+    )
+
+    # The headline acceptance: the columnar pair must beat PR 1's
+    # packed/list configuration where the ring matters, and must not tax
+    # the cold path.  Margins are deliberately looser than the locally
+    # measured ~1.19x / ~1.01x: shared CI runners swing several percent
+    # even with interleaved best-of rounds (the regression gate applies
+    # its own 35% tolerance for the same reason).
+    assert speedups[("firehose-viral", ("csr", "ring"))] >= 1.05, (
+        f"csr+ring only {speedups[('firehose-viral', ('csr', 'ring'))]:.2f}x "
+        "over packed/list on the viral firehose"
+    )
+    assert speedups[("firehose-cold", ("csr", "ring"))] >= 0.90, (
+        f"csr+ring taxes the cold firehose: "
+        f"{speedups[('firehose-cold', ('csr', 'ring'))]:.2f}x"
+    )
+    assert memory_ratio <= 0.85, f"csr S memory ratio {memory_ratio:.2f}"
+    assert scan_speedup >= 1.1, (
+        f"ring freshness scan only {scan_speedup:.2f}x over list at cap depth"
+    )
+
+
+def _viral_scan_best_times(entries: int, queries: int = 512) -> dict[str, float]:
+    """Best per-query freshness-scan time for one cap-depth hot target."""
+    out: dict[str, float] = {}
+    for d_backend, threshold in (("list", 1 << 30), ("ring", 8)):
+        index = DynamicEdgeIndex(
+            retention=1e9, backend=d_backend, promote_threshold=threshold
+        )
+        for i in range(entries):
+            index.insert(i % max(entries * 2 // 3, 1), 7, float(i))
+        targets = [7] * 64
+        nows = [float(entries)] * 64
+        best = float("inf")
+        for _ in range(5):
+            started = time.perf_counter()
+            for _ in range(queries // 64):
+                index.fresh_sources_multi(targets, nows, tau=1e8, min_count=3, raw=True)
+            best = min(best, time.perf_counter() - started)
+        out[d_backend] = best / queries
+    return out
 
 
 def test_cluster_throughput(benchmark, workload, report):

@@ -114,7 +114,25 @@ def test_record_ablation_table(benchmark, balanced_lists, skewed_lists, witness_
     )
     for name, seconds in rows:
         table.add_row(name, f"{seconds * 1e3:.3f} ms")
+        kernel, shape = (part.strip() for part in name.split(","))
+        report.record(
+            "intersection",
+            {"kernel": kernel, "shape": shape},
+            {"best_ms": round(seconds * 1e3, 4)},
+        )
     timings = dict(rows)
+    report.record(
+        "intersection",
+        {"comparison": "crossovers"},
+        {
+            "gallop_speedup_skewed": round(
+                timings["merge, skewed"] / max(timings["galloping, skewed"], 1e-9), 3
+            ),
+            "numpy_speedup_koverlap": round(
+                timings["heap-merge, 8 lists"] / max(timings["numpy, 8 lists"], 1e-9), 3
+            ),
+        },
+    )
     table.add_note(
         "expected shape: galloping wins on skewed pairs "
         f"({timings['merge, skewed'] / max(timings['galloping, skewed'], 1e-9):.1f}x here); "

@@ -13,9 +13,14 @@ memory growing proportionally to P.
 
 import pytest
 
-from repro.bench.workloads import BENCH_PARAMS, bench_cluster, bench_engine, bursty_workload
+from repro.bench.workloads import bench_cluster, bench_engine, bursty_workload
 
 PARTITION_COUNTS = [1, 2, 4, 8, 20]
+
+#: Per-P ingest seconds accumulated across the parametrized sweep so each
+#: configuration can record its slowdown relative to P=1 (a machine-
+#: independent metric the regression gate can track).
+_INGEST_SECONDS: dict[int, float] = {}
 
 
 @pytest.fixture(scope="module")
@@ -48,7 +53,9 @@ def scaling_table(report):
 
 
 @pytest.mark.parametrize("num_partitions", PARTITION_COUNTS)
-def test_partition_count(benchmark, workload, reference, scaling_table, num_partitions):
+def test_partition_count(
+    benchmark, workload, reference, scaling_table, num_partitions, report
+):
     snapshot, events = workload
     cluster = bench_cluster(snapshot, num_partitions=num_partitions)
 
@@ -76,4 +83,25 @@ def test_partition_count(benchmark, workload, reference, scaling_table, num_part
         s_edges,
         f"{d_memory / 1e6:.1f} MB",
         f"{len(got)} (identical)",
+    )
+    ingest_seconds = benchmark.stats.stats.mean
+    _INGEST_SECONDS[num_partitions] = ingest_seconds
+    metrics = {
+        "ingest_seconds": round(ingest_seconds, 4),
+        "events_per_sec": round(len(events) / ingest_seconds, 1),
+        "s_edges_total": s_edges,
+        "d_memory_mb": round(d_memory / 1e6, 2),
+    }
+    if 1 in _INGEST_SECONDS:
+        # The single-process fan-out penalty; ~P by design (every
+        # partition sees every event), and machine-independent.
+        metrics["slowdown_vs_p1"] = round(ingest_seconds / _INGEST_SECONDS[1], 3)
+    report.record(
+        "partition_scaling",
+        {
+            "partitions": num_partitions,
+            "workload": "bursty",
+            "num_users": snapshot.num_users,
+        },
+        metrics,
     )

@@ -42,6 +42,16 @@ def test_per_event_latency_distribution(benchmark, loaded_engine, report):
     table.add_row("p99", "a few milliseconds", f"{snap['p99'] * 1e3:.3f} ms")
     table.add_row("max", "-", f"{snap['max'] * 1e3:.3f} ms")
     table.add_note(f"distribution over {int(snap['count'])} events of the E2 stream")
+    report.record(
+        "query_latency",
+        {"workload": "bursty", "num_users": snapshot.num_users, "metric": "per-event"},
+        {
+            "p50_ms": round(snap["p50"] * 1e3, 4),
+            "p90_ms": round(snap["p90"] * 1e3, 4),
+            "p99_ms": round(snap["p99"] * 1e3, 4),
+            "events": int(snap["count"]),
+        },
+    )
 
     assert snap["p50"] < 0.005, "median query latency should be sub-5ms"
     assert snap["p99"] < 0.050, "p99 query latency should stay tens-of-ms"
@@ -73,4 +83,13 @@ def test_hot_vs_cold_target_latency(benchmark, loaded_engine, report):
             t.add_row("cold-target query (min)", "-", f"{cold * 1e6:.1f} us")
             t.add_row("hot-target query (min)", "-", f"{hot * 1e6:.1f} us")
             break
+    report.record(
+        "query_latency",
+        {"workload": "bursty", "num_users": snapshot.num_users, "metric": "hot-vs-cold"},
+        {
+            "cold_us": round(cold * 1e6, 2),
+            "hot_us": round(hot * 1e6, 2),
+            "hot_over_cold_ratio": round(hot / max(cold, 1e-9), 3),
+        },
+    )
     assert cold <= hot, "cold targets must be cheaper than hot ones"

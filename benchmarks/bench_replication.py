@@ -15,7 +15,6 @@ Three properties measured:
 import pytest
 
 from repro.bench.workloads import bench_cluster, bursty_workload
-from repro.core import EdgeEvent
 
 REPLICAS = [1, 2, 3]
 

@@ -31,6 +31,7 @@ from repro.core import (
     Recommendation,
 )
 from repro.graph import (
+    CsrFollowerIndex,
     CsrGraph,
     DynamicEdgeIndex,
     GraphSnapshot,
@@ -49,6 +50,7 @@ __all__ = [
     "MotifEngine",
     "OnlineDetector",
     "Recommendation",
+    "CsrFollowerIndex",
     "CsrGraph",
     "DynamicEdgeIndex",
     "GraphSnapshot",

@@ -10,6 +10,7 @@ documented in the README ("Benchmark result files")."""
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -105,12 +106,7 @@ class Reporter:
         written: list[Path] = []
         for name, records in by_name.items():
             path = directory / f"BENCH_{name}.json"
-            results: list[dict] = []
-            if path.exists():
-                try:
-                    results = json.loads(path.read_text()).get("results", [])
-                except (json.JSONDecodeError, AttributeError):
-                    results = []
+            results = self._load_existing_results(path)
             for record in records:
                 row = {"params": record.params, "metrics": record.metrics}
                 for i, existing in enumerate(results):
@@ -123,6 +119,48 @@ class Reporter:
             path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
             written.append(path)
         return written
+
+    @staticmethod
+    def _load_existing_results(path: Path) -> list[dict]:
+        """Previously-written results to merge into, or ``[]``.
+
+        A corrupt, truncated, or wrong-shaped existing file (a killed
+        benchmark run, a bad manual edit) must never sink the fresh run's
+        results: any malformed payload — or malformed individual entries —
+        is dropped with a warning and the file is rewritten from what
+        remains.
+        """
+        if not path.exists():
+            return []
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as error:
+            warnings.warn(
+                f"existing benchmark results file {path} is corrupt "
+                f"({error}); rewriting it from this run's records",
+                stacklevel=3,
+            )
+            return []
+        results = payload.get("results") if isinstance(payload, dict) else None
+        if not isinstance(results, list):
+            warnings.warn(
+                f"existing benchmark results file {path} has no usable "
+                "'results' list; rewriting it from this run's records",
+                stacklevel=3,
+            )
+            return []
+        well_formed = [
+            entry
+            for entry in results
+            if isinstance(entry, dict) and isinstance(entry.get("params"), dict)
+        ]
+        if len(well_formed) != len(results):
+            warnings.warn(
+                f"dropping {len(results) - len(well_formed)} malformed "
+                f"entries from {path}",
+                stacklevel=3,
+            )
+        return well_formed
 
     def table(
         self,

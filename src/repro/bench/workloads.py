@@ -100,6 +100,8 @@ def bench_engine(
     snapshot: GraphSnapshot,
     params: DetectionParams | None = None,
     track_latency: bool = True,
+    s_backend: str = "csr",
+    d_backend: str = "ring",
 ) -> MotifEngine:
     """A single-machine engine with the benchmark's default parameters."""
     return MotifEngine.from_snapshot(
@@ -107,6 +109,8 @@ def bench_engine(
         params or BENCH_PARAMS,
         max_edges_per_target=BENCH_D_CAP,
         track_latency=track_latency,
+        s_backend=s_backend,
+        d_backend=d_backend,
     )
 
 
@@ -134,6 +138,43 @@ def firehose_stream_config(
     )
 
 
+def viral_firehose_stream_config(
+    num_users: int = 20_000,
+    duration: float = 1_200.0,
+    rate: float = 12.0,
+    burst_actors: int = 1_500,
+    num_bursts: int = 4,
+    seed: int = 99,
+) -> StreamConfig:
+    """The cold firehose plus one persistently viral target.
+
+    Same uncorrelated background as :func:`firehose_stream_config`, with
+    repeated bursts aimed at a single high-id account so its D entry sits
+    at the per-target cap for most of the stream — the workload shape the
+    columnar ring backend exists for (the paper's "pruning the D data
+    structure" scenario: a viral C whose freshness scan runs on every hit).
+    Burst actors are sampled without popularity bias so the S-side work
+    stays modest and the D scan dominates the hot path.
+    """
+    return StreamConfig(
+        num_users=num_users,
+        duration=duration,
+        background_rate=rate,
+        target_popularity_exponent=0.4,
+        bursts=tuple(
+            BurstSpec(
+                target=num_users - 1,
+                start=duration * 0.1 + (duration * 0.8 / num_bursts) * i,
+                duration=duration * 0.8 / num_bursts * 0.8,
+                num_actors=burst_actors,
+                actor_popularity_bias=0.0,
+            )
+            for i in range(num_bursts)
+        ),
+        seed=seed,
+    )
+
+
 def drive_stream(system, events: list[EdgeEvent], batch_size: int = 1):
     """Replay *events* through an engine or cluster, optionally batched.
 
@@ -149,6 +190,8 @@ def bench_cluster(
     num_partitions: int,
     replication_factor: int = 1,
     params: DetectionParams | None = None,
+    s_backend: str = "csr",
+    d_backend: str = "ring",
 ) -> Cluster:
     """A cluster with the benchmark's default parameters."""
     return Cluster.build(
@@ -158,5 +201,7 @@ def bench_cluster(
             num_partitions=num_partitions,
             replication_factor=replication_factor,
             max_edges_per_target=BENCH_D_CAP,
+            s_backend=s_backend,
+            d_backend=d_backend,
         ),
     )

@@ -35,7 +35,13 @@ from repro.gen import (
     generate_event_stream,
     generate_follow_graph,
 )
-from repro.graph import DynamicEdgeIndex, GraphSnapshot, build_follower_snapshot
+from repro.graph import (
+    D_BACKENDS,
+    S_BACKENDS,
+    DynamicEdgeIndex,
+    GraphSnapshot,
+    build_follower_snapshot,
+)
 from repro.motif import MOTIF_CATALOG, DeclarativeDetector, parse_motif
 from repro.streaming import StreamingTopology
 
@@ -77,6 +83,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=1,
         help="columnar micro-batch size for ingestion (1 = per-event)",
     )
+    _add_backend_args(run)
 
     simulate = commands.add_parser("simulate", help="end-to-end latency simulation")
     simulate.add_argument("graph", type=Path)
@@ -97,6 +104,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="micro-batch flush deadline in virtual seconds",
     )
+    _add_backend_args(simulate)
 
     explain = commands.add_parser("explain", help="print a motif's compiled plan")
     explain.add_argument(
@@ -110,6 +118,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
     analyze.add_argument("graph", type=Path)
 
     return parser
+
+
+def _add_backend_args(command: argparse.ArgumentParser) -> None:
+    """Storage-backend selectors shared by ``run`` and ``simulate``."""
+    command.add_argument(
+        "--s-backend",
+        choices=S_BACKENDS,
+        default="csr",
+        help="S storage layout: csr = single int64 arena (default), "
+        "packed = one buffer per followed account",
+    )
+    command.add_argument(
+        "--d-backend",
+        choices=D_BACKENDS,
+        default="ring",
+        help="D storage layout: ring = columnar ring buffers for hot "
+        "targets (default), list = deques only",
+    )
 
 
 # ----------------------------------------------------------------------
@@ -197,7 +223,10 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     snapshot = GraphSnapshot.load(args.graph)
     events = _load_stream(args.stream)
     engine = MotifEngine.from_snapshot(
-        snapshot, DetectionParams(k=args.k, tau=args.tau)
+        snapshot,
+        DetectionParams(k=args.k, tau=args.tau),
+        s_backend=args.s_backend,
+        d_backend=args.d_backend,
     )
     recs = engine.process_stream(events, batch_size=args.batch_size)
     latency = engine.stats.query_latency.snapshot()
@@ -220,7 +249,11 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
     cluster = Cluster.build(
         snapshot,
         DetectionParams(k=args.k, tau=args.tau),
-        ClusterConfig(num_partitions=args.partitions),
+        ClusterConfig(
+            num_partitions=args.partitions,
+            s_backend=args.s_backend,
+            d_backend=args.d_backend,
+        ),
     )
     topology = StreamingTopology(
         cluster,

@@ -48,6 +48,11 @@ class ClusterConfig:
         max_edges_per_target: per-C cap on stored D entries (the paper's
             D-pruning mitigation for viral targets).
         track_latency: make partitions record per-event detection time.
+        s_backend: S storage layout per shard — ``"csr"`` (single int64
+            arena, default) or ``"packed"``; representation only, results
+            are identical.
+        d_backend: D storage layout per replica — ``"ring"`` (columnar
+            ring buffers for hot targets, default) or ``"list"``.
     """
 
     num_partitions: int = PRODUCTION_PARTITIONS
@@ -55,6 +60,8 @@ class ClusterConfig:
     influencer_limit: int | None = None
     max_edges_per_target: int | None = None
     track_latency: bool = False
+    s_backend: str = "csr"
+    d_backend: str = "ring"
 
     def __post_init__(self) -> None:
         require_positive(self.num_partitions, "num_partitions")
@@ -69,11 +76,21 @@ class Cluster:
         broker: Broker,
         partitioner: Partitioner,
         params: DetectionParams,
+        config: ClusterConfig | None = None,
     ) -> None:
-        """Wrap prebuilt components; prefer :meth:`build`."""
+        """Wrap prebuilt components; prefer :meth:`build`.
+
+        Args:
+            config: the deployment shape the components were built with;
+                snapshot reloads reuse its storage backends.  Callers
+                assembling a cluster by hand around non-default backends
+                must pass the matching config or reloads will rebuild
+                shards in the default layout.
+        """
         self.broker = broker
         self.partitioner = partitioner
         self.params = params
+        self.config = config or ClusterConfig()
 
     @classmethod
     def build(
@@ -111,17 +128,20 @@ class Cluster:
                 snapshot,
                 influencer_limit=config.influencer_limit,
                 include_source=lambda a, p=p: partitioner.partition_of(a) == p,
+                backend=config.s_backend,
             )
             replicas: list[PartitionServer] = []
             channels: list[SimulatedChannel] = []
             for r in range(config.replication_factor):
                 detectors = None
-                dynamic_index = None
+                # Every replica owns a private full D copy in the
+                # configured backend (the paper's D-replication design).
+                dynamic_index = DynamicEdgeIndex(
+                    retention=params.tau,
+                    max_edges_per_target=config.max_edges_per_target,
+                    backend=config.d_backend,
+                )
                 if detector_factory is not None:
-                    dynamic_index = DynamicEdgeIndex(
-                        retention=params.tau,
-                        max_edges_per_target=config.max_edges_per_target,
-                    )
                     detectors = detector_factory(shard, dynamic_index)
                 replicas.append(
                     PartitionServer(
@@ -140,7 +160,7 @@ class Cluster:
                 else:
                     channels.append(SimulatedChannel(f"p{p}/r{r}"))
             replica_sets.append(ReplicaSet(p, replicas, channels))
-        return cls(Broker(replica_sets), partitioner, params)
+        return cls(Broker(replica_sets), partitioner, params, config)
 
     # ------------------------------------------------------------------
     # Serving interface
@@ -222,6 +242,7 @@ class Cluster:
                 snapshot,
                 influencer_limit=influencer_limit,
                 include_source=lambda a, p=p: self.partitioner.partition_of(a) == p,
+                backend=self.config.s_backend,
             )
             for replica in replica_set.replicas:
                 replica.reload_static(shard)

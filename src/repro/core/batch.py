@@ -11,6 +11,12 @@ target (C), plus a compact action-code column — which flows end to end:
                      -> DynamicEdgeIndex.insert_batch
                      -> DiamondDetector.process_batch
 
+The storage layer continues the columnar layout at rest: the csr S backend
+(:class:`~repro.graph.static_index.CsrFollowerIndex`) serves follower lists
+as zero-copy slices of one int64 arena, and the ring D backend keeps hot
+targets' recent edges in circular numpy columns — so a batch's arrays flow
+into, through, and back out of the indexes without per-element boxing.
+
 Batched processing is *semantics-preserving*: every layer's ``process_batch``
 emits exactly the recommendations (and leaves exactly the index state) that
 the per-event loop would.  The key tool for that is
@@ -204,11 +210,12 @@ class EventBatch:
         n = len(self.timestamps)
         if n == 0:
             return []
-        # Common case: no repeated target at all — one C-speed uniqueness
-        # check replaces the stateful scan.
-        if len(np.unique(self.targets)) == n:
-            return [(0, n)]
         targets = self.columns()[2]
+        # Common case: no repeated target at all — one hash pass over the
+        # cached row list beats sort-based uniqueness (np.unique) by an
+        # order of magnitude at micro-batch sizes.
+        if len(set(targets)) == n:
+            return [(0, n)]
         runs: list[tuple[int, int]] = []
         seen: set[int] = set()
         add = seen.add

@@ -30,15 +30,17 @@ _CODE_TO_ACTION = {code: action for action, code in _ACTION_TO_CODE.items()}
 def save_dynamic_index(index: DynamicEdgeIndex, path: str | Path) -> int:
     """Write every stored edge of *index* to *path* (.npz).
 
-    Returns the number of edges written.  Configuration (retention, caps)
-    is saved alongside so a mismatched restore fails loudly.
+    Returns the number of edges written.  Configuration (retention, caps,
+    storage backend) is saved alongside so a restore reproduces the same
+    index — :meth:`DynamicEdgeIndex.entries` serves the stored tuples
+    identically whether a target lives in a deque or a columnar ring.
     """
     targets: list[int] = []
     timestamps: list[float] = []
     sources: list[int] = []
     actions: list[int] = []
     for c in index.targets():
-        for timestamp, b, action in index._edges[c]:
+        for timestamp, b, action in index.entries(c):
             targets.append(c)
             timestamps.append(timestamp)
             sources.append(b)
@@ -51,23 +53,43 @@ def save_dynamic_index(index: DynamicEdgeIndex, path: str | Path) -> int:
         actions=np.asarray(actions, dtype=np.int8),
         retention=np.float64(index.retention),
         max_edges_per_target=np.int64(index.max_edges_per_target or -1),
+        backend=np.str_(index.backend),
+        promote_threshold=np.int64(index.promote_threshold),
     )
     return len(targets)
 
 
-def load_dynamic_index(path: str | Path) -> DynamicEdgeIndex:
+def load_dynamic_index(
+    path: str | Path, backend: str | None = None
+) -> DynamicEdgeIndex:
     """Restore a :func:`save_dynamic_index` checkpoint.
 
     Edges are re-inserted in file order (which preserves per-target
     arrival order), so window and cap pruning semantics carry over
-    exactly.
+    exactly.  The storage backend recorded at save time is restored unless
+    *backend* overrides it (checkpoints predating the backend field load
+    as ``"list"``).
     """
     with np.load(Path(path)) as data:
         retention = float(data["retention"])
         cap = int(data["max_edges_per_target"])
+        if backend is None:
+            backend = (
+                str(data["backend"]) if "backend" in data.files else "list"
+            )
+        promote_threshold = (
+            int(data["promote_threshold"])
+            if "promote_threshold" in data.files
+            else None
+        )
+        kwargs = {}
+        if promote_threshold is not None:
+            kwargs["promote_threshold"] = promote_threshold
         index = DynamicEdgeIndex(
             retention=retention,
             max_edges_per_target=None if cap < 0 else cap,
+            backend=backend,
+            **kwargs,
         )
         targets = data["targets"]
         timestamps = data["timestamps"]

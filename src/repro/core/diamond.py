@@ -18,7 +18,7 @@ partitions holding identical S shards and D copies produce identical output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.params import DetectionParams
 from repro.core.recommendation import Recommendation
-from repro.graph.dynamic_index import DynamicEdgeIndex, FreshEdge
+from repro.graph.dynamic_index import DynamicEdgeIndex, FreshColumns, FreshEdge
 from repro.graph.intersect import k_overlap, k_overlap_arrays
 from repro.graph.static_index import StaticFollowerIndex
 
@@ -192,7 +192,9 @@ class DiamondDetector:
         if now is None:
             nows = timestamps
         else:
-            nows = [t if t > now else now for t in timestamps]
+            # One C-speed clamp against the processing clock instead of a
+            # per-event comparison loop.
+            nows = np.maximum(run.timestamps, now).tolist()
         fresh_lists = self._dynamic.fresh_sources_multi(
             targets, nows, tau=params.tau, min_count=k, raw=True
         )
@@ -213,7 +215,12 @@ class DiamondDetector:
                 continue
             stats.triggers += 1
             stats.candidates_emitted += len(recipients)
-            via = tuple(edge[1] for edge in fresh)
+            if type(fresh) is FreshColumns:
+                # One cached tolist instead of a per-edge generator pass —
+                # via tuples of viral triggers span hundreds of witnesses.
+                via = tuple(fresh.sources_list())
+            else:
+                via = tuple(edge[1] for edge in fresh)
             created_at = timestamps[i]
             action = actions[i]
             append(
@@ -268,7 +275,12 @@ class DiamondDetector:
         if len(follower_lists) < params.k:
             return []
 
-        recipients = k_overlap(follower_lists, params.k)
+        if type(follower_lists[0]) is np.ndarray:
+            # The csr S backend serves arena slices; the array kernel keeps
+            # results as Python ints, identical to the packed-list path.
+            recipients = k_overlap_arrays(follower_lists, params.k).tolist()
+        else:
+            recipients = k_overlap(follower_lists, params.k)
         if not recipients:
             return []
 
@@ -291,37 +303,45 @@ class DiamondDetector:
     ) -> list[int]:
         """Vectorised :meth:`_audience` for the batched path.
 
-        Identical output, different execution: each fresh B's packed
-        follower list is viewed zero-copy as an int64 array and memoized on
-        the detector (S is immutable until rebound, so reuse is exact), and
+        Identical output, different execution: each fresh B's follower list
+        is fetched as a zero-copy int64 view (``follower_array``, backend-
+        neutral) and memoized on the detector (S is immutable until
+        rebound, so reuse is exact), and
         the k-overlap runs as one C-speed sort plus run-length threshold
         over the concatenation.  The exclusion filters stay as the
         per-event path's scalar loop — the k-filter leaves few recipients,
         so vectorising that pass costs more in numpy dispatch than it
         saves.
 
-        *fresh* is the raw ``(timestamp, source, action)`` representation
-        from :meth:`~repro.graph.dynamic_index.DynamicEdgeIndex
-        .fresh_sources_multi`.
+        *fresh* is the raw representation from
+        :meth:`~repro.graph.dynamic_index.DynamicEdgeIndex
+        .fresh_sources_multi`: a list of stored ``(timestamp, source,
+        action)`` tuples, or a :class:`~repro.graph.dynamic_index
+        .FreshColumns` for ring-backed viral targets — whose source column
+        is consumed with a single ``tolist`` instead of a per-edge unpack.
         """
         params = self.params
+        if type(fresh) is FreshColumns:
+            sources = fresh.sources_list()
+        else:
+            sources = [edge[1] for edge in fresh]
         if (
             params.max_trigger_sources is not None
-            and len(fresh) > params.max_trigger_sources
+            and len(sources) > params.max_trigger_sources
         ):
             # Keep the most recent sources; fresh is in ascending-timestamp
             # order, so the tail is the newest.
-            fresh = fresh[-params.max_trigger_sources :]
+            sources = sources[-params.max_trigger_sources :]
 
         follower_arrays = self._follower_arrays
+        static_follower_array = self._static.follower_array
         follower_lists = []
-        for _t, b, _a in fresh:
+        for b in sources:
             arr = follower_arrays.get(b, _MISSING)
             if arr is _MISSING:
-                a_list = self._static.followers_of(b)
-                arr = (
-                    np.frombuffer(a_list, dtype=np.int64) if len(a_list) else None
-                )
+                # Both S backends serve a zero-copy int64 view (None when
+                # empty): an arena slice for csr, a buffer view for packed.
+                arr = static_follower_array(b)
                 follower_arrays[b] = arr
             if arr is not None:
                 follower_lists.append(arr)
@@ -335,19 +355,34 @@ class DiamondDetector:
         if not recipients.size:
             return []
 
-        # Post-threshold recipient lists are short (the k-filter is what
-        # shrinks the multiset), so the exclusion pass is cheapest as the
-        # same scalar loop the per-event path runs.
         if params.exclude_existing_followers:
-            fresh_sources = {edge[1] for edge in fresh}
-            has_edge = self._static.has_edge
+            # Drop A's already following C per the static snapshot with one
+            # vectorized membership probe against C's sorted follower array
+            # (memoized like any other) — burst triggers produce hundreds
+            # of recipients, where the per-event path's per-recipient
+            # binary search dominates the whole batch.
+            target_followers = follower_arrays.get(target, _MISSING)
+            if target_followers is _MISSING:
+                target_followers = static_follower_array(target)
+                follower_arrays[target] = target_followers
+            if target_followers is not None:
+                positions = np.minimum(
+                    np.searchsorted(target_followers, recipients),
+                    len(target_followers) - 1,
+                )
+                recipients = recipients[target_followers[positions] != recipients]
+            # C's newest followers themselves (their follow edge is in D,
+            # not yet in S) are excluded by the scalar pass below; the
+            # fresh-source set is small, so hashing beats numpy here.
+            fresh_sources = set(sources)
+        else:
+            fresh_sources = ()
         exclude_self = params.exclude_candidate_recipient
         kept: list[int] = []
         for a in recipients.tolist():
             if exclude_self and a == target:
                 continue
-            if params.exclude_existing_followers:
-                if a in fresh_sources or has_edge(a, target):
-                    continue
+            if a in fresh_sources:
+                continue
             kept.append(a)
         return kept

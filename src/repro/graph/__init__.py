@@ -28,8 +28,17 @@ from repro.graph.intersect import (
     k_overlap_scancount,
     k_overlap,
 )
-from repro.graph.static_index import StaticFollowerIndex
-from repro.graph.dynamic_index import DynamicEdgeIndex, DynamicSourceIndex, FreshEdge
+from repro.graph.static_index import (
+    S_BACKENDS,
+    CsrFollowerIndex,
+    StaticFollowerIndex,
+)
+from repro.graph.dynamic_index import (
+    D_BACKENDS,
+    DynamicEdgeIndex,
+    DynamicSourceIndex,
+    FreshEdge,
+)
 from repro.graph.csr import CsrGraph
 from repro.graph.snapshot import GraphSnapshot, build_follower_snapshot
 
@@ -46,7 +55,10 @@ __all__ = [
     "k_overlap_heap",
     "k_overlap_scancount",
     "k_overlap",
+    "S_BACKENDS",
+    "D_BACKENDS",
     "StaticFollowerIndex",
+    "CsrFollowerIndex",
     "DynamicEdgeIndex",
     "DynamicSourceIndex",
     "FreshEdge",

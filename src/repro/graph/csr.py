@@ -9,12 +9,38 @@ traverse.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.graph.ids import UserId
 from repro.util.validation import require
+
+
+def pack_rows(
+    rows: Mapping[int, Sequence[int]],
+) -> tuple[list[int], np.ndarray, np.ndarray]:
+    """Pack keyed adjacency rows into one contiguous int64 arena.
+
+    The CSR-style building block shared by full-graph CSR construction and
+    the columnar S backend: every row is laid out back-to-back in a single
+    ``int64`` arena, with an offsets table such that row ``i`` occupies
+    ``arena[offsets[i]:offsets[i + 1]]``.  Row *values* are stored exactly
+    as given (callers own sorting/dedup); row *order* follows the mapping's
+    iteration order.
+
+    Returns ``(keys, offsets, arena)`` where ``keys[i]`` is the key whose
+    row is the ``i``-th slice.
+    """
+    keys = list(rows)
+    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+    for i, key in enumerate(keys):
+        offsets[i + 1] = offsets[i] + len(rows[key])
+    total = int(offsets[-1])
+    arena = np.empty(total, dtype=np.int64)
+    for i, key in enumerate(keys):
+        arena[int(offsets[i]) : int(offsets[i + 1])] = rows[key]
+    return keys, offsets, arena
 
 
 class CsrGraph:

@@ -19,6 +19,19 @@ Timestamps may arrive slightly out of order (real message queues reorder);
 entries are kept in arrival order and freshness is always evaluated against
 the stored timestamps, so modest reordering only costs a little laziness in
 pruning, never correctness.
+
+Two storage backends share this contract:
+
+* ``list`` — every target holds a deque of boxed ``(t, b, action)`` tuples;
+* ``ring`` — cold targets stay deques, but targets promoted above
+  ``promote_threshold`` stored edges switch to a :class:`_HotRing`: a
+  circular **columnar** buffer (float64 timestamps, int64 sources, uint16
+  interned action codes) so freshness scans, dedup, and window pruning
+  vectorize for exactly the targets where the per-tuple Python scan hurts.
+  Rings demote back to deques when pruning shrinks them below half the
+  threshold.  Promotion and demotion are pure representation changes —
+  queries, eviction order, and counters are bit-identical to ``list``
+  (``tests/test_backend_equivalence.py`` enforces this on random streams).
 """
 
 from __future__ import annotations
@@ -27,8 +40,21 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.graph.ids import UserId
-from repro.util.validation import require_positive
+from repro.util.validation import require, require_positive
+
+#: Selectable D storage backends (``DynamicEdgeIndex(backend=...)``).
+D_BACKENDS = ("list", "ring")
+
+#: Stored-entry count at which the ring backend promotes a target from the
+#: deque representation to a columnar ring.  Below this, the plain Python
+#: scan over a handful of tuples beats numpy's fixed dispatch cost; the
+#: default sits at the measured query-cost crossover of the backend
+#: ablation (``benchmarks/bench_ingest_throughput.py``) — promotion is
+#: reserved for genuinely viral targets, where the vectorized scan wins.
+DEFAULT_PROMOTE_THRESHOLD = 160
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +76,226 @@ class FreshEdge:
 _NO_FRESH_SOURCES: list = []
 
 
+class FreshColumns:
+    """A columnar raw freshness result (ring-backed hot targets only).
+
+    ``fresh_sources_multi(raw=True)`` returns one of these instead of a
+    list of ``(timestamp, source, action)`` tuples when the queried target
+    lives in a ring: the deduped, time-ordered result stays as numpy
+    columns so the batched detector can consume sources with one
+    ``tolist`` instead of boxing a tuple per edge.  Iteration and equality
+    decode to exactly the tuples the list representation would return, so
+    the two raw shapes are interchangeable everywhere order matters.
+    """
+
+    __slots__ = ("timestamps", "sources", "action_codes", "_table", "_sources_list")
+
+    def __init__(
+        self,
+        timestamps: np.ndarray,
+        sources: np.ndarray,
+        action_codes: np.ndarray,
+        table: list,
+    ) -> None:
+        self.timestamps = timestamps
+        self.sources = sources
+        self.action_codes = action_codes
+        self._table = table
+        self._sources_list: list[int] | None = None
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def sources_list(self) -> list[int]:
+        """The source column as a plain list (cached one-shot ``tolist``)."""
+        sources = self._sources_list
+        if sources is None:
+            sources = self._sources_list = self.sources.tolist()
+        return sources
+
+    def __iter__(self):
+        table = self._table
+        return iter(
+            [
+                (t, b, table[code])
+                for t, b, code in zip(
+                    self.timestamps.tolist(),
+                    self.sources_list(),
+                    self.action_codes.tolist(),
+                )
+            ]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (FreshColumns, list)):
+            return list(self) == list(other)
+        return NotImplemented
+
+
+class _HotRing:
+    """Circular columnar buffer holding one hot target's recent edges.
+
+    Entries live in three parallel numpy arrays (timestamps, sources,
+    interned action codes) in **arrival order**, exactly mirroring a deque:
+    appends go to the logical tail, both pruning mechanisms pop from the
+    logical head.  ``_table`` is the owning index's shared code -> action
+    object list, so iteration and equality decode to the same tuples the
+    deque representation stores.
+
+    The buffer grows (doubling) when full, so it can temporarily hold more
+    than the per-target cap — cap eviction stays a policy of the owning
+    index, keeping the two backends' eviction logic line-for-line parallel.
+    """
+
+    __slots__ = ("ts", "src", "act", "start", "count", "_table")
+
+    def __init__(self, capacity: int, table: list) -> None:
+        capacity = max(capacity, 8)
+        self.ts = np.empty(capacity, dtype=np.float64)
+        self.src = np.empty(capacity, dtype=np.int64)
+        self.act = np.empty(capacity, dtype=np.uint16)
+        self.start = 0
+        self.count = 0
+        self._table = table
+
+    # -- mutation ------------------------------------------------------
+
+    def append(self, timestamp: float, source: int, code: int) -> None:
+        """Append one edge at the logical tail (grows when full)."""
+        capacity = len(self.ts)
+        if self.count == capacity:
+            self._grow(capacity * 2)
+            capacity = capacity * 2
+        position = self.start + self.count
+        if position >= capacity:
+            position -= capacity
+        self.ts[position] = timestamp
+        self.src[position] = source
+        self.act[position] = code
+        self.count += 1
+
+    def popleft(self) -> None:
+        """Drop the oldest entry."""
+        self.start += 1
+        if self.start == len(self.ts):
+            self.start = 0
+        self.count -= 1
+
+    def drop_stale(self, cutoff: float) -> int:
+        """Pop from the head while it is older than *cutoff*; count popped.
+
+        One scalar head check keeps the no-op case (the overwhelmingly
+        common one on in-order streams) at a single comparison; only when
+        something is actually stale does the vectorized leading-run count
+        pay for itself.
+        """
+        if not self.count or self.ts[self.start] >= cutoff:
+            return 0
+        ts = self._ordered(self.ts)
+        alive = ts >= cutoff
+        first_alive = int(np.argmax(alive))
+        removed = first_alive if alive[first_alive] else self.count
+        self.start = (self.start + removed) % len(self.ts)
+        self.count -= removed
+        return removed
+
+    def _grow(self, capacity: int) -> None:
+        ts = np.empty(capacity, dtype=np.float64)
+        src = np.empty(capacity, dtype=np.int64)
+        act = np.empty(capacity, dtype=np.uint16)
+        n = self.count
+        ts[:n] = self._ordered(self.ts)
+        src[:n] = self._ordered(self.src)
+        act[:n] = self._ordered(self.act)
+        self.ts, self.src, self.act = ts, src, act
+        self.start = 0
+
+    # -- views ---------------------------------------------------------
+
+    def _ordered(self, column: np.ndarray) -> np.ndarray:
+        """The live entries of *column* in arrival order (view when
+        unwrapped, copy when the ring wraps around)."""
+        stop = self.start + self.count
+        capacity = len(column)
+        if stop <= capacity:
+            return column[self.start : stop]
+        return np.concatenate((column[self.start :], column[: stop - capacity]))
+
+    def fresh_arrays(
+        self, now: float, cutoff: float, code: int | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised freshness query over the live window.
+
+        Returns ``(timestamps, sources, codes)`` of the fresh edges after
+        per-source dedup (latest timestamp wins; arrival order breaks
+        ties toward the earliest, matching the deque scan's strict
+        ``timestamp > previous`` replacement), ordered by ascending
+        ``(timestamp, source)``.
+        """
+        ts = self._ordered(self.ts)
+        src = self._ordered(self.src)
+        act = self._ordered(self.act)
+        if code is None and len(ts) and ts.min() >= cutoff and ts.max() <= now:
+            # Whole window fresh (the common case mid-burst: retention is
+            # wider than tau only pathologically, and `now` trails the
+            # newest edge) — skip the mask and its three fancy-index
+            # copies; the dedup below works on the raw views.
+            pass
+        else:
+            mask = (ts >= cutoff) & (ts <= now)
+            if code is not None:
+                mask &= act == code
+            ts = ts[mask]
+            src = src[mask]
+            act = act[mask]
+        n = len(ts)
+        if n > 1:
+            # Latest edge per distinct source.  Sort by (source, timestamp,
+            # arrival-desc) and keep each source group's last element: the
+            # max timestamp, and among equal timestamps the *earliest*
+            # arrival (larger -arrival sorts later).
+            arrival = np.arange(n)
+            order = np.lexsort((-arrival, ts, src))
+            src_sorted = src[order]
+            last = np.empty(n, dtype=bool)
+            last[-1] = True
+            np.not_equal(src_sorted[1:], src_sorted[:-1], out=last[:-1])
+            keep = order[last]
+            ts, src, act = ts[keep], src[keep], act[keep]
+            final = np.lexsort((src, ts))
+            ts, src, act = ts[final], src[final], act[final]
+        return ts, src, act
+
+    # -- deque-compatible protocol -------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        """Yield ``(timestamp, source, action)`` tuples in arrival order.
+
+        This is the same tuple shape a deque entry stores, so checkpointing
+        and resync code can iterate either representation blindly.
+        """
+        table = self._table
+        ts = self._ordered(self.ts).tolist()
+        src = self._ordered(self.src).tolist()
+        act = self._ordered(self.act).tolist()
+        return iter(
+            [(t, b, table[code]) for t, b, code in zip(ts, src, act)]
+        )
+
+    def __eq__(self, other: object) -> bool:
+        """Content equality against any entry sequence (ring or deque)."""
+        if isinstance(other, (_HotRing, deque)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def nbytes(self) -> int:
+        """Backing-array footprint in bytes."""
+        return int(self.ts.nbytes + self.src.nbytes + self.act.nbytes)
+
+
 class DynamicEdgeIndex:
     """Map ``C -> recent (B, timestamp) entries``, pruned by window and cap."""
 
@@ -57,6 +303,8 @@ class DynamicEdgeIndex:
         self,
         retention: float,
         max_edges_per_target: int | None = None,
+        backend: str = "ring",
+        promote_threshold: int = DEFAULT_PROMOTE_THRESHOLD,
     ) -> None:
         """Create an empty index.
 
@@ -65,16 +313,88 @@ class DynamicEdgeIndex:
                 largest freshness window ``tau`` any detector will ask for.
             max_edges_per_target: optional hard cap per C; the oldest
                 entries are evicted first.
+            backend: ``"ring"`` (default) promotes hot targets to columnar
+                ring buffers; ``"list"`` keeps every target as a deque of
+                tuples.  Query results and eviction behavior are identical.
+            promote_threshold: stored-edge count at which the ring backend
+                promotes a target; rings demote back below half of it.
         """
         require_positive(retention, "retention")
         if max_edges_per_target is not None:
             require_positive(max_edges_per_target, "max_edges_per_target")
+        require(
+            backend in D_BACKENDS,
+            f"unknown D backend {backend!r}; expected one of {D_BACKENDS}",
+        )
+        require_positive(promote_threshold, "promote_threshold")
         self.retention = retention
         self.max_edges_per_target = max_edges_per_target
-        self._edges: dict[UserId, deque[tuple[float, UserId, object | None]]] = {}
+        self.backend = backend
+        self.promote_threshold = promote_threshold
+        self._ring = backend == "ring"
+        self._edges: dict[UserId, deque | _HotRing] = {}
         self._num_edges = 0
         self._inserted_total = 0
         self._evicted_total = 0
+        #: Interned action tags for the columnar rings: code -> object, and
+        #: the id()-keyed reverse map.  Identity interning matches the
+        #: ``is``-based action filter exactly; interned objects are kept
+        #: alive by the table, so ids cannot be recycled.
+        self._action_table: list = [None]
+        self._action_codes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Action interning (ring backend)
+    # ------------------------------------------------------------------
+
+    def _encode_action(self, action: object | None) -> int:
+        if action is None:
+            return 0
+        code = self._action_codes.get(id(action))
+        if code is None:
+            self._action_table.append(action)
+            code = len(self._action_table) - 1
+            if code > np.iinfo(np.uint16).max:
+                raise ValueError(
+                    "too many distinct action tags for the ring backend "
+                    "(max 65535); use backend='list'"
+                )
+            self._action_codes[id(action)] = code
+        return code
+
+    def _filter_code(self, action: object | None) -> int | None:
+        """The interned code of *action* for filtering, or ``None`` for
+        "accept all".  An action never interned cannot match any ring
+        entry; the sentinel -1 makes the vectorized compare reject all."""
+        if action is None:
+            return None
+        return self._action_codes.get(id(action), -1)
+
+    # ------------------------------------------------------------------
+    # Promotion / demotion (ring backend)
+    # ------------------------------------------------------------------
+
+    def _promote(self, c: UserId, entry: deque) -> _HotRing:
+        """Switch a hot target's deque to the columnar ring representation."""
+        cap = self.max_edges_per_target
+        if cap is not None:
+            # cap + 1 slots: an append at the cap fits without growing, and
+            # the subsequent cap eviction restores the invariant.
+            capacity = max(cap + 1, len(entry))
+        else:
+            capacity = max(2 * self.promote_threshold, len(entry))
+        ring = _HotRing(capacity, self._action_table)
+        encode = self._encode_action
+        for timestamp, b, action in entry:
+            ring.append(timestamp, b, encode(action))
+        self._edges[c] = ring
+        return ring
+
+    def _demote(self, c: UserId, ring: _HotRing) -> deque:
+        """Switch a cooled-off ring back to the deque representation."""
+        entry = deque(ring)
+        self._edges[c] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Mutation
@@ -97,21 +417,37 @@ class DynamicEdgeIndex:
         if entry is None:
             entry = deque()
             self._edges[c] = entry
-        entry.append((timestamp, b, action))
-        self._num_edges += 1
+        if type(entry) is deque:
+            entry.append((timestamp, b, action))
+            self._num_edges += 1
+            self._inserted_total += 1
+            # Lazy window pruning at the insertion point keeps hot targets
+            # tidy without a global sweep.
+            self._drop_stale(c, entry, timestamp - self.retention)
+            if (
+                self.max_edges_per_target is not None
+                and len(entry) > self.max_edges_per_target
+            ):
+                overflow = len(entry) - self.max_edges_per_target
+                for _ in range(overflow):
+                    entry.popleft()
+                self._num_edges -= overflow
+                self._evicted_total += overflow
+            if self._ring and len(entry) >= self.promote_threshold:
+                self._promote(c, entry)
+            return
+        # Ring path: identical append / window-prune / cap-evict sequence
+        # over the columnar representation.
+        entry.append(timestamp, b, self._encode_action(action))
         self._inserted_total += 1
-        # Lazy window pruning at the insertion point keeps hot targets tidy
-        # without a global sweep.
-        self._drop_stale(c, entry, timestamp - self.retention)
-        if (
-            self.max_edges_per_target is not None
-            and len(entry) > self.max_edges_per_target
-        ):
-            overflow = len(entry) - self.max_edges_per_target
-            for _ in range(overflow):
+        evicted = entry.drop_stale(timestamp - self.retention)
+        cap = self.max_edges_per_target
+        if cap is not None:
+            while entry.count > cap:
                 entry.popleft()
-            self._num_edges -= overflow
-            self._evicted_total += overflow
+                evicted += 1
+        self._num_edges += 1 - evicted
+        self._evicted_total += evicted
 
     def insert_batch(self, batch, distinct_targets: bool = False) -> None:
         """Insert every edge of an :class:`~repro.core.batch.EventBatch`.
@@ -129,7 +465,7 @@ class DynamicEdgeIndex:
         to the interleaved loop: the group cannot overflow the per-target
         cap mid-batch, and the group's timestamp skew stays within the
         retention window (both pruning mechanisms pop only from the old end,
-        so under these conditions the final deque is the same suffix either
+        so under these conditions the final entry is the same suffix either
         way).  Groups violating either condition — pathological reordering
         or cap-overflowing floods — fall back to the exact per-event loop,
         still amortizing the dict lookup.
@@ -142,6 +478,8 @@ class DynamicEdgeIndex:
         retention = self.retention
         cap = self.max_edges_per_target
         has_cap = cap is not None
+        ring_backend = self._ring
+        promote_threshold = self.promote_threshold
         inserted = 0
         evicted = 0
 
@@ -156,20 +494,30 @@ class DynamicEdgeIndex:
                     entry = deque()
                     edges[c] = entry
                 timestamp = timestamps[i]
-                entry.append((timestamp, actors[i], actions[i]))
-                inserted += 1
-                cutoff = timestamp - retention
-                # The just-appended entry survives its own cutoff, so the
-                # deque can never empty here.
-                while entry[0][0] < cutoff:
-                    entry.popleft()
-                    evicted += 1
-                while has_cap and len(entry) > cap:
-                    # Normally at most one pop per append; the loop also
-                    # repairs over-cap state inherited via clone_state_from
-                    # from a differently-capped sibling.
-                    entry.popleft()
-                    evicted += 1
+                if type(entry) is deque:
+                    entry.append((timestamp, actors[i], actions[i]))
+                    inserted += 1
+                    cutoff = timestamp - retention
+                    # The just-appended entry survives its own cutoff, so
+                    # the deque can never empty here.
+                    while entry[0][0] < cutoff:
+                        entry.popleft()
+                        evicted += 1
+                    while has_cap and len(entry) > cap:
+                        # Normally at most one pop per append; the loop also
+                        # repairs over-cap state inherited via
+                        # clone_state_from from a differently-capped sibling.
+                        entry.popleft()
+                        evicted += 1
+                    if ring_backend and len(entry) >= promote_threshold:
+                        self._promote(c, entry)
+                else:
+                    entry.append(timestamp, actors[i], self._encode_action(actions[i]))
+                    inserted += 1
+                    evicted += entry.drop_stale(timestamp - retention)
+                    while has_cap and entry.count > cap:
+                        entry.popleft()
+                        evicted += 1
             self._num_edges += inserted - evicted
             self._inserted_total += inserted
             self._evicted_total += evicted
@@ -206,33 +554,55 @@ class DynamicEdgeIndex:
                     cap is None or len(entry) + m <= cap
                 )
             if bulk_safe:
-                entry.extend(
-                    (timestamps[i], actors[i], actions[i]) for i in idxs
-                )
-                inserted += m
-                cutoff = t_max - retention
-                # bulk_safe guarantees the cap cannot trigger (pruning only
-                # shrinks the entry), so only the window pass is needed.
-                while entry[0][0] < cutoff:
-                    entry.popleft()
-                    evicted += 1
+                if type(entry) is deque:
+                    entry.extend(
+                        (timestamps[i], actors[i], actions[i]) for i in idxs
+                    )
+                    inserted += m
+                    cutoff = t_max - retention
+                    # bulk_safe guarantees the cap cannot trigger (pruning
+                    # only shrinks the entry), so only the window pass is
+                    # needed.
+                    while entry[0][0] < cutoff:
+                        entry.popleft()
+                        evicted += 1
+                    if ring_backend and len(entry) >= promote_threshold:
+                        self._promote(c, entry)
+                else:
+                    encode = self._encode_action
+                    for i in idxs:
+                        entry.append(timestamps[i], actors[i], encode(actions[i]))
+                    inserted += m
+                    evicted += entry.drop_stale(t_max - retention)
             else:
                 # Exact replica of the per-event insert loop for this
                 # target (same block as the distinct_targets fast path
                 # above — the two must stay in sync with insert()).
                 for i in idxs:
                     timestamp = timestamps[i]
-                    entry.append((timestamp, actors[i], actions[i]))
-                    inserted += 1
-                    cutoff = timestamp - retention
-                    while entry[0][0] < cutoff:
-                        entry.popleft()
-                        evicted += 1
-                    if cap is not None and len(entry) > cap:
-                        overflow = len(entry) - cap
-                        for _ in range(overflow):
+                    if type(entry) is deque:
+                        entry.append((timestamp, actors[i], actions[i]))
+                        inserted += 1
+                        cutoff = timestamp - retention
+                        while entry[0][0] < cutoff:
                             entry.popleft()
-                        evicted += overflow
+                            evicted += 1
+                        if cap is not None and len(entry) > cap:
+                            overflow = len(entry) - cap
+                            for _ in range(overflow):
+                                entry.popleft()
+                            evicted += overflow
+                        if ring_backend and len(entry) >= promote_threshold:
+                            entry = self._promote(c, entry)
+                    else:
+                        entry.append(
+                            timestamp, actors[i], self._encode_action(actions[i])
+                        )
+                        inserted += 1
+                        evicted += entry.drop_stale(timestamp - retention)
+                        while cap is not None and entry.count > cap:
+                            entry.popleft()
+                            evicted += 1
 
         self._num_edges += inserted - evicted
         self._inserted_total += inserted
@@ -243,9 +613,16 @@ class DynamicEdgeIndex:
 
         Used by replica resync: a recovering replica bootstraps its D from
         a healthy sibling before rejoining the stream.  Retention/cap
-        configuration is not copied — only the stored edges.
+        configuration is not copied — only the stored edges, re-packed
+        into *this* index's backend representation (a ring-backed clone of
+        a list-backed sibling re-promotes hot targets, and vice versa).
         """
-        self._edges = {c: deque(entry) for c, entry in other._edges.items()}
+        self._edges = {}
+        for c, entry in other._edges.items():
+            copied = deque(entry)
+            self._edges[c] = copied
+            if self._ring and len(copied) >= self.promote_threshold:
+                self._promote(c, copied)
         self._num_edges = other._num_edges
         self._inserted_total = other._inserted_total
         self._evicted_total = other._evicted_total
@@ -254,23 +631,38 @@ class DynamicEdgeIndex:
         """Eagerly drop all entries older than ``now - retention``.
 
         Returns the number of edges removed.  The ingest pipeline calls this
-        periodically to bound memory between bursts.
+        periodically to bound memory between bursts.  For the ring backend
+        this sweep is also where cooled-off rings demote back to deques.
         """
         cutoff = now - self.retention
         removed = 0
         dead_targets: list[UserId] = []
+        demote_below = self.promote_threshold // 2
+        demotions: list[UserId] = []
         for c, entry in self._edges.items():
-            removed += self._drop_stale(c, entry, cutoff, track_dead=False)
-            if not entry:
+            if type(entry) is deque:
+                removed += self._drop_stale(c, entry, cutoff, track_dead=False)
+                if not entry:
+                    dead_targets.append(c)
+                continue
+            dropped = entry.drop_stale(cutoff)
+            removed += dropped
+            self._num_edges -= dropped
+            self._evicted_total += dropped
+            if not entry.count:
                 dead_targets.append(c)
+            elif entry.count < demote_below:
+                demotions.append(c)
         for c in dead_targets:
             del self._edges[c]
+        for c in demotions:
+            self._demote(c, self._edges[c])
         return removed
 
     def _drop_stale(
         self,
         c: UserId,
-        entry: deque[tuple[float, UserId, object | None]],
+        entry: deque,
         cutoff: float,
         track_dead: bool = True,
     ) -> int:
@@ -320,6 +712,13 @@ class DynamicEdgeIndex:
         if not entry:
             return []
         cutoff = now - tau
+        if type(entry) is not deque:
+            ts, src, act = entry.fresh_arrays(now, cutoff, self._filter_code(action))
+            table = self._action_table
+            return [
+                FreshEdge(source=b, timestamp=t, action=table[code])
+                for t, b, code in zip(ts.tolist(), src.tolist(), act.tolist())
+            ]
         if len(entry) == 1:
             # Fast path for the overwhelmingly common cold target.
             timestamp, b, edge_action = entry[0]
@@ -374,7 +773,10 @@ class DynamicEdgeIndex:
         ``raw=True`` returns each fresh edge as its stored
         ``(timestamp, source, action)`` tuple instead of boxing a
         :class:`FreshEdge` — the allocation-free representation the batched
-        detector consumes (same edges, same order).
+        detector consumes (same edges, same order).  Ring-backed hot
+        targets go one step further and return a :class:`FreshColumns`
+        (same edges as numpy columns; iterates/compares as the same
+        tuples).
         """
         require_positive(tau, "tau")
         if tau > self.retention:
@@ -384,6 +786,8 @@ class DynamicEdgeIndex:
             )
         edges = self._edges
         empty = _NO_FRESH_SOURCES
+        filter_code = self._filter_code(action)
+        table = self._action_table
         results: list[list] = []
         append = results.append
         for c, now in zip(targets, nows):
@@ -392,6 +796,25 @@ class DynamicEdgeIndex:
                 append(empty)
                 continue
             cutoff = now - tau
+            if type(entry) is not deque:
+                # Columnar hot target: one vectorized select + dedup + sort.
+                ts, src, act = entry.fresh_arrays(now, cutoff, filter_code)
+                if not len(ts):
+                    append(empty)
+                elif raw:
+                    # Stay columnar: boxing a tuple per edge here would eat
+                    # the vectorized scan's entire win on viral targets.
+                    append(FreshColumns(ts, src, act, table))
+                else:
+                    append(
+                        [
+                            FreshEdge(source=b, timestamp=t, action=table[code])
+                            for t, b, code in zip(
+                                ts.tolist(), src.tolist(), act.tolist()
+                            )
+                        ]
+                    )
+                continue
             if len(entry) == 1:
                 head = entry[0]
                 timestamp, b, edge_action = head
@@ -441,6 +864,14 @@ class DynamicEdgeIndex:
         """All C's that currently have at least one stored edge."""
         return self._edges.keys()
 
+    def entries(self, c: UserId) -> list[tuple[float, UserId, object | None]]:
+        """The stored ``(timestamp, source, action)`` tuples of *c*, in
+        arrival order — the backend-neutral view used by checkpointing."""
+        entry = self._edges.get(c)
+        if entry is None:
+            return []
+        return list(entry)
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -454,6 +885,11 @@ class DynamicEdgeIndex:
     def num_edges(self) -> int:
         """Total stored edges across all targets."""
         return self._num_edges
+
+    @property
+    def num_hot_targets(self) -> int:
+        """Number of targets currently in the columnar ring representation."""
+        return sum(1 for entry in self._edges.values() if type(entry) is not deque)
 
     @property
     def inserted_total(self) -> int:
@@ -470,9 +906,16 @@ class DynamicEdgeIndex:
 
         Each deque slot holds a ``(float, int)`` tuple: ~72 bytes of boxed
         payload plus a pointer — call it 88 bytes — and each target adds a
-        dict slot plus deque overhead (~180 bytes).
+        dict slot plus container overhead (~180 bytes).  Ring-backed
+        targets are charged their actual backing-array bytes instead.
         """
-        return self._num_edges * 88 + len(self._edges) * 180
+        total = len(self._edges) * 180
+        for entry in self._edges.values():
+            if type(entry) is deque:
+                total += len(entry) * 88
+            else:
+                total += entry.nbytes() + 64
+        return total
 
 
 class DynamicSourceIndex:
@@ -485,7 +928,8 @@ class DynamicSourceIndex:
     source-counted motifs (e.g. follow-spree detection) require.
 
     Same pruning semantics as :class:`DynamicEdgeIndex`: a retention
-    window enforced lazily plus an optional per-source cap.
+    window enforced lazily plus an optional per-source cap.  (List-backed
+    only — spree queries never scan entries hot enough to justify rings.)
     """
 
     def __init__(

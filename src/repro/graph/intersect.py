@@ -106,7 +106,9 @@ def intersect_sorted(a: IdList, b: IdList) -> list[int]:
 
     This is the dispatch the engine uses in production paths.
     """
-    if not a or not b:
+    if not len(a) or not len(b):
+        # len() rather than truthiness: inputs may be numpy arrays (the
+        # csr S backend serves arena slices), whose bool() is ambiguous.
         return []
     short, long_ = (a, b) if len(a) <= len(b) else (b, a)
     if len(long_) >= GALLOP_RATIO * len(short):

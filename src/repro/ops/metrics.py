@@ -8,7 +8,7 @@ so two clusters in one process never share metrics by accident.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.stats import PercentileTracker
 from repro.util.validation import require

@@ -8,7 +8,7 @@ pressure), channel failure counts, and replica availability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.ops.metrics import MetricsRegistry

@@ -1,0 +1,329 @@
+"""Storage-backend equivalence: representation changes nothing observable.
+
+The columnar backends — ``csr`` for S (single int64 arena + offsets) and
+``ring`` for D (circular numpy columns for hot targets) — exist purely for
+speed and memory.  This module is the property-style guarantee that they
+are drop-in: on randomized follow graphs and event streams, every backend
+combination must produce identical recommendations, identical index
+contents, identical eviction counters, and identical checkpoint/snapshot
+round-trips as the reference ``packed``/``list`` pair, including across
+ring promotion and demotion boundaries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActionType, DetectionParams, MotifEngine
+from repro.core.checkpoint import load_dynamic_index, save_dynamic_index
+from repro.gen import (
+    BurstSpec,
+    StreamConfig,
+    TwitterGraphConfig,
+    generate_event_stream,
+    generate_follow_graph,
+)
+from repro.graph import (
+    CsrFollowerIndex,
+    DynamicEdgeIndex,
+    StaticFollowerIndex,
+    build_follower_snapshot,
+)
+
+BACKEND_MATRIX = [
+    ("packed", "list"),
+    ("csr", "list"),
+    ("packed", "ring"),
+    ("csr", "ring"),
+]
+
+follow_edges = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    max_size=120,
+)
+
+event_rows = st.lists(
+    st.tuples(
+        st.integers(0, 8),  # actor
+        st.integers(0, 4),  # target (tiny space forces hot targets)
+        st.floats(0.0, 100.0, allow_nan=False),  # timestamp offset
+        st.sampled_from([None, ActionType.FOLLOW, ActionType.RETWEET]),
+    ),
+    max_size=80,
+)
+
+
+# ----------------------------------------------------------------------
+# S: csr vs packed
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges=follow_edges, limit=st.one_of(st.none(), st.integers(1, 4)))
+def test_s_backends_agree_on_random_graphs(edges, limit):
+    """Identical queries and accounting from both S layouts."""
+    packed = StaticFollowerIndex.from_follow_edges(edges, influencer_limit=limit)
+    csr = CsrFollowerIndex.from_follow_edges(edges, influencer_limit=limit)
+    assert csr.num_edges == packed.num_edges
+    assert csr.num_targets == packed.num_targets
+    assert sorted(csr.sources()) == sorted(packed.sources())
+    assert csr.degree_histogram() == packed.degree_histogram()
+    for b in range(32):
+        assert list(csr.followers_of(b)) == list(packed.followers_of(b))
+        assert (b in csr) == (b in packed)
+        packed_array = packed.follower_array(b)
+        csr_array = csr.follower_array(b)
+        assert (packed_array is None) == (csr_array is None)
+        if packed_array is not None:
+            assert list(csr_array) == list(packed_array)
+        for a in range(32):
+            assert csr.has_edge(a, b) == packed.has_edge(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(base=follow_edges, appended=follow_edges)
+def test_csr_append_matches_bulk_build(base, appended):
+    """Append-and-compact lands on the same index as one bulk load.
+
+    Appended edges must be queryable immediately (overlay), after an
+    explicit compact, and count correctly against dedup in both the arena
+    and the overlay.
+    """
+    incremental = CsrFollowerIndex.from_follow_edges(base)
+    added = incremental.append_follow_edges(appended)
+    rebuilt = CsrFollowerIndex.from_follow_edges(list(base) + list(appended))
+    assert incremental.num_edges == rebuilt.num_edges
+    assert added == rebuilt.num_edges - CsrFollowerIndex.from_follow_edges(base).num_edges
+    for stage in ("overlay", "compacted"):
+        assert sorted(incremental.sources()) == sorted(rebuilt.sources())
+        assert incremental.num_targets == rebuilt.num_targets
+        for b in range(32):
+            assert list(incremental.followers_of(b)) == list(rebuilt.followers_of(b))
+            for a in range(32):
+                assert incremental.has_edge(a, b) == rebuilt.has_edge(a, b)
+        if stage == "overlay":
+            incremental.compact()
+            assert incremental.pending_edges == 0
+
+
+def test_csr_auto_compacts_at_threshold():
+    index = CsrFollowerIndex.from_follow_edges([(0, 1)])
+    index.compact_threshold = 4
+    index.append_follow_edges([(a, 1) for a in range(1, 4)])
+    assert index.pending_edges == 3
+    index.append_follow_edges([(9, 2)])
+    assert index.pending_edges == 0  # threshold reached -> folded into arena
+    assert list(index.followers_of(1)) == [0, 1, 2, 3]
+    assert list(index.followers_of(2)) == [9]
+
+
+# ----------------------------------------------------------------------
+# D: ring vs list
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=event_rows,
+    cap=st.one_of(st.none(), st.integers(1, 6)),
+    threshold=st.integers(1, 12),
+    retention=st.sampled_from([5.0, 30.0, 200.0]),
+)
+def test_d_backends_agree_on_random_streams(rows, cap, threshold, retention):
+    """Ring and list D's stay bit-identical through promote/demote churn.
+
+    A tiny ``promote_threshold`` forces promotion early; interleaved
+    ``prune_expired`` sweeps force demotion (and re-promotion on later
+    inserts); tiny caps exercise eviction inside both representations.
+    """
+    reference = DynamicEdgeIndex(retention, max_edges_per_target=cap, backend="list")
+    ring = DynamicEdgeIndex(
+        retention,
+        max_edges_per_target=cap,
+        backend="ring",
+        promote_threshold=threshold,
+    )
+    clock = 0.0
+    for i, (actor, target, offset, action) in enumerate(rows):
+        clock += offset / 10.0
+        for index in (reference, ring):
+            index.insert(actor, target, clock, action=action)
+        if i % 7 == 6:
+            assert reference.prune_expired(clock) == ring.prune_expired(clock)
+        if i % 3 == 2:
+            tau = min(retention, 10.0)
+            act = action if i % 2 else None
+            for c in range(5):
+                assert ring.fresh_sources(c, now=clock, tau=tau, action=act) == (
+                    reference.fresh_sources(c, now=clock, tau=tau, action=act)
+                )
+            targets = list(range(5))
+            nows = [clock] * 5
+            for raw in (False, True):
+                got = ring.fresh_sources_multi(
+                    targets, nows, tau=tau, action=act, min_count=2, raw=raw
+                )
+                expected = reference.fresh_sources_multi(
+                    targets, nows, tau=tau, action=act, min_count=2, raw=raw
+                )
+                # FreshColumns compares equal to the list-backend tuples.
+                assert list(map(list, got)) == list(map(list, expected))
+    assert ring.num_edges == reference.num_edges
+    assert ring.inserted_total == reference.inserted_total
+    assert ring.evicted_total == reference.evicted_total
+    assert ring.num_targets == reference.num_targets
+    for c in reference.targets():
+        assert ring.entries(c) == reference.entries(c)
+
+
+def test_ring_promotes_and_demotes_at_boundaries():
+    index = DynamicEdgeIndex(retention=100.0, backend="ring", promote_threshold=4)
+    for i in range(3):
+        index.insert(i, 7, float(i))
+    assert index.num_hot_targets == 0
+    index.insert(3, 7, 3.0)  # crosses the threshold
+    assert index.num_hot_targets == 1
+    # Pruning below half the threshold demotes back to the deque.
+    index.prune_expired(102.5)  # cutoff 2.5 -> one entry survives
+    assert index.num_hot_targets == 0
+    assert [e[1] for e in index.entries(7)] == [3]
+    # And the survivor re-promotes once it heats back up.
+    for i in range(10, 14):
+        index.insert(i, 7, 50.0 + i)
+    assert index.num_hot_targets == 1
+    assert index.num_edges == 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=event_rows, threshold=st.integers(1, 8))
+def test_clone_state_from_repacks_into_own_backend(rows, threshold):
+    source = DynamicEdgeIndex(50.0, backend="list")
+    clock = 0.0
+    for actor, target, offset, action in rows:
+        clock += offset / 20.0
+        source.insert(actor, target, clock, action=action)
+    clone = DynamicEdgeIndex(
+        50.0, backend="ring", promote_threshold=threshold
+    )
+    clone.clone_state_from(source)
+    assert clone.num_edges == source.num_edges
+    assert clone._edges == source._edges
+    for c in source.targets():
+        assert clone.entries(c) == source.entries(c)
+
+
+# ----------------------------------------------------------------------
+# Snapshot / checkpoint round-trips
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(rows=event_rows, threshold=st.integers(1, 8))
+def test_checkpoint_roundtrip_preserves_ring_backend(tmp_path_factory, rows, threshold):
+    index = DynamicEdgeIndex(
+        retention=1000.0,
+        max_edges_per_target=8,
+        backend="ring",
+        promote_threshold=threshold,
+    )
+    clock = 0.0
+    for actor, target, offset, action in rows:
+        clock += offset / 10.0
+        index.insert(actor, target, clock, action=action)
+    path = tmp_path_factory.mktemp("ckpt") / "d.npz"
+    save_dynamic_index(index, path)
+    restored = load_dynamic_index(path)
+    assert restored.backend == "ring"
+    assert restored.promote_threshold == threshold
+    assert restored.num_edges == index.num_edges
+    for c in index.targets():
+        assert restored.entries(c) == index.entries(c)
+    # An explicit override restores into the list representation instead,
+    # with identical contents.
+    as_list = load_dynamic_index(path, backend="list")
+    assert as_list.backend == "list"
+    assert as_list.num_hot_targets == 0
+    for c in index.targets():
+        assert as_list.entries(c) == index.entries(c)
+
+
+def test_snapshot_roundtrip_feeds_both_s_backends(tmp_path):
+    snapshot = generate_follow_graph(
+        TwitterGraphConfig(num_users=300, mean_followings=6.0, seed=11)
+    )
+    path = tmp_path / "graph.npz"
+    snapshot.save(path)
+    reloaded = type(snapshot).load(path)
+    packed = build_follower_snapshot(reloaded, backend="packed")
+    csr = build_follower_snapshot(reloaded, backend="csr")
+    assert isinstance(packed, StaticFollowerIndex)
+    assert isinstance(csr, CsrFollowerIndex)
+    assert csr.num_edges == packed.num_edges
+    for b in packed.sources():
+        assert list(csr.followers_of(b)) == list(packed.followers_of(b))
+
+
+# ----------------------------------------------------------------------
+# Full-engine matrix
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 5_000), burst_actors=st.integers(10, 60))
+def test_engine_matrix_identical_recommendations(seed, burst_actors):
+    """All four S x D combinations emit byte-identical recommendations.
+
+    A tiny promote threshold guarantees the burst target actually crosses
+    the ring promotion boundary mid-stream.
+    """
+    snapshot = generate_follow_graph(
+        TwitterGraphConfig(num_users=200, mean_followings=8.0, seed=seed)
+    )
+    events = generate_event_stream(
+        StreamConfig(
+            num_users=200,
+            duration=300.0,
+            background_rate=1.0,
+            bursts=(
+                BurstSpec(
+                    target=199, start=30.0, duration=80.0, num_actors=burst_actors
+                ),
+            ),
+            seed=seed,
+        )
+    )
+    params = DetectionParams(k=2, tau=400.0, max_trigger_sources=8)
+    reference = None
+    for s_backend, d_backend in BACKEND_MATRIX:
+        engine = MotifEngine.from_snapshot(
+            snapshot,
+            params,
+            max_edges_per_target=12,
+            track_latency=False,
+            s_backend=s_backend,
+            d_backend=d_backend,
+        )
+        engine.dynamic_index.promote_threshold = 5
+        recs = []
+        for batch_size in (1,):
+            recs = engine.process_stream(events, batch_size=batch_size)
+        batched = MotifEngine.from_snapshot(
+            snapshot,
+            params,
+            max_edges_per_target=12,
+            track_latency=False,
+            s_backend=s_backend,
+            d_backend=d_backend,
+        )
+        batched.dynamic_index.promote_threshold = 5
+        batched_recs = batched.process_stream(events, batch_size=17)
+        assert batched_recs == recs, (s_backend, d_backend)
+        assert [(r.via, r.action) for r in batched_recs] == [
+            (r.via, r.action) for r in recs
+        ]
+        if reference is None:
+            reference = recs
+        else:
+            assert recs == reference, (s_backend, d_backend)
+            assert [(r.via, r.action) for r in recs] == [
+                (r.via, r.action) for r in reference
+            ]

@@ -1,6 +1,5 @@
 """Tests for batch ground truth, including online/batch equivalence."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ identical recommendation sequences (including provenance), identical
 ``DynamicEdgeIndex`` contents, and identical detector statistics.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,5 +1,7 @@
 """Unit tests for the benchmark harness helpers."""
 
+import json
+
 import pytest
 
 from repro.bench.report import ExperimentTable, Reporter, format_table
@@ -51,6 +53,65 @@ class TestReporter:
         reporter = Reporter()
         table = reporter.table("E1", "t", ["x"])
         assert reporter.tables == [table]
+
+
+class TestWriteJson:
+    def test_merges_by_params(self, tmp_path):
+        first = Reporter()
+        first.record("demo", {"cfg": 1}, {"events_per_sec": 10.0})
+        first.record("demo", {"cfg": 2}, {"events_per_sec": 20.0})
+        first.write_json(tmp_path)
+        second = Reporter()
+        second.record("demo", {"cfg": 2}, {"events_per_sec": 25.0})
+        second.write_json(tmp_path)
+        payload = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        by_cfg = {r["params"]["cfg"]: r["metrics"] for r in payload["results"]}
+        assert by_cfg == {1: {"events_per_sec": 10.0}, 2: {"events_per_sec": 25.0}}
+
+    def test_corrupt_existing_file_warns_and_rewrites(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text('{"benchmark": "demo", "results": [{"par')  # truncated
+        reporter = Reporter()
+        reporter.record("demo", {"cfg": 1}, {"events_per_sec": 10.0})
+        with pytest.warns(UserWarning, match="corrupt"):
+            written = reporter.write_json(tmp_path)
+        assert written == [path]
+        payload = json.loads(path.read_text())
+        assert payload["results"] == [
+            {"params": {"cfg": 1}, "metrics": {"events_per_sec": 10.0}}
+        ]
+
+    def test_wrong_shape_payload_warns_and_rewrites(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"benchmark": "demo", "results": "oops"}))
+        reporter = Reporter()
+        reporter.record("demo", {"cfg": 1}, {"x": 1})
+        with pytest.warns(UserWarning, match="no usable"):
+            reporter.write_json(tmp_path)
+        assert json.loads(path.read_text())["results"] == [
+            {"params": {"cfg": 1}, "metrics": {"x": 1}}
+        ]
+
+    def test_malformed_entries_dropped_but_rest_kept(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "demo",
+                    "results": [
+                        {"params": {"cfg": 1}, "metrics": {"x": 1}},
+                        None,
+                        {"metrics": {"x": 2}},
+                    ],
+                }
+            )
+        )
+        reporter = Reporter()
+        reporter.record("demo", {"cfg": 3}, {"x": 3})
+        with pytest.warns(UserWarning, match="malformed"):
+            reporter.write_json(tmp_path)
+        payload = json.loads(path.read_text())
+        assert [r["params"] for r in payload["results"]] == [{"cfg": 1}, {"cfg": 3}]
 
 
 class TestWorkloads:

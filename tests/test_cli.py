@@ -71,6 +71,31 @@ class TestGenerateAndRun:
 
         assert counts(output_one) == counts(output_batched)
 
+    def test_run_backend_flags_change_nothing_observable(self, artifacts):
+        """Every S/D backend combination prints identical detection output."""
+        graph, stream = artifacts
+        outputs = set()
+        for s_backend in ("packed", "csr"):
+            for d_backend in ("list", "ring"):
+                code, output = run_cli(
+                    "run", str(graph), str(stream), "--k", "2",
+                    "--batch-size", "32",
+                    "--s-backend", s_backend, "--d-backend", d_backend,
+                )
+                assert code == 0
+                outputs.add(
+                    "\n".join(
+                        line for line in output.splitlines()
+                        if "query latency" not in line  # timing varies
+                    )
+                )
+        assert len(outputs) == 1, outputs
+
+    def test_run_rejects_unknown_backend(self, artifacts):
+        graph, stream = artifacts
+        with pytest.raises(SystemExit):
+            run_cli("run", str(graph), str(stream), "--s-backend", "arena")
+
     def test_simulate_command(self, artifacts):
         graph, stream = artifacts
         code, output = run_cli(

@@ -18,9 +18,8 @@ from repro.cluster import (
 from repro.cluster.cluster import fault_injecting_channel_factory
 from repro.core import DetectionParams, EdgeEvent, MotifEngine
 from repro.gen import StreamConfig, TwitterGraphConfig, generate_event_stream, generate_follow_graph
-from repro.graph import GraphSnapshot
 
-from tests.conftest import A2, B1, B2, C2, FIGURE1_FOLLOWS
+from tests.conftest import A2, B1, B2, C2
 
 PARAMS = DetectionParams(k=2, tau=600.0)
 

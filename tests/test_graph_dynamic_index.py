@@ -189,3 +189,82 @@ class TestProperties:
         for b, c, t in inserts:
             index.insert(b, c, t)
             assert index.num_edges == index.inserted_total - index.evicted_total
+
+
+class TestRingBackend:
+    """Unit coverage of the ring backend's own mechanics.
+
+    Cross-backend equivalence on random streams lives in
+    ``tests/test_backend_equivalence.py``; these tests pin promotion
+    plumbing, wrap-around, growth, and accounting.
+    """
+
+    def make_ring_index(self, cap=None, threshold=4):
+        return DynamicEdgeIndex(
+            retention=100.0,
+            max_edges_per_target=cap,
+            backend="ring",
+            promote_threshold=threshold,
+        )
+
+    def test_promotion_counts_hot_targets(self):
+        index = self.make_ring_index(threshold=3)
+        for i in range(2):
+            index.insert(i, 5, float(i))
+        assert index.num_hot_targets == 0
+        index.insert(2, 5, 2.0)
+        assert index.num_hot_targets == 1
+        index.insert(3, 6, 2.0)  # a second, cold target stays a deque
+        assert index.num_hot_targets == 1
+        assert index.num_targets == 2
+
+    def test_ring_wraps_under_cap_eviction(self):
+        index = self.make_ring_index(cap=4, threshold=2)
+        for i in range(50):
+            index.insert(i, 9, float(i))
+        fresh = index.fresh_sources(9, now=49.0, tau=90.0)
+        assert [e.source for e in fresh] == [46, 47, 48, 49]
+        assert index.num_edges == 4
+        assert index.evicted_total == 46
+
+    def test_capless_ring_grows(self):
+        index = self.make_ring_index(cap=None, threshold=2)
+        for i in range(500):
+            index.insert(i, 9, float(i) / 100.0)  # all inside the window
+        assert index.num_edges == 500
+        assert len(index.fresh_sources(9, now=5.0, tau=90.0)) == 500
+
+    def test_window_pruning_inside_ring(self):
+        index = self.make_ring_index(threshold=2)
+        for i in range(10):
+            index.insert(i, 9, float(i))
+        index.insert(99, 9, 150.0)  # cutoff 50 -> drops all ten old entries
+        assert index.num_edges == 1
+        assert index.evicted_total == 10
+        assert [e.source for e in index.fresh_sources(9, now=150.0, tau=90.0)] == [99]
+
+    def test_action_filter_on_ring(self):
+        from repro.core import ActionType
+
+        index = self.make_ring_index(threshold=2)
+        for i in range(6):
+            action = ActionType.RETWEET if i % 2 else ActionType.FOLLOW
+            index.insert(i, 9, float(i), action=action)
+        retweets = index.fresh_sources(9, now=6.0, tau=90.0, action=ActionType.RETWEET)
+        assert [e.source for e in retweets] == [1, 3, 5]
+        assert all(e.action is ActionType.RETWEET for e in retweets)
+        # An action tag never inserted matches nothing.
+        assert index.fresh_sources(9, now=6.0, tau=90.0, action=ActionType.FAVORITE) == []
+
+    def test_entries_backend_neutral_view(self):
+        list_index = DynamicEdgeIndex(retention=100.0, backend="list")
+        ring_index = self.make_ring_index(threshold=2)
+        for idx in (list_index, ring_index):
+            for i in range(5):
+                idx.insert(i, 9, float(i))
+        assert list_index.entries(9) == ring_index.entries(9)
+        assert ring_index.entries(12345) == []
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            DynamicEdgeIndex(retention=10.0, backend="columnar")

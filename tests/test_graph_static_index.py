@@ -141,3 +141,67 @@ class TestAccounting:
             [(a, 0) for a in range(10_000)]
         )
         assert large.memory_bytes() > small.memory_bytes() * 100
+
+
+class TestCsrFollowerIndex:
+    """Unit coverage of the csr arena backend's own mechanics.
+
+    Cross-backend equivalence on random graphs lives in
+    ``tests/test_backend_equivalence.py``; these tests pin the arena
+    layout, the zero-copy views, and the append-and-compact overlay.
+    """
+
+    def test_inverts_follow_edges(self):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex.from_follow_edges(EDGES)
+        assert list(index.followers_of(10)) == [0, 1, 2]
+        assert list(index.followers_of(11)) == [2, 3]
+        assert list(index.followers_of(999)) == []
+        assert index.num_edges == len(EDGES)
+        assert index.num_targets == 3
+
+    def test_followers_are_zero_copy_arena_slices(self):
+        import numpy as np
+
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex.from_follow_edges(EDGES)
+        view = index.followers_of(10)
+        assert isinstance(view, np.ndarray)
+        assert view.base is index._arena  # a view, not a copy
+        assert index.follower_array(10) is not None
+        assert index.follower_array(999) is None
+
+    def test_influencer_limit_applied(self):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        edges = [(1, b) for b in range(10)]
+        index = CsrFollowerIndex.from_follow_edges(edges, influencer_limit=3)
+        assert index.num_edges == 3
+
+    def test_append_visible_before_and_after_compact(self):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex.from_follow_edges(EDGES)
+        added = index.append_follow_edges([(7, 10), (0, 10), (5, 99)])
+        assert added == 2  # (0, 10) already loaded
+        assert index.pending_edges == 2
+        assert list(index.followers_of(10)) == [0, 1, 2, 7]
+        assert list(index.followers_of(99)) == [5]
+        assert index.has_edge(7, 10) and index.has_edge(5, 99)
+        assert 99 in index
+        assert index.num_edges == len(EDGES) + 2
+        index.compact()
+        assert index.pending_edges == 0
+        assert list(index.followers_of(10)) == [0, 1, 2, 7]
+        assert list(index.followers_of(99)) == [5]
+        assert index.num_edges == len(EDGES) + 2
+
+    def test_memory_smaller_than_packed(self):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        edges = [(a, b) for b in range(200) for a in range(b % 17 + 1)]
+        packed = StaticFollowerIndex.from_follow_edges(edges)
+        csr = CsrFollowerIndex.from_follow_edges(edges)
+        assert csr.memory_bytes() < packed.memory_bytes()

@@ -12,7 +12,7 @@ from repro.ops import (
     TokenBucket,
 )
 
-from tests.conftest import B1, B2, C2
+from tests.conftest import B1, C2
 
 PARAMS = DetectionParams(k=2, tau=600.0)
 
