@@ -65,6 +65,22 @@ def test_end_to_end_latency_distribution(benchmark, topology_report, report):
         f"candidates -> {len(result.notifications)} notifications; "
         "queue hops fitted to the paper's distribution (DESIGN.md §4)"
     )
+    report.record(
+        "e2e_latency",
+        {
+            "workload": "bursty-topology",
+            "events": result.events_ingested,
+            "partitions": 4,
+        },
+        {
+            "p50_seconds": round(total["p50"], 3),
+            "p99_seconds": round(total["p99"], 3),
+            "detection_p99_seconds": round(detection["p99"], 6),
+            "queue_share": round(result.queue_share(), 4),
+            "detection_share": round(result.detection_share(), 6),
+            "notifications": len(result.notifications),
+        },
+    )
 
     assert len(result.notifications) > 50, "need a populated distribution"
     assert 5.0 < total["p50"] < 9.5, "median must land near the paper's ~7s"

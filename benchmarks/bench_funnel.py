@@ -10,11 +10,26 @@ We run a compressed "day" (bursty streams across 24 simulated hours) through
 the production filter trio and report the per-stage survivor counts.  The
 absolute ratio scales with workload size; the claim under test is the
 order-of-magnitude reduction dominated by dedup.
+
+The module also carries **E16a**, the delivery-side ablation of the
+columnar candidate path: the same raw candidate stream pushed through the
+funnel once per-candidate (boxed ``offer``) and once columnar
+(``offer_batch``), with identical survivors required and the speedup
+recorded to ``BENCH_funnel.json`` (the CI bench-smoke job gates it).
 """
+
+import time
 
 import pytest
 
-from repro.bench.workloads import bench_engine
+from repro.bench.workloads import (
+    assert_same_delivery,
+    bench_engine,
+    bursty_workload,
+    interleaved_best_of,
+)
+from repro.core import RecommendationBatch
+from repro.core.batch import iter_event_batches
 from repro.delivery import DeliveryPipeline, PushNotifier
 from repro.gen import (
     BurstSpec,
@@ -94,10 +109,105 @@ def test_daily_funnel(benchmark, day_workload, report):
         "grows with scale because hot candidates re-fire more often"
     )
 
+    elapsed = benchmark.stats.stats.mean
+    report.record(
+        "funnel",
+        {"workload": "daily", "events": len(events), "path": "per-candidate"},
+        {
+            "raw_candidates": raw,
+            "delivered": delivered,
+            "reduction_ratio": round(pipeline.reduction_ratio(), 2),
+            "dedup_survival": round(funnel.get("passed:dedup") / raw, 4) if raw else 0.0,
+            "candidates_per_sec": round(raw / elapsed, 1),
+        },
+    )
+
     assert raw > 100_000, "need a meaningful raw candidate volume"
     assert pipeline.reduction_ratio() > 50, (
         "funnel must eliminate the overwhelming majority of raw candidates"
     )
     assert funnel.get("dropped:dedup") > funnel.get("dropped:fatigue"), (
         "dedup should be the dominant eliminator, as in production"
+    )
+
+
+def test_funnel_columnar_vs_boxed(report):
+    """E16a — the delivery funnel: columnar ``offer_batch`` vs boxed ``offer``.
+
+    Detection runs once (outside the timed region) and emits the burst-heavy
+    candidate stream as columnar batches; the timed region is delivery only,
+    replayed through (a) the per-candidate path — box every candidate, then
+    ``offer`` each — and (b) the columnar path — ``offer_batch`` straight
+    from the recipient columns.  Both must land identical funnels and
+    survivor sequences; the columnar path must win, because the boxed path
+    pays a dataclass construction plus four dict/method dispatches per raw
+    candidate while the columnar path pays them only per survivor.
+    Interleaved best-of rounds, fast enough for the CI smoke job.
+    """
+    snapshot, events = bursty_workload(
+        num_users=6_000, duration=400.0, background_rate=4.0, burst_actors=80
+    )
+    engine = bench_engine(snapshot, track_latency=False)
+    feed: list[tuple[float, RecommendationBatch]] = []
+    for chunk in iter_event_batches(events, 256):
+        grouped = engine.process_batch_grouped(chunk)
+        groups = [group for batch in grouped for group in batch.groups]
+        if groups:
+            # One delivery batch per micro-batch, offered at the batch's
+            # newest event time (both paths use the same clock).
+            feed.append((float(chunk.timestamps[-1]), RecommendationBatch(groups)))
+    total = sum(len(batch) for _, batch in feed)
+    assert total > 50_000, "need a meaningful raw candidate volume"
+
+    def run_boxed():
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        started = time.perf_counter()
+        for now, batch in feed:
+            for rec in batch:  # boxes every raw candidate, like PR 2's path
+                pipeline.offer(rec, now)
+        return time.perf_counter() - started, pipeline
+
+    def run_columnar():
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        started = time.perf_counter()
+        for now, batch in feed:
+            pipeline.offer_batch(batch, now)
+        return time.perf_counter() - started, pipeline
+
+    best, funnels = interleaved_best_of(
+        {"boxed": run_boxed, "columnar": run_columnar}
+    )
+    # The columnar path must change nothing but the speed.
+    assert_same_delivery(funnels["boxed"], funnels["columnar"])
+
+    speedup = best["boxed"] / best["columnar"]
+    table = report.table(
+        "E16a",
+        "delivery funnel: columnar offer_batch vs boxed offer",
+        ["path", "raw candidates", "candidates/sec", "speedup"],
+    )
+    for key in ("boxed", "columnar"):
+        table.add_row(
+            key,
+            total,
+            f"{total / best[key]:,.0f}",
+            f"{best['boxed'] / best[key]:.2f}x",
+        )
+    delivered = funnels["columnar"].funnel.get("delivered")
+    table.add_note(
+        f"{total} raw -> {delivered} delivered; only survivors are boxed on "
+        "the columnar path"
+    )
+    for key in ("boxed", "columnar"):
+        report.record(
+            "funnel",
+            {"workload": "burst-delivery", "candidates": total, "path": key},
+            {
+                "candidates_per_sec": round(total / best[key], 1),
+                "speedup_vs_boxed": round(best["boxed"] / best[key], 3),
+            },
+        )
+    assert speedup >= 1.5, (
+        f"columnar funnel only {speedup:.2f}x over boxed; the batched "
+        "delivery path failed to amortize"
     )

@@ -17,7 +17,13 @@ Four measurements:
   ``EventBatch`` path at batch sizes {1, 16, 64, 256} on the cold
   firehose workload, showing how batching amortizes per-event
   interpreter overhead.  Emits machine-readable results to
-  ``benchmarks/results/BENCH_ingest.json``.
+  ``benchmarks/results/BENCH_ingest.json``;
+* **burst-heavy emission ablation (E16)** — the full detect + deliver
+  path with recommendations crossing the detector -> delivery boundary
+  boxed (one ``Recommendation`` dataclass per raw candidate, PR 2's
+  shape) versus columnar (``RecommendationBatch`` straight into
+  ``offer_batch``), on the burst-heavy workload where candidate volume
+  dwarfs event volume.
 """
 
 import time
@@ -27,13 +33,17 @@ import pytest
 from repro.bench.workloads import (
     BENCH_D_CAP,
     BENCH_PARAMS,
+    assert_same_delivery,
     bench_cluster,
     bench_engine,
     bursty_workload,
     firehose_stream_config,
+    interleaved_best_of,
     viral_firehose_stream_config,
 )
-from repro.core import DiamondDetector, MotifEngine
+from repro.core import DiamondDetector, MotifEngine, RecommendationBatch
+from repro.core.batch import iter_event_batches
+from repro.delivery import DeliveryPipeline, PushNotifier
 from repro.gen import StreamConfig, generate_event_batch, generate_event_stream
 from repro.graph import DynamicEdgeIndex, build_follower_snapshot
 
@@ -354,6 +364,116 @@ def test_backend_matrix_batch256(workload, report):
     assert memory_ratio <= 0.85, f"csr S memory ratio {memory_ratio:.2f}"
     assert scan_speedup >= 1.1, (
         f"ring freshness scan only {scan_speedup:.2f}x over list at cap depth"
+    )
+
+
+def test_burst_heavy_emission_columnar_vs_boxed(workload, report):
+    """E16 — recommendation emission: columnar batches vs boxed dataclasses.
+
+    The whole hot path runs both ways on the burst-heavy workload at
+    batch=256 — ingest, detection, *and* delivery — differing only in how
+    candidates cross the detector -> delivery boundary:
+
+    * **boxed** — ``process_batch`` materializes one ``Recommendation``
+      per raw candidate and the funnel takes them one ``offer`` at a time
+      (PR 2's shape, where profiles put candidate boxing at ~60% of the
+      burst-heavy run);
+    * **columnar** — ``process_batch_grouped`` hands the funnel
+      ``RecommendationBatch`` columns and only final survivors are boxed.
+
+    Identical funnels and notification sequences required; measurements
+    interleave round-robin with each path keeping its best round.
+    """
+    snapshot, events = workload
+    static_index = build_follower_snapshot(snapshot)
+    batch_size = 256
+
+    def make_engine():
+        dynamic_index = DynamicEdgeIndex(
+            retention=BENCH_PARAMS.tau,
+            max_edges_per_target=BENCH_D_CAP,
+        )
+        detector = DiamondDetector(
+            static_index, dynamic_index, BENCH_PARAMS, inserts_edges=False
+        )
+        return MotifEngine(
+            static_index, dynamic_index, [detector], track_latency=False
+        )
+
+    def run_boxed():
+        engine = make_engine()
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        offer = pipeline.offer
+        started = time.perf_counter()
+        for chunk in iter_event_batches(events, batch_size):
+            now = float(chunk.timestamps[-1])
+            for rec in engine.process_batch(chunk):
+                offer(rec, now)
+        return time.perf_counter() - started, (engine, pipeline)
+
+    def run_columnar():
+        engine = make_engine()
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        offer_batch = pipeline.offer_batch
+        started = time.perf_counter()
+        for chunk in iter_event_batches(events, batch_size):
+            now = float(chunk.timestamps[-1])
+            grouped = engine.process_batch_grouped(chunk)
+            groups = [group for batch in grouped for group in batch.groups]
+            if groups:
+                offer_batch(RecommendationBatch(groups), now)
+        return time.perf_counter() - started, (engine, pipeline)
+
+    best, outcomes = interleaved_best_of(
+        {"boxed": run_boxed, "columnar": run_columnar}
+    )
+
+    # Representation must never change results: same raw volume, same
+    # funnel accounting, same notification sequence.
+    boxed_engine, boxed_pipeline = outcomes["boxed"]
+    columnar_engine, columnar_pipeline = outcomes["columnar"]
+    candidates = boxed_engine.stats.recommendations_emitted
+    assert candidates == columnar_engine.stats.recommendations_emitted
+    assert candidates > 100_000, "burst-heavy workload never went hot"
+    assert_same_delivery(boxed_pipeline, columnar_pipeline)
+
+    n = len(events)
+    speedup = best["boxed"] / best["columnar"]
+    table = report.table(
+        "E16",
+        "burst-heavy emission: columnar RecommendationBatch vs boxed (batch=256)",
+        ["emission", "events/sec", "candidates/sec", "speedup"],
+    )
+    for key in ("boxed", "columnar"):
+        table.add_row(
+            key,
+            f"{n / best[key]:,.0f}",
+            f"{candidates / best[key]:,.0f}",
+            f"{best['boxed'] / best[key]:.2f}x",
+        )
+        report.record(
+            "ingest",
+            {
+                "workload": "burst-heavy-emission",
+                "num_users": snapshot.num_users,
+                "events": n,
+                "batch_size": batch_size,
+                "path": key,
+            },
+            {
+                "events_per_sec": round(n / best[key], 1),
+                "candidates_per_sec": round(candidates / best[key], 1),
+                "speedup_vs_boxed": round(best["boxed"] / best[key], 3),
+            },
+        )
+    table.add_note(
+        f"{candidates} raw candidates from {n} events; the boxed path "
+        "constructs one dataclass per candidate, the columnar path only "
+        "per funnel survivor"
+    )
+    assert speedup >= 1.5, (
+        f"columnar emission only {speedup:.2f}x over boxed on the "
+        "burst-heavy workload"
     )
 
 

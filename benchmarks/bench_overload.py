@@ -101,6 +101,22 @@ def test_overload_postures(benchmark, workload, report):
             len(pairs),
             f"{recall:.1%}",
         )
+        report.record(
+            "overload",
+            {
+                "workload": "bursty-overload",
+                "events": len(events),
+                "posture": posture,
+                "budget_rate": rate,
+                "budget_burst": burst,
+            },
+            {
+                "events_shed": consumer.events_shed,
+                "shed_fraction": round(consumer.events_shed / total, 4) if total else 0.0,
+                "distinct_pairs": len(pairs),
+                "recall": round(recall, 4),
+            },
+        )
     table.add_note(
         "budget is set far below the burst on purpose; the shape under "
         "test is graceful degradation, not absolute numbers"

@@ -29,6 +29,8 @@ from repro.core import (
     MotifEngine,
     OnlineDetector,
     Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
 )
 from repro.graph import (
     CsrFollowerIndex,
@@ -50,6 +52,8 @@ __all__ = [
     "MotifEngine",
     "OnlineDetector",
     "Recommendation",
+    "RecommendationBatch",
+    "RecommendationGroup",
     "CsrFollowerIndex",
     "CsrGraph",
     "DynamicEdgeIndex",

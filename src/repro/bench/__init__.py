@@ -8,22 +8,26 @@ pytest terminal summary, and the standard workloads benchmarks share.
 
 from repro.bench.report import ExperimentTable, Reporter, format_table
 from repro.bench.workloads import (
+    assert_same_delivery,
     bench_cluster,
     bench_engine,
     bursty_events,
     bursty_workload,
     drive_stream,
     firehose_stream_config,
+    interleaved_best_of,
 )
 
 __all__ = [
     "ExperimentTable",
     "Reporter",
     "format_table",
+    "assert_same_delivery",
     "bench_cluster",
     "bench_engine",
     "bursty_events",
     "bursty_workload",
     "drive_stream",
     "firehose_stream_config",
+    "interleaved_best_of",
 ]

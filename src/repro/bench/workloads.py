@@ -2,10 +2,15 @@
 
 All benchmark modules draw from the same graph/stream shapes so numbers
 are comparable across experiments.  Sizes are laptop-scale; the structural
-knobs (skew exponents, burst shapes) match DESIGN.md §4.
+knobs (skew exponents, burst shapes) match DESIGN.md §4.  The module also
+hosts the shared ablation harness (:func:`interleaved_best_of`,
+:func:`assert_same_delivery`) used by the columnar-vs-boxed emission
+experiments.
 """
 
 from __future__ import annotations
+
+from typing import Callable, TypeVar
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.core import DetectionParams, EdgeEvent, MotifEngine
@@ -183,6 +188,57 @@ def drive_stream(system, events: list[EdgeEvent], batch_size: int = 1):
     (identical output either way).  Returns all emitted recommendations.
     """
     return system.process_stream(events, batch_size=batch_size)
+
+
+_T = TypeVar("_T")
+
+
+def interleaved_best_of(
+    runners: dict[str, Callable[[], tuple[float, _T]]],
+    rounds: int = 3,
+) -> tuple[dict[str, float], dict[str, _T]]:
+    """Run competing measurements round-robin; keep each one's best time.
+
+    Interleaving means machine noise (this container swings 2x) hits every
+    configuration equally instead of biasing whichever ran during a quiet
+    stretch.  Each runner returns ``(elapsed_seconds, outcome)``; the
+    result maps each key to its minimum elapsed time and its most recent
+    outcome (for post-hoc equivalence checks).
+    """
+    best = {key: float("inf") for key in runners}
+    outcomes: dict[str, _T] = {}
+    for _round in range(rounds):
+        for key, run in runners.items():
+            elapsed, outcome = run()
+            best[key] = min(best[key], elapsed)
+            outcomes[key] = outcome
+    return best, outcomes
+
+
+def assert_same_delivery(reference, candidate) -> None:
+    """Two delivery pipelines must have seen the exact same funnel.
+
+    The representation-ablation contract: identical per-stage
+    ``FunnelCounter`` accounting (key for key) and an identical
+    notification sequence — (recipient, candidate) pairs in delivery
+    order.  Used by the columnar-vs-boxed experiments, where any
+    divergence means the columnar path changed semantics, not just speed.
+    """
+    assert candidate.funnel.stages == reference.funnel.stages, (
+        f"funnels diverged: {candidate.funnel.stages} "
+        f"vs {reference.funnel.stages}"
+    )
+    candidate_sequence = [
+        (n.recipient, n.recommendation.candidate)
+        for n in candidate.notifier.notifications
+    ]
+    reference_sequence = [
+        (n.recipient, n.recommendation.candidate)
+        for n in reference.notifier.notifications
+    ]
+    assert candidate_sequence == reference_sequence, (
+        "notification sequences diverged"
+    )
 
 
 def bench_cluster(

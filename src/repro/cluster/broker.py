@@ -15,7 +15,11 @@ from dataclasses import dataclass
 from repro.cluster.replica import AllReplicasDown, ReplicaSet
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    Recommendation,
+    RecommendationBatch,
+)
 from repro.util.validation import require
 
 
@@ -74,7 +78,7 @@ class Broker:
 
     def process_batch(
         self, batch: EventBatch, now: float | None = None
-    ) -> tuple[list[list[Recommendation]], float]:
+    ) -> tuple[list[RecommendationBatch], float]:
         """Route a columnar micro-batch through the whole cluster.
 
         Batched RPC accounting: each partition's replica set is reached by
@@ -83,12 +87,15 @@ class Broker:
         ``stats.fan_out_calls`` grows per batch instead of per event.
 
         Returns the gathered candidates positionally aligned with the batch
-        (one list per event; partitions own disjoint A's, so gathering is
-        per-event concatenation) plus the slowest partition's ack latency.
-        Partitions whose replicas are all down lose the whole batch.
+        (one columnar :class:`~repro.core.recommendation
+        .RecommendationBatch` per event; partitions own disjoint A's, so
+        gathering is per-event group concatenation — the recipient columns
+        are never unboxed in flight) plus the slowest partition's ack
+        latency.  Partitions whose replicas are all down lose the whole
+        batch.
         """
         n = len(batch)
-        gathered: list[list[Recommendation]] = [[] for _ in range(n)]
+        gathered: list[RecommendationBatch] = [EMPTY_RECOMMENDATION_BATCH] * n
         worst_latency = 0.0
         self.stats.events_routed += n
         total = 0
@@ -101,9 +108,10 @@ class Broker:
                 continue
             worst_latency = max(worst_latency, latency)
             for i, recs in enumerate(local):
-                if recs:
-                    gathered[i].extend(recs)
-                    total += len(recs)
+                size = len(recs)
+                if size:
+                    gathered[i] = gathered[i].concat(recs)
+                    total += size
         self.stats.gather_results += total
         return gathered, worst_latency
 

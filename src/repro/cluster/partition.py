@@ -15,7 +15,7 @@ from repro.core.diamond import DiamondDetector
 from repro.core.engine import MotifEngine
 from repro.core.events import EdgeEvent
 from repro.core.params import DetectionParams
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.graph.dynamic_index import DynamicEdgeIndex
 from repro.graph.static_index import StaticFollowerIndex
 
@@ -93,12 +93,14 @@ class PartitionServer:
 
     def ingest_batch(
         self, batch: EventBatch, now: float | None = None
-    ) -> list[list[Recommendation]]:
-        """Consume a columnar micro-batch; one local candidate list per event.
+    ) -> list[RecommendationBatch]:
+        """Consume a columnar micro-batch; one local candidate batch per event.
 
         Same semantics as calling :meth:`ingest` per event, with the work
         amortized by the engine's batched path; results stay positionally
-        aligned with the batch so brokers can gather per event.
+        aligned with the batch so brokers can gather per event, and stay
+        columnar (:class:`~repro.core.recommendation.RecommendationBatch`)
+        so the reply never boxes per candidate.
         """
         return self._engine.process_batch_grouped(batch, now)
 

@@ -19,7 +19,11 @@ from repro.cluster.partition import PartitionServer
 from repro.cluster.rpc import RpcError, SimulatedChannel
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    Recommendation,
+    RecommendationBatch,
+)
 from repro.util.validation import require
 
 
@@ -141,18 +145,18 @@ class ReplicaSet:
 
     def ingest_batch(
         self, batch: EventBatch, now: float | None = None
-    ) -> tuple[list[list[Recommendation]], float]:
+    ) -> tuple[list[RecommendationBatch], float]:
         """Deliver a columnar micro-batch to every healthy replica.
 
         One simulated RPC per replica carries the whole batch (pipelined
         delivery — the virtual latency is paid once per batch, not once per
-        event).  Returns the primary's per-event candidate lists plus the
+        event).  Returns the primary's per-event candidate batches plus the
         maximum channel latency, mirroring :meth:`ingest`.
 
         Raises:
             AllReplicasDown: when no replica accepted the batch.
         """
-        primary_output: list[list[Recommendation]] | None = None
+        primary_output: list[RecommendationBatch] | None = None
         worst_latency = 0.0
         delivered = False
         n = len(batch)
@@ -176,7 +180,7 @@ class ReplicaSet:
                 f"partition {self.partition_id}: batch lost, all replicas down"
             )
         if primary_output is None:
-            primary_output = [[] for _ in range(n)]
+            primary_output = [EMPTY_RECOMMENDATION_BATCH] * n
         return primary_output, worst_latency
 
     def query_audience(self, target: int, now: float) -> tuple[list[int], float]:

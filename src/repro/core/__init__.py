@@ -14,7 +14,13 @@ into a single-machine serving unit; the distributed version lives in
 from repro.core.events import ActionType, EdgeEvent
 from repro.core.batch import EventBatch, iter_event_batches
 from repro.core.params import DetectionParams
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    CandidateColumns,
+    Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
+)
 from repro.core.detector import OnlineDetector
 from repro.core.diamond import DiamondDetector
 from repro.core.engine import EngineStats, MotifEngine
@@ -26,7 +32,11 @@ __all__ = [
     "EventBatch",
     "iter_event_batches",
     "DetectionParams",
+    "CandidateColumns",
     "Recommendation",
+    "RecommendationBatch",
+    "RecommendationGroup",
+    "EMPTY_RECOMMENDATION_BATCH",
     "OnlineDetector",
     "DiamondDetector",
     "EngineStats",

@@ -9,9 +9,12 @@ and the partition servers drive any number of them off the same S and D.
 Detectors may additionally implement the *optional* batched entry point::
 
     def process_batch(self, batch: EventBatch, now: float | None = None)
-        -> list[list[Recommendation]]
+        -> list[RecommendationBatch] | list[list[Recommendation]]
 
-returning one candidate list per batch event (positionally aligned).  The
+returning one candidate collection per batch event (positionally aligned) —
+either the columnar :class:`~repro.core.recommendation.RecommendationBatch`
+(the native currency, preferred) or a plain candidate list, which the
+engine re-columns on merge.  The
 engine discovers it with ``getattr``; if any registered detector lacks it,
 the engine processes the whole batch through the interleaved per-event
 ``on_edge`` loop instead (exact for arbitrary detectors, unamortized).

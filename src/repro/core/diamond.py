@@ -9,8 +9,12 @@ When a live ``B -> C`` edge arrives:
    list in the static index **S** and compute the **k-overlap** — every A
    following at least ``k`` of the fresh B's.  With exactly ``k`` fresh B's
    this is the plain intersection of the paper's worked example;
-4. emit a raw :class:`~repro.core.recommendation.Recommendation` of C to
-   each such A.
+4. emit a raw candidate of C to each such A — boxed
+   :class:`~repro.core.recommendation.Recommendation` objects on the
+   per-event path, one columnar
+   :class:`~repro.core.recommendation.RecommendationGroup` per trigger on
+   the batched path (the k-overlap's recipient array flows straight into
+   the group, unboxed).
 
 The detector is deliberately stateless beyond its two indexes, so replicated
 partitions holding identical S shards and D copies produce identical output.
@@ -25,7 +29,12 @@ import numpy as np
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.params import DetectionParams
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
+)
 from repro.graph.dynamic_index import DynamicEdgeIndex, FreshColumns, FreshEdge
 from repro.graph.intersect import k_overlap, k_overlap_arrays
 from repro.graph.static_index import StaticFollowerIndex
@@ -33,10 +42,6 @@ from repro.graph.static_index import StaticFollowerIndex
 #: Cache-miss sentinel for the batch path's follower-array memo (``None``
 #: is a legitimate cached value meaning "empty follower list").
 _MISSING = object()
-
-#: Shared empty per-event result in batched detection output; callers
-#: treat per-event lists as read-only (the engine copies when merging).
-_NO_CANDIDATES: list = []
 
 
 @dataclass
@@ -153,8 +158,8 @@ class DiamondDetector:
 
     def process_batch(
         self, batch: EventBatch, now: float | None = None
-    ) -> list[list[Recommendation]]:
-        """Process a columnar micro-batch; one candidate list per event.
+    ) -> list[RecommendationBatch]:
+        """Process a columnar micro-batch; one candidate batch per event.
 
         Emits exactly what per-event :meth:`on_edge` calls would — same
         recommendations, same statistics — while amortizing interpreter
@@ -162,7 +167,11 @@ class DiamondDetector:
         :meth:`~repro.graph.dynamic_index.DynamicEdgeIndex
         .fresh_sources_multi` call per distinct-target run (with the
         ``min_count=k`` hint skipping cold targets entirely), and S follower
-        lookups are memoized across the batch's events.
+        lookups are memoized across the batch's events.  Output stays
+        columnar: each triggering event's audience is one
+        :class:`~repro.core.recommendation.RecommendationGroup` wrapping
+        the k-overlap's recipient array directly — no per-candidate boxing
+        (iterate the batch to decode the boxed view on demand).
 
         When constructed with ``inserts_edges=False`` the caller owns the
         inserts and must pass batches whose targets are distinct (an engine
@@ -172,7 +181,7 @@ class DiamondDetector:
         """
         if not self._inserts_edges:
             return self._detect_run(batch, now)
-        results: list[list[Recommendation]] = [None] * len(batch)  # type: ignore[list-item]
+        results: list[RecommendationBatch] = [None] * len(batch)  # type: ignore[list-item]
         for start, stop in batch.distinct_target_runs():
             run = batch.slice(start, stop)
             self._dynamic.insert_batch(run, distinct_targets=True)
@@ -181,7 +190,7 @@ class DiamondDetector:
 
     def _detect_run(
         self, run: EventBatch, now: float | None
-    ) -> list[list[Recommendation]]:
+    ) -> list[RecommendationBatch]:
         """Detection over a distinct-target run whose edges are in D."""
         timestamps, _actors, targets, actions = run.columns()
         n = len(timestamps)
@@ -198,10 +207,10 @@ class DiamondDetector:
         fresh_lists = self._dynamic.fresh_sources_multi(
             targets, nows, tau=params.tau, min_count=k, raw=True
         )
-        results: list[list[Recommendation]] = []
+        results: list[RecommendationBatch] = []
         append = results.append
         name = self.name
-        no_candidates = _NO_CANDIDATES
+        no_candidates = EMPTY_RECOMMENDATION_BATCH
         below_threshold = 0
         for i, fresh in enumerate(fresh_lists):
             if len(fresh) < k:
@@ -210,31 +219,31 @@ class DiamondDetector:
                 continue
             target = targets[i]
             recipients = self._audience_batch(target, fresh)
-            if not recipients:
+            if recipients is None:
                 append(no_candidates)
                 continue
             stats.triggers += 1
             stats.candidates_emitted += len(recipients)
             if type(fresh) is FreshColumns:
-                # One cached tolist instead of a per-edge generator pass —
+                # The witness column rides along unboxed; the group decodes
+                # it to a tuple only if someone materializes a boxed view —
                 # via tuples of viral triggers span hundreds of witnesses.
-                via = tuple(fresh.sources_list())
+                via = fresh.sources
             else:
                 via = tuple(edge[1] for edge in fresh)
-            created_at = timestamps[i]
-            action = actions[i]
             append(
-                [
-                    Recommendation(
-                        recipient=a,
-                        candidate=target,
-                        created_at=created_at,
-                        motif=name,
-                        action=action,
-                        via=via,
+                RecommendationBatch(
+                    (
+                        RecommendationGroup(
+                            recipients,
+                            candidate=target,
+                            created_at=timestamps[i],
+                            motif=name,
+                            action=actions[i],
+                            via=via,
+                        ),
                     )
-                    for a in recipients
-                ]
+                )
             )
         stats.below_threshold += below_threshold
         return results
@@ -300,18 +309,19 @@ class DiamondDetector:
 
     def _audience_batch(
         self, target: int, fresh: list[tuple[float, int, object]]
-    ) -> list[int]:
+    ) -> np.ndarray | None:
         """Vectorised :meth:`_audience` for the batched path.
 
-        Identical output, different execution: each fresh B's follower list
-        is fetched as a zero-copy int64 view (``follower_array``, backend-
-        neutral) and memoized on the detector (S is immutable until
-        rebound, so reuse is exact), and
-        the k-overlap runs as one C-speed sort plus run-length threshold
-        over the concatenation.  The exclusion filters stay as the
-        per-event path's scalar loop — the k-filter leaves few recipients,
-        so vectorising that pass costs more in numpy dispatch than it
-        saves.
+        Identical audience, different execution and representation: each
+        fresh B's follower list is fetched as a zero-copy int64 view
+        (``follower_array``, backend-neutral) and memoized on the detector
+        (S is immutable until rebound, so reuse is exact), the k-overlap
+        runs as one C-speed sort plus run-length threshold over the
+        concatenation, and the exclusion filters apply as vectorized masks
+        over the resulting recipient array.  The array is returned as-is —
+        ascending, never boxed — ready to become a
+        :class:`~repro.core.recommendation.RecommendationGroup` column
+        (``None`` when the audience is empty).
 
         *fresh* is the raw representation from
         :meth:`~repro.graph.dynamic_index.DynamicEdgeIndex
@@ -349,11 +359,11 @@ class DiamondDetector:
                 self.stats.empty_follower_lists += 1
         k = params.k
         if len(follower_lists) < k:
-            return []
+            return None
 
         recipients = k_overlap_arrays(follower_lists, k)
         if not recipients.size:
-            return []
+            return None
 
         if params.exclude_existing_followers:
             # Drop A's already following C per the static snapshot with one
@@ -372,17 +382,18 @@ class DiamondDetector:
                 )
                 recipients = recipients[target_followers[positions] != recipients]
             # C's newest followers themselves (their follow edge is in D,
-            # not yet in S) are excluded by the scalar pass below; the
-            # fresh-source set is small, so hashing beats numpy here.
-            fresh_sources = set(sources)
-        else:
-            fresh_sources = ()
-        exclude_self = params.exclude_candidate_recipient
-        kept: list[int] = []
-        for a in recipients.tolist():
-            if exclude_self and a == target:
-                continue
-            if a in fresh_sources:
-                continue
-            kept.append(a)
-        return kept
+            # not yet in S) are excluded too — one membership mask against
+            # the small fresh-source set.
+            if recipients.size and sources:
+                recipients = recipients[
+                    ~np.isin(
+                        recipients,
+                        np.fromiter(sources, dtype=np.int64, count=len(sources)),
+                        assume_unique=False,
+                    )
+                ]
+        if params.exclude_candidate_recipient and recipients.size:
+            recipients = recipients[recipients != target]
+        if not recipients.size:
+            return None
+        return recipients

@@ -18,12 +18,19 @@ from repro.core.detector import OnlineDetector
 from repro.core.diamond import DiamondDetector
 from repro.core.events import EdgeEvent
 from repro.core.params import DetectionParams
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.graph.dynamic_index import DynamicEdgeIndex
 from repro.graph.snapshot import GraphSnapshot, build_follower_snapshot
 from repro.graph.static_index import StaticFollowerIndex
 from repro.util.stats import PercentileTracker
 from repro.util.validation import require
+
+
+def _as_batch(recs: RecommendationBatch | list[Recommendation]) -> RecommendationBatch:
+    """Normalize a detector's per-event result to the columnar currency."""
+    if type(recs) is RecommendationBatch:
+        return recs
+    return RecommendationBatch.from_recommendations(recs)
 
 
 @dataclass
@@ -156,6 +163,9 @@ class MotifEngine:
 
         Emits exactly the recommendations (and leaves exactly the index
         state) the per-event :meth:`process` loop would, in the same order.
+        This is the *boxed* view — each candidate is materialized as a
+        :class:`Recommendation`; throughput-critical callers should consume
+        :meth:`process_batch_grouped`'s columnar batches instead.
         """
         return list(
             itertools.chain.from_iterable(self.process_batch_grouped(batch, now))
@@ -163,8 +173,9 @@ class MotifEngine:
 
     def process_batch_grouped(
         self, batch: EventBatch, now: float | None = None
-    ) -> list[list[Recommendation]]:
-        """Batched ingest keeping per-event attribution (one list per event).
+    ) -> list[RecommendationBatch]:
+        """Batched ingest keeping per-event attribution (one columnar
+        :class:`~repro.core.recommendation.RecommendationBatch` per event).
 
         The batch is split into maximal distinct-target runs; each run is
         bulk-inserted into D once and then handed to every detector program,
@@ -176,6 +187,12 @@ class MotifEngine:
         is only provably exact for target-keyed D reads, and an arbitrary
         ``on_edge`` may read D however it likes.
 
+        Detector ``process_batch`` results may be columnar batches (the
+        native currency) or plain per-event candidate lists (foreign
+        detectors); the engine normalizes everything to
+        :class:`RecommendationBatch`, so downstream layers — partitions,
+        brokers, the delivery funnel — see one shape.
+
         With latency tracking enabled, one *amortized* per-event sample
         (batch wall time / batch size) is recorded per batch rather than one
         sample per event.
@@ -184,7 +201,7 @@ class MotifEngine:
         if n == 0:
             return []
         started = time.perf_counter() if self._track_latency else 0.0
-        out: list[list[Recommendation]] = [None] * n  # type: ignore[list-item]
+        out: list[RecommendationBatch] = [None] * n  # type: ignore[list-item]
         detectors = self.detectors
         batch_methods = [
             getattr(detector, "process_batch", None) for detector in detectors
@@ -201,7 +218,7 @@ class MotifEngine:
                 per_event: list[Recommendation] = []
                 for detector in detectors:
                     per_event.extend(detector.on_edge(event, now))
-                out[i] = per_event
+                out[i] = RecommendationBatch.from_recommendations(per_event)
         else:
             insert_batch = self.dynamic_index.insert_batch
             for start, stop in batch.distinct_target_runs():
@@ -211,14 +228,18 @@ class MotifEngine:
                 for process_batch in batch_methods:
                     results = process_batch(run, now)
                     if first:
-                        out[start:stop] = results
+                        for j, recs in enumerate(results):
+                            out[start + j] = _as_batch(recs)
                         first = False
                     else:
                         for j, recs in enumerate(results):
-                            if recs:
-                                # Copy-on-merge: detector result lists may
-                                # be shared empties, treated as read-only.
-                                out[start + j] = out[start + j] + recs
+                            if len(recs):
+                                # Merge-by-concat: batches are treated as
+                                # read-only, so concatenation never mutates
+                                # a detector's (possibly shared) result.
+                                out[start + j] = out[start + j].concat(
+                                    _as_batch(recs)
+                                )
         emitted = sum(map(len, out))
         self.stats.events_processed += n
         self.stats.recommendations_emitted += emitted

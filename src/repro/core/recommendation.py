@@ -5,11 +5,27 @@ be emitted repeatedly as a motif keeps re-firing while new B's pile onto a
 hot C.  Production generates "billions of raw candidates" a day and the
 delivery pipeline (:mod:`repro.delivery`) reduces them to millions of push
 notifications; we preserve that split.
+
+The *columnar* shapes keep that raw volume out of the Python object heap:
+
+* :class:`RecommendationGroup` — one detection trigger's emission: an
+  ``int64`` recipient array plus the metadata every recipient shares
+  (candidate, creation time, motif, action, witnesses);
+* :class:`RecommendationBatch` — an ordered collection of groups, the
+  native currency from the batched detector through the delivery funnel.
+  It iterates (lazily) as the exact :class:`Recommendation` sequence the
+  per-candidate path would have produced, so any consumer that only wants
+  boxed objects still gets them — but the hot path (the funnel's
+  ``offer_batch``) consumes the flat columns and boxes only the final
+  survivors, the paper's millions rather than billions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 from repro.core.events import ActionType
 from repro.graph.ids import UserId
@@ -40,3 +56,322 @@ class Recommendation:
     def key(self) -> tuple[UserId, UserId]:
         """The dedup key used downstream: (recipient, candidate)."""
         return (self.recipient, self.candidate)
+
+
+class RecommendationGroup:
+    """One detection group: shared metadata over an ``int64`` recipient array.
+
+    A single motif trigger recommends the same candidate to every recipient
+    in its audience; only the recipient varies.  Storing the audience as one
+    numpy column (plus one copy of the shared metadata) is what removes the
+    per-candidate dataclass boxing from the burst-heavy hot path.
+
+    ``via`` may be passed either as the usual tuple or as an ``int64``
+    numpy array (the detector hands over its freshness-scan column
+    unboxed); :attr:`via` always reads back as a tuple, materialized once.
+    """
+
+    __slots__ = (
+        "recipients",
+        "candidate",
+        "created_at",
+        "motif",
+        "action",
+        "_via",
+        "_recipients_list",
+    )
+
+    def __init__(
+        self,
+        recipients: np.ndarray | Sequence[UserId],
+        candidate: UserId,
+        created_at: float,
+        motif: str = "diamond",
+        action: ActionType = ActionType.FOLLOW,
+        via: tuple[UserId, ...] | np.ndarray = (),
+    ) -> None:
+        if type(recipients) is np.ndarray:
+            self.recipients = recipients
+            self._recipients_list: list[int] | None = None
+        else:
+            self._recipients_list = list(recipients)
+            self.recipients = np.asarray(self._recipients_list, dtype=np.int64)
+        self.candidate = candidate
+        self.created_at = created_at
+        self.motif = motif
+        self.action = action
+        self._via = via
+
+    def __len__(self) -> int:
+        return len(self.recipients)
+
+    @property
+    def via(self) -> tuple[UserId, ...]:
+        """The shared witness tuple (decoded from the column on first use)."""
+        via = self._via
+        if type(via) is not tuple:
+            via = self._via = tuple(via.tolist())
+        return via
+
+    @property
+    def num_witnesses(self) -> int:
+        """Witness count without materializing the tuple."""
+        return len(self._via)
+
+    def recipients_list(self) -> list[int]:
+        """The recipient column as plain Python ints (cached ``tolist``)."""
+        recipients = self._recipients_list
+        if recipients is None:
+            recipients = self._recipients_list = self.recipients.tolist()
+        return recipients
+
+    def recommendation_at(self, i: int) -> Recommendation:
+        """Box the *i*-th recipient's :class:`Recommendation`."""
+        return Recommendation(
+            recipient=self.recipients_list()[i],
+            candidate=self.candidate,
+            created_at=self.created_at,
+            motif=self.motif,
+            action=self.action,
+            via=self.via,
+        )
+
+    def __iter__(self) -> Iterator[Recommendation]:
+        candidate = self.candidate
+        created_at = self.created_at
+        motif = self.motif
+        action = self.action
+        via = self.via
+        for recipient in self.recipients_list():
+            yield Recommendation(
+                recipient=recipient,
+                candidate=candidate,
+                created_at=created_at,
+                motif=motif,
+                action=action,
+                via=via,
+            )
+
+
+class CandidateColumns:
+    """A flat columnar view over a batch's candidates (funnel currency).
+
+    Positionally-aligned ``int64`` columns — one entry per raw candidate —
+    plus cached plain-list decodings for the stages whose state lives in
+    Python dicts.  ``compress`` narrows the view to a boolean mask's
+    survivors, which is how the pipeline threads short-circuit semantics
+    through vectorized stages.
+    """
+
+    __slots__ = ("recipients", "candidates", "_recipients_list", "_candidates_list")
+
+    def __init__(
+        self,
+        recipients: np.ndarray,
+        candidates: np.ndarray,
+        recipients_list: list[int] | None = None,
+        candidates_list: list[int] | None = None,
+    ) -> None:
+        self.recipients = recipients
+        self.candidates = candidates
+        self._recipients_list = recipients_list
+        self._candidates_list = candidates_list
+
+    def __len__(self) -> int:
+        return len(self.recipients)
+
+    def recipients_list(self) -> list[int]:
+        """Recipient ids as plain ints (cached one-shot ``tolist``)."""
+        out = self._recipients_list
+        if out is None:
+            out = self._recipients_list = self.recipients.tolist()
+        return out
+
+    def candidates_list(self) -> list[int]:
+        """Candidate ids as plain ints (cached one-shot ``tolist``)."""
+        out = self._candidates_list
+        if out is None:
+            out = self._candidates_list = self.candidates.tolist()
+        return out
+
+    def compress(self, mask: np.ndarray) -> "CandidateColumns":
+        """The view restricted to ``mask``'s True positions, order kept."""
+        return CandidateColumns(self.recipients[mask], self.candidates[mask])
+
+
+class RecommendationBatch:
+    """A columnar candidate set: the native detection -> delivery currency.
+
+    An ordered sequence of :class:`RecommendationGroup`s.  Iterating yields
+    exactly the boxed :class:`Recommendation` sequence the per-candidate
+    path would emit (group order, then recipient order within each group),
+    so the batch is drop-in wherever a candidate list was consumed; the
+    funnel instead reads :meth:`columns` and never boxes non-survivors.
+
+    Batches are treated as immutable once emitted — merging produces a new
+    batch (:meth:`concat`), and the shared :data:`EMPTY_RECOMMENDATION_BATCH`
+    stands in for "no candidates" without allocating.
+    """
+
+    __slots__ = ("groups", "_total", "_offsets", "_columns")
+
+    def __init__(self, groups: Iterable[RecommendationGroup] = ()) -> None:
+        self.groups: list[RecommendationGroup] = list(groups)
+        self._total: int | None = None
+        self._offsets: np.ndarray | None = None
+        self._columns: CandidateColumns | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_recommendations(
+        cls, recommendations: Iterable[Recommendation]
+    ) -> "RecommendationBatch":
+        """Re-column a boxed candidate sequence (foreign detectors, tests).
+
+        Consecutive recommendations sharing their group metadata collapse
+        into one group, so round-tripping a batch through boxed form and
+        back reconstructs the original grouping; iteration order is
+        preserved exactly either way.
+        """
+        groups: list[RecommendationGroup] = []
+        meta: tuple | None = None
+        recipients: list[int] = []
+        for rec in recommendations:
+            rec_meta = (rec.candidate, rec.created_at, rec.motif, rec.action, rec.via)
+            if meta != rec_meta:
+                if recipients:
+                    groups.append(RecommendationGroup(recipients, *meta))
+                meta = rec_meta
+                recipients = []
+            recipients.append(rec.recipient)
+        if recipients:
+            groups.append(RecommendationGroup(recipients, *meta))
+        if not groups:
+            return EMPTY_RECOMMENDATION_BATCH
+        return cls(groups)
+
+    def concat(self, other: "RecommendationBatch") -> "RecommendationBatch":
+        """A new batch with *other*'s groups appended (empties alias)."""
+        if not other.groups:
+            return self
+        if not self.groups:
+            return other
+        return RecommendationBatch(self.groups + other.groups)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol (lazy boxed view)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        total = self._total
+        if total is None:
+            total = self._total = sum(len(group) for group in self.groups)
+        return total
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[Recommendation]:
+        for group in self.groups:
+            yield from group
+
+    def __getitem__(self, i: int) -> Recommendation:
+        if i < 0:
+            i += len(self)
+        group_index = int(
+            np.searchsorted(self.offsets(), i, side="right") - 1
+        )
+        if not 0 <= group_index < len(self.groups):
+            raise IndexError(i)
+        offset = int(self.offsets()[group_index])
+        return self.groups[group_index].recommendation_at(i - offset)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (RecommendationBatch, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def to_recommendations(self) -> list[Recommendation]:
+        """Materialize the full boxed candidate list (baselines, tests)."""
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Columnar views
+    # ------------------------------------------------------------------
+
+    def offsets(self) -> np.ndarray:
+        """Flat start offset of each group (cached, length ``num_groups``)."""
+        offsets = self._offsets
+        if offsets is None:
+            sizes = np.fromiter(
+                (len(group) for group in self.groups),
+                dtype=np.int64,
+                count=len(self.groups),
+            )
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1])) if len(sizes) else sizes
+            self._offsets = offsets
+        return offsets
+
+    def columns(self) -> CandidateColumns:
+        """The flattened (recipients, candidates) columns (cached).
+
+        ``candidates`` repeats each group's shared candidate across its
+        recipients so both columns align per raw candidate.
+        """
+        columns = self._columns
+        if columns is None:
+            groups = self.groups
+            if not groups:
+                columns = CandidateColumns(_EMPTY_INT64, _EMPTY_INT64, [], [])
+            elif len(groups) == 1:
+                group = groups[0]
+                n = len(group)
+                columns = CandidateColumns(
+                    group.recipients,
+                    np.full(n, group.candidate, dtype=np.int64),
+                    group.recipients_list(),
+                    [group.candidate] * n,
+                )
+            else:
+                recipients = np.concatenate([g.recipients for g in groups])
+                sizes = [len(g) for g in groups]
+                candidates = np.repeat(
+                    np.fromiter(
+                        (g.candidate for g in groups),
+                        dtype=np.int64,
+                        count=len(groups),
+                    ),
+                    sizes,
+                )
+                columns = CandidateColumns(recipients, candidates)
+            self._columns = columns
+        return columns
+
+    def select(self, indices: np.ndarray) -> list[Recommendation]:
+        """Box only the candidates at the given ascending flat *indices*.
+
+        This is the funnel's terminal materialization: survivors (the
+        millions) become :class:`Recommendation` objects; everything the
+        funnel dropped (the billions) never leaves the columns.
+        """
+        if not len(indices):
+            return []
+        offsets = self.offsets()
+        group_ids = np.searchsorted(offsets, indices, side="right") - 1
+        groups = self.groups
+        out: list[Recommendation] = []
+        offsets_list = offsets.tolist()
+        for flat_index, group_index in zip(indices.tolist(), group_ids.tolist()):
+            group = groups[group_index]
+            out.append(group.recommendation_at(flat_index - offsets_list[group_index]))
+        return out
+
+
+#: Shared immutable "no candidates" batch; never mutated (concat aliases
+#: around it, and consumers treat emitted batches as read-only).
+EMPTY_RECOMMENDATION_BATCH = RecommendationBatch()
+
+_EMPTY_INT64 = np.empty(0, dtype=np.int64)

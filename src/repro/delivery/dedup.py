@@ -8,7 +8,9 @@ opportunistically so memory tracks the active window, not the full day.
 
 from __future__ import annotations
 
-from repro.core.recommendation import Recommendation
+import numpy as np
+
+from repro.core.recommendation import CandidateColumns, Recommendation
 from repro.util.validation import require_positive
 
 
@@ -46,6 +48,38 @@ class DedupFilter:
         if self._since_prune >= self.PRUNE_EVERY:
             self._prune(now)
         return True
+
+    def allow_mask(self, columns: CandidateColumns, now: float) -> np.ndarray:
+        """Batched :meth:`allow`: one decision per candidate, state updated
+        in candidate order — exactly the sequence of per-candidate calls.
+
+        The seen-map is inherently sequential (a pair's first occurrence in
+        the batch claims the window for the rest), so this runs as one
+        tight loop over the decoded id lists; the win over per-candidate
+        offering is skipping the boxed ``Recommendation`` and the
+        per-candidate funnel dispatch, not vectorizing the dict.
+        """
+        recipients = columns.recipients_list()
+        candidates = columns.candidates_list()
+        out = np.empty(len(recipients), dtype=bool)
+        last_sent = self._last_sent
+        window = self.window
+        prune_every = self.PRUNE_EVERY
+        since_prune = self._since_prune
+        for i, key in enumerate(zip(recipients, candidates)):
+            last = last_sent.get(key)
+            if last is not None and now - last < window:
+                out[i] = False
+                continue
+            last_sent[key] = now
+            since_prune += 1
+            if since_prune >= prune_every:
+                self._prune(now)
+                last_sent = self._last_sent
+                since_prune = 0
+            out[i] = True
+        self._since_prune = since_prune
+        return out
 
     def _prune(self, now: float) -> None:
         cutoff = now - self.window

@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.core.recommendation import Recommendation
+import numpy as np
+
+from repro.core.recommendation import CandidateColumns, Recommendation
 from repro.util.validation import require_positive
 
 
@@ -48,6 +50,34 @@ class FatigueFilter:
             return False
         history.append(now)
         return True
+
+    def allow_mask(self, columns: CandidateColumns, now: float) -> np.ndarray:
+        """Batched :meth:`allow`: per-candidate decisions in order.
+
+        The rolling windows are stateful per recipient (an accept charges
+        the budget the next candidate sees), so decisions run as one loop
+        over the decoded recipient list — the same sequence of window
+        prunes, cap checks, and charges as per-candidate calls, without the
+        per-candidate boxing and dispatch.
+        """
+        recipients = columns.recipients_list()
+        out = np.empty(len(recipients), dtype=bool)
+        sent = self._sent
+        cutoff = now - self.window
+        cap = self.max_per_window
+        for i, recipient in enumerate(recipients):
+            history = sent.get(recipient)
+            if history is None:
+                history = deque()
+                sent[recipient] = history
+            while history and history[0] < cutoff:
+                history.popleft()
+            if len(history) >= cap:
+                out[i] = False
+            else:
+                history.append(now)
+                out[i] = True
+        return out
 
     def sent_in_window(self, user: int, now: float) -> int:
         """Deliveries charged to *user* within the current window."""

@@ -5,13 +5,29 @@ filters in order; the first stage to reject wins (cheapest-first ordering
 matters in production, and dedup — the cheapest and most selective — runs
 first).  A :class:`~repro.sim.metrics.FunnelCounter` tracks survivors per
 stage so the billions-to-millions reduction is directly observable.
+
+``offer_batch`` is the columnar twin: a whole
+:class:`~repro.core.recommendation.RecommendationBatch` enters as flat
+(recipient, candidate) columns, each stage answers with one boolean mask
+(``allow_mask``), and the masks AND together *with short-circuit ordering
+preserved* — a stage only ever sees (and only ever updates state for) the
+candidates every earlier stage passed, so per-stage funnel counts and all
+filter state match the per-candidate path exactly.  Only the final
+survivors are boxed into :class:`Recommendation` objects for the notifier:
+the paper's millions materialize, the billions never do.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-from repro.core.recommendation import Recommendation
+import numpy as np
+
+from repro.core.recommendation import (
+    CandidateColumns,
+    Recommendation,
+    RecommendationBatch,
+)
 from repro.delivery.dedup import DedupFilter
 from repro.delivery.fatigue import FatigueFilter
 from repro.delivery.notifier import PushNotification, PushNotifier
@@ -21,7 +37,20 @@ from repro.sim.metrics import FunnelCounter
 
 @runtime_checkable
 class DeliveryFilter(Protocol):
-    """One funnel stage: allow or reject a candidate at time *now*."""
+    """One funnel stage: allow or reject a candidate at time *now*.
+
+    Stages may additionally implement the *optional* batched entry point::
+
+        def allow_mask(self, columns: CandidateColumns, now: float)
+            -> np.ndarray
+
+    returning one boolean per candidate — the decision sequence (and any
+    state updates) must match per-candidate ``allow`` calls in column
+    order.  The pipeline only hands a stage the candidates every earlier
+    stage passed, which is what keeps stateful stages exact.  Pipelines
+    containing a stage without ``allow_mask`` fall back to the
+    per-candidate loop for the whole batch.
+    """
 
     @property
     def name(self) -> str:
@@ -79,6 +108,59 @@ class DeliveryPipeline:
             if notification is not None:
                 delivered.append(notification)
         return delivered
+
+    def offer_batch(
+        self, batch: RecommendationBatch, now: float
+    ) -> list[PushNotification]:
+        """Run a columnar candidate batch through the funnel, stage by stage.
+
+        Exactly equivalent to offering each of the batch's candidates
+        through :meth:`offer` in order — same survivors, same delivery
+        order, same per-stage funnel counts, same filter state afterwards —
+        but the candidates cross the funnel as flat columns: each stage
+        masks the current survivor set, the pipeline compresses, and only
+        the final survivors are boxed for the notifier.
+
+        Falls back to the per-candidate loop when any configured stage
+        lacks ``allow_mask`` (custom filters keep working unchanged).
+        """
+        n = len(batch)
+        if n == 0:
+            return []
+        stage_masks = [
+            getattr(stage, "allow_mask", None) for stage in self.filters
+        ]
+        if any(mask is None for mask in stage_masks):
+            return self.offer_all(list(batch), now)
+        funnel = self.funnel
+        funnel.count("raw", n)
+        columns: CandidateColumns = batch.columns()
+        indices: np.ndarray | None = None  # None = all candidates alive
+        for stage, allow_mask in zip(self.filters, stage_masks):
+            mask = allow_mask(columns, now)
+            passed = int(mask.sum())
+            dropped = len(columns) - passed
+            # Count only what actually happened so the funnel dict matches
+            # the per-candidate path's key-for-key (a stage nobody reached
+            # or nobody passed never materializes a zero entry).
+            if dropped:
+                funnel.count(f"dropped:{stage.name}", dropped)
+            if not passed:
+                return []
+            funnel.count(f"passed:{stage.name}", passed)
+            if dropped:
+                columns = columns.compress(mask)
+                indices = (
+                    np.flatnonzero(mask) if indices is None else indices[mask]
+                )
+        funnel.count("delivered", len(columns))
+        survivors = (
+            batch.to_recommendations()
+            if indices is None
+            else batch.select(indices)
+        )
+        deliver = self.notifier.deliver
+        return [deliver(rec, now) for rec in survivors]
 
     def reduction_ratio(self) -> float:
         """Raw candidates per delivered push (the paper's headline ratio)."""

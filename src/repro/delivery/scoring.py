@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.util.validation import require_positive
 
 
@@ -66,6 +66,26 @@ class TopKPerUserBuffer:
         existing = per_user.get(rec.candidate)
         if existing is None or len(rec.via) > len(existing.via):
             per_user[rec.candidate] = rec
+
+    def offer_batch(self, batch: RecommendationBatch) -> None:
+        """Offer every candidate of a columnar batch, in order.
+
+        Equivalent to per-candidate :meth:`offer` calls, but a candidate is
+        boxed only when it actually enters (or replaces an entry in) a
+        buffer — the shared group metadata makes the witness-count compare
+        free for everyone else.
+        """
+        buffers = self._buffers
+        for group in batch.groups:
+            size = len(group)
+            self.offered += size
+            candidate = group.candidate
+            witnesses = group.num_witnesses
+            for i, recipient in enumerate(group.recipients_list()):
+                per_user = buffers.setdefault(recipient, {})
+                existing = per_user.get(candidate)
+                if existing is None or witnesses > len(existing.via):
+                    per_user[candidate] = group.recommendation_at(i)
 
     def pending(self) -> int:
         """Distinct (recipient, candidate) pairs currently buffered."""

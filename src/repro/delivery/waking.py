@@ -10,17 +10,35 @@ in local time.
 
 from __future__ import annotations
 
-from repro.core.recommendation import Recommendation
+import numpy as np
+
+from repro.core.recommendation import CandidateColumns, Recommendation
 from repro.util.validation import require
 
 _MASK64 = (1 << 64) - 1
 
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MIX1 = 0xBF58476D1CE4E5B9
+_SM64_MIX2 = 0x94D049BB133111EB
+
 
 def _splitmix64(value: int) -> int:
-    value = (value + 0x9E3779B97F4A7C15) & _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    value = (value + _SM64_GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * _SM64_MIX1) & _MASK64
+    value = ((value ^ (value >> 27)) * _SM64_MIX2) & _MASK64
     return value ^ (value >> 31)
+
+
+def _splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_splitmix64` over a ``uint64`` column.
+
+    ``uint64`` arithmetic wraps modulo 2**64, which is exactly the scalar
+    version's ``& _MASK64`` — the two produce identical mixes bit for bit.
+    """
+    values = (values + np.uint64(_SM64_GAMMA))
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(_SM64_MIX1)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(_SM64_MIX2)
+    return values ^ (values >> np.uint64(31))
 
 
 class WakingHoursFilter:
@@ -92,3 +110,32 @@ class WakingHoursFilter:
     def allow(self, rec: Recommendation, now: float) -> bool:
         """Suppress when the recipient is in their non-waking hours."""
         return self.is_awake(rec.recipient, now)
+
+    def allow_mask(self, columns: CandidateColumns, now: float) -> np.ndarray:
+        """Batched :meth:`allow`: the whole stage as a few numpy passes.
+
+        The stage is stateless and a pure function of (recipient, now), so
+        it vectorizes completely: one splitmix64 mix over the recipient
+        column, one modular local-hour computation, one interval test.
+        Identical decisions to per-candidate calls (same integer mix, same
+        float arithmetic, element for element).
+        """
+        mixed = _splitmix64_array(
+            columns.recipients.astype(np.uint64)
+            * np.uint64(2)
+            + np.uint64((1 + self._salt) & _MASK64)
+        )
+        if self.home_offset_hours is None:
+            offsets = (mixed % np.uint64(24)).astype(np.int64) - 11
+        else:
+            width = 2 * self.offset_spread_hours + 1
+            offsets = (
+                self.home_offset_hours
+                + (mixed % np.uint64(width)).astype(np.int64)
+                - self.offset_spread_hours
+            )
+        utc_hours = (now / 3600.0) % 24.0
+        local_hours = (utc_hours + offsets) % 24.0
+        return (self.waking_start_hour <= local_hours) & (
+            local_hours < self.waking_end_hour
+        )

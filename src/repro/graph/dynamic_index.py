@@ -181,6 +181,39 @@ class _HotRing:
             self.start = 0
         self.count -= 1
 
+    def extend(self, ts: np.ndarray, src: np.ndarray, act: np.ndarray) -> None:
+        """Bulk-append a column triple at the logical tail.
+
+        Equivalent to ``append`` per element in order, but the whole group
+        lands with at most two slice assignments (one when the write does
+        not wrap), which is what makes adversarial floods on an
+        already-hot target cheap (see ``DynamicEdgeIndex.insert_batch``).
+        """
+        m = len(ts)
+        capacity = len(self.ts)
+        needed = self.count + m
+        if needed > capacity:
+            while capacity < needed:
+                capacity *= 2
+            self._grow(capacity)
+        start = self.start + self.count
+        if start >= capacity:
+            start -= capacity
+        stop = start + m
+        if stop <= capacity:
+            self.ts[start:stop] = ts
+            self.src[start:stop] = src
+            self.act[start:stop] = act
+        else:
+            split = capacity - start
+            self.ts[start:] = ts[:split]
+            self.src[start:] = src[:split]
+            self.act[start:] = act[:split]
+            self.ts[: stop - capacity] = ts[split:]
+            self.src[: stop - capacity] = src[split:]
+            self.act[: stop - capacity] = act[split:]
+        self.count += m
+
     def drop_stale(self, cutoff: float) -> int:
         """Pop from the head while it is older than *cutoff*; count popped.
 
@@ -230,7 +263,10 @@ class _HotRing:
         per-source dedup (latest timestamp wins; arrival order breaks
         ties toward the earliest, matching the deque scan's strict
         ``timestamp > previous`` replacement), ordered by ascending
-        ``(timestamp, source)``.
+        ``(timestamp, source)``.  The returned arrays are always *owned*
+        (never live views of the ring), so callers may hold them across
+        later inserts — the batched detector keeps the source column as a
+        recommendation group's lazily-decoded witness list.
         """
         ts = self._ordered(self.ts)
         src = self._ordered(self.src)
@@ -249,22 +285,25 @@ class _HotRing:
             src = src[mask]
             act = act[mask]
         n = len(ts)
-        if n > 1:
-            # Latest edge per distinct source.  Sort by (source, timestamp,
-            # arrival-desc) and keep each source group's last element: the
-            # max timestamp, and among equal timestamps the *earliest*
-            # arrival (larger -arrival sorts later).
-            arrival = np.arange(n)
-            order = np.lexsort((-arrival, ts, src))
-            src_sorted = src[order]
-            last = np.empty(n, dtype=bool)
-            last[-1] = True
-            np.not_equal(src_sorted[1:], src_sorted[:-1], out=last[:-1])
-            keep = order[last]
-            ts, src, act = ts[keep], src[keep], act[keep]
-            final = np.lexsort((src, ts))
-            ts, src, act = ts[final], src[final], act[final]
-        return ts, src, act
+        if n <= 1:
+            # The dedup path below always produces fresh arrays via fancy
+            # indexing; match that ownership here (the no-mask fast path
+            # would otherwise leak a live ring view).
+            return ts.copy(), src.copy(), act.copy()
+        # Latest edge per distinct source.  Sort by (source, timestamp,
+        # arrival-desc) and keep each source group's last element: the
+        # max timestamp, and among equal timestamps the *earliest*
+        # arrival (larger -arrival sorts later).
+        arrival = np.arange(n)
+        order = np.lexsort((-arrival, ts, src))
+        src_sorted = src[order]
+        last = np.empty(n, dtype=bool)
+        last[-1] = True
+        np.not_equal(src_sorted[1:], src_sorted[:-1], out=last[:-1])
+        keep = order[last]
+        ts, src, act = ts[keep], src[keep], act[keep]
+        final = np.lexsort((src, ts))
+        return ts[final], src[final], act[final]
 
     # -- deque-compatible protocol -------------------------------------
 
@@ -569,9 +608,18 @@ class DynamicEdgeIndex:
                     if ring_backend and len(entry) >= promote_threshold:
                         self._promote(c, entry)
                 else:
+                    # Ring-aware bulk write: gather the group's columns from
+                    # the batch with one fancy index per column and land
+                    # them with slice assignments instead of m scalar
+                    # appends — the hot-target flood case this grouping
+                    # exists for.
                     encode = self._encode_action
-                    for i in idxs:
-                        entry.append(timestamps[i], actors[i], encode(actions[i]))
+                    codes = np.fromiter(
+                        (encode(actions[i]) for i in idxs),
+                        dtype=np.uint16,
+                        count=m,
+                    )
+                    entry.extend(batch.timestamps[idxs], batch.actors[idxs], codes)
                     inserted += m
                     evicted += entry.drop_stale(t_max - retention)
             else:

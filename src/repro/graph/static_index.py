@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -42,6 +43,13 @@ from repro.util.validation import require_positive
 
 #: Selectable S storage backends (``build_follower_snapshot(backend=...)``).
 S_BACKENDS = ("packed", "csr")
+
+
+def _with_npz_suffix(path: Path) -> Path:
+    """*path* with the ``.npz`` suffix ``np.savez`` would write to."""
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
 
 
 def invert_follow_edges(
@@ -222,6 +230,9 @@ class CsrFollowerIndex:
 
     backend = "csr"
 
+    #: Default overlay size (edges) that triggers an automatic compact.
+    DEFAULT_COMPACT_THRESHOLD = 4096
+
     def __init__(self, followers: Mapping[UserId, Sequence[UserId]]) -> None:
         """Pack an already-inverted ``B -> sorted distinct A's`` mapping.
 
@@ -240,7 +251,7 @@ class CsrFollowerIndex:
         self._pending_edges = 0
         self._merged_cache: dict[UserId, np.ndarray] = {}
         #: Overlay size (edges) that triggers an automatic :meth:`compact`.
-        self.compact_threshold = 4096
+        self.compact_threshold = self.DEFAULT_COMPACT_THRESHOLD
 
     # ------------------------------------------------------------------
     # Construction
@@ -261,6 +272,58 @@ class CsrFollowerIndex:
         return cls(
             invert_follow_edges(edges, influencer_limit, edge_weight, include_source)
         )
+
+    # ------------------------------------------------------------------
+    # Arena snapshots (near-instant periodic reloads)
+    # ------------------------------------------------------------------
+
+    def save_npz(self, path: str | Path) -> None:
+        """Serialize ``(keys, offsets, arena)`` to an ``.npz`` snapshot.
+
+        The production S is "loaded into the system periodically"; dumping
+        the packed arena directly means the next load is three array reads
+        instead of re-inverting (and re-sorting) every follow edge.  Any
+        pending appended edges are compacted in first, so the snapshot is
+        always pure-arena.  Uncompressed on purpose — load speed is the
+        whole point, and int64 id columns barely compress anyway.
+        """
+        self.compact()
+        keys = np.fromiter(self._rows, dtype=np.int64, count=len(self._rows))
+        # np.savez appends ".npz" to suffixless paths on write; normalize
+        # here so save_npz(p) / from_snapshot(p) round-trip on the same p.
+        np.savez(
+            _with_npz_suffix(Path(path)),
+            keys=keys,
+            offsets=self._offsets,
+            arena=self._arena,
+        )
+
+    @classmethod
+    def from_snapshot(cls, path: str | Path) -> "CsrFollowerIndex":
+        """Load an index directly from a :meth:`save_npz` arena snapshot.
+
+        The arrays are adopted as-is (no inversion, no sorting, no
+        per-row packing), so reload cost is dominated by the ``.npz`` read
+        itself.  Round-trips are exact: the loaded index serves identical
+        queries to the one that was saved.
+        """
+        path = Path(path)
+        if not path.exists():
+            path = _with_npz_suffix(path)
+        with np.load(path) as data:
+            keys = data["keys"]
+            offsets = data["offsets"].astype(np.int64, copy=False)
+            arena = data["arena"].astype(np.int64, copy=False)
+        index = cls.__new__(cls)
+        index._arena = arena
+        index._offsets = offsets
+        index._bounds = offsets.tolist()
+        index._rows = {b: i for i, b in enumerate(keys.tolist())}
+        index._pending = {}
+        index._pending_edges = 0
+        index._merged_cache = {}
+        index.compact_threshold = cls.DEFAULT_COMPACT_THRESHOLD
+        return index
 
     # ------------------------------------------------------------------
     # Incremental updates (append-and-compact)

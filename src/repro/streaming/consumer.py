@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 from repro.cluster.cluster import Cluster
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.sim.des import DiscreteEventSimulator
 from repro.sim.metrics import LatencyBreakdown
 from repro.streaming.queue import MessageQueue
@@ -43,10 +43,15 @@ class CandidateBatch:
     micro-batching wait lets the delivery end decompose each notification's
     end-to-end latency exactly (total = queue hops + batching + detection
     + rpc).
+
+    ``recommendations`` is a boxed tuple on the per-event path and a
+    columnar :class:`~repro.core.recommendation.RecommendationBatch` on the
+    micro-batched path — the delivery end feeds the latter straight into
+    ``offer_batch`` so candidates stay unboxed across the push queue.
     """
 
     origin_event: EdgeEvent
-    recommendations: tuple[Recommendation, ...]
+    recommendations: tuple[Recommendation, ...] | RecommendationBatch
     detection_seconds: float = 0.0
     rpc_seconds: float = 0.0
     #: Virtual seconds the origin event waited for its micro-batch to flush.
@@ -183,7 +188,7 @@ class DetectionConsumer:
                 continue
             candidate_batch = CandidateBatch(
                 event,
-                tuple(recommendations),
+                recommendations,
                 detection_seconds=detection_seconds,
                 rpc_seconds=rpc_latency,
                 batching_seconds=batching_seconds,

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.core.events import EdgeEvent
+from repro.core.recommendation import RecommendationBatch
 from repro.delivery.pipeline import DeliveryPipeline
 from repro.delivery.notifier import PushNotification
 from repro.sim.des import DiscreteEventSimulator
@@ -157,18 +158,28 @@ class StreamingTopology:
         processing = batch.detection_seconds + batch.rpc_seconds
         batching = batch.batching_seconds
         queue_path = total - processing - batching
-        for rec in batch.recommendations:
-            self.breakdown.record_total(total)
-            self.breakdown.record("path:queue", queue_path)
-            self.breakdown.record("path:processing", processing)
+        recommendations = batch.recommendations
+        breakdown = self.breakdown
+        for _ in range(len(recommendations)):
+            breakdown.record_total(total)
+            breakdown.record("path:queue", queue_path)
+            breakdown.record("path:processing", processing)
             if batch.micro_batched:
                 # Zero-wait samples (the size-trigger's final event) count
                 # too, or the stage's percentiles would overstate the
                 # typical batching delay.
-                self.breakdown.record("path:batching", batching)
-            notification = self.delivery.offer(rec, delivered_at)
-            if notification is not None:
-                self._notifications.append(notification)
+                breakdown.record("path:batching", batching)
+        if isinstance(recommendations, RecommendationBatch):
+            # Columnar candidates stay columnar through the funnel; only
+            # the final survivors are boxed (inside offer_batch).
+            self._notifications.extend(
+                self.delivery.offer_batch(recommendations, delivered_at)
+            )
+        else:
+            for rec in recommendations:
+                notification = self.delivery.offer(rec, delivered_at)
+                if notification is not None:
+                    self._notifications.append(notification)
 
     # ------------------------------------------------------------------
     # Running

@@ -144,3 +144,39 @@ class TestWorkloads:
         cluster = bench_cluster(snapshot, num_partitions=3, replication_factor=2)
         assert cluster.broker.num_partitions == 3
         assert all(len(rs.replicas) == 2 for rs in cluster.replica_sets)
+
+
+class TestAblationHarness:
+    def test_interleaved_best_of_keeps_minimum_per_key(self):
+        from repro.bench.workloads import interleaved_best_of
+
+        times = {"a": iter([3.0, 1.0, 2.0]), "b": iter([5.0, 6.0, 4.0])}
+        calls = []
+
+        def runner(key):
+            def run():
+                calls.append(key)
+                return next(times[key]), f"outcome-{key}"
+            return run
+
+        best, outcomes = interleaved_best_of(
+            {"a": runner("a"), "b": runner("b")}, rounds=3
+        )
+        assert best == {"a": 1.0, "b": 4.0}
+        assert outcomes == {"a": "outcome-a", "b": "outcome-b"}
+        # Round-robin interleaving: a, b, a, b, ...
+        assert calls == ["a", "b", "a", "b", "a", "b"]
+
+    def test_assert_same_delivery_detects_divergence(self):
+        from repro.bench.workloads import assert_same_delivery
+        from repro.core import Recommendation
+        from repro.delivery import DeliveryPipeline
+
+        matching = DeliveryPipeline(filters=[])
+        reference = DeliveryPipeline(filters=[])
+        diverging = DeliveryPipeline(filters=[])
+        for pipeline, candidate in ((matching, 2), (reference, 2), (diverging, 3)):
+            pipeline.offer(Recommendation(1, candidate, created_at=0.0), now=1.0)
+        assert_same_delivery(reference, matching)
+        with pytest.raises(AssertionError):
+            assert_same_delivery(reference, diverging)

@@ -268,3 +268,70 @@ class TestRingBackend:
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
             DynamicEdgeIndex(retention=10.0, backend="columnar")
+
+
+class TestRingBulkExtend:
+    """Ring-aware grouped bulk inserts (insert_batch on hot targets)."""
+
+    def test_bulk_group_into_ring_matches_sequential_inserts(self):
+        from repro.core import EdgeEvent, EventBatch
+
+        # One hot target hit 40 times inside one batch, plus background
+        # singletons: the repeated group takes the bulk-safe ring path.
+        events = [EdgeEvent(float(i), 1000 + i, 7) for i in range(40)]
+        events += [EdgeEvent(40.0 + i, i, i + 1) for i in range(5)]
+        events += [EdgeEvent(45.0 + i, 2000 + i, 7) for i in range(40)]
+
+        reference = DynamicEdgeIndex(
+            retention=1e6, backend="ring", promote_threshold=8
+        )
+        for e in events:
+            reference.insert(e.actor, e.target, e.created_at, action=e.action)
+        batched = DynamicEdgeIndex(
+            retention=1e6, backend="ring", promote_threshold=8
+        )
+        batched.insert_batch(EventBatch.from_events(events))
+
+        assert batched.num_hot_targets == reference.num_hot_targets == 1
+        assert batched._edges == reference._edges
+        assert batched.num_edges == reference.num_edges
+        assert batched.inserted_total == reference.inserted_total
+        assert batched.evicted_total == reference.evicted_total
+
+    def test_bulk_extend_wraps_and_prunes(self):
+        from repro.core import EdgeEvent, EventBatch
+
+        # Advance the ring's start pointer via window pruning, then land a
+        # bulk group large enough to wrap around the circular buffer.
+        index = DynamicEdgeIndex(retention=50.0, backend="ring", promote_threshold=4)
+        for i in range(10):
+            index.insert(i, 7, float(i))
+        assert index.num_hot_targets == 1
+        events = [EdgeEvent(60.0 + i, 100 + i, 7) for i in range(30)]
+        index.insert_batch(EventBatch.from_events(events))
+        # Old edges (cutoff 89 - 50) are pruned; the bulk group survives.
+        fresh = index.fresh_sources(7, now=89.0, tau=49.0)
+        assert [e.source for e in fresh] == [100 + i for i in range(30)]
+
+    def test_hotring_extend_matches_appends(self):
+        import numpy as np
+
+        from repro.graph.dynamic_index import _HotRing
+
+        table: list = [None]
+        sequential = _HotRing(8, table)
+        bulk = _HotRing(8, table)
+        # Rotate both rings so the bulk write must wrap.
+        for ring in (sequential, bulk):
+            for i in range(6):
+                ring.append(float(i), i, 0)
+            for _ in range(4):
+                ring.popleft()
+        ts = np.arange(10, dtype=np.float64)
+        src = np.arange(10, dtype=np.int64) + 100
+        act = np.zeros(10, dtype=np.uint16)
+        for t, s, a in zip(ts, src, act):
+            sequential.append(float(t), int(s), int(a))
+        bulk.extend(ts, src, act)
+        assert list(bulk) == list(sequential)
+        assert bulk.count == sequential.count

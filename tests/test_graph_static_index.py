@@ -205,3 +205,56 @@ class TestCsrFollowerIndex:
         packed = StaticFollowerIndex.from_follow_edges(edges)
         csr = CsrFollowerIndex.from_follow_edges(edges)
         assert csr.memory_bytes() < packed.memory_bytes()
+
+
+class TestCsrArenaSnapshots:
+    def test_npz_round_trip_exact(self, tmp_path):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        edges = [(a, b) for b in range(50) for a in range(b % 13 + 1)]
+        index = CsrFollowerIndex.from_follow_edges(edges)
+        path = tmp_path / "s_arena.npz"
+        index.save_npz(path)
+        loaded = CsrFollowerIndex.from_snapshot(path)
+
+        assert loaded.num_targets == index.num_targets
+        assert loaded.num_edges == index.num_edges
+        assert sorted(loaded.sources()) == sorted(index.sources())
+        for b in index.sources():
+            assert list(loaded.followers_of(b)) == list(index.followers_of(b))
+        assert loaded.has_edge(0, 1) == index.has_edge(0, 1)
+        assert loaded.follower_array(999) is None
+        # The loaded index still supports the append-and-compact overlay.
+        loaded.append_follow_edges([(999, 1)])
+        assert loaded.has_edge(999, 1)
+
+    def test_save_compacts_pending_appends(self, tmp_path):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex.from_follow_edges(EDGES)
+        index.append_follow_edges([(7, 10), (5, 99)])
+        path = tmp_path / "s_arena.npz"
+        index.save_npz(path)
+        assert index.pending_edges == 0  # save compacted in place
+        loaded = CsrFollowerIndex.from_snapshot(path)
+        assert list(loaded.followers_of(10)) == [0, 1, 2, 7]
+        assert list(loaded.followers_of(99)) == [5]
+
+    def test_empty_index_round_trips(self, tmp_path):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex({})
+        path = tmp_path / "empty.npz"
+        index.save_npz(path)
+        loaded = CsrFollowerIndex.from_snapshot(path)
+        assert loaded.num_targets == 0
+        assert loaded.follower_array(1) is None
+
+    def test_suffixless_path_round_trips(self, tmp_path):
+        from repro.graph.static_index import CsrFollowerIndex
+
+        index = CsrFollowerIndex.from_follow_edges(EDGES)
+        path = tmp_path / "s_arena"  # np.savez appends .npz on write
+        index.save_npz(path)
+        loaded = CsrFollowerIndex.from_snapshot(path)
+        assert loaded.num_edges == index.num_edges
