@@ -102,6 +102,18 @@ def test_diurnal_vs_flat_day(benchmark, snapshot, report):
         f"{DIURNAL_TROUGH_HOUR:02.0f}:00 UTC — diurnal candidates arrive "
         "while the audience is awake, so the filter drops far less"
     )
+    for name, (num_events, pipeline) in results.items():
+        funnel = pipeline.funnel
+        workload = "diurnal-day" if "diurnal" in name else "flat-day"
+        report.record(
+            "funnel",
+            {"workload": workload, "events": num_events, "path": "per-candidate"},
+            {
+                "raw_candidates": funnel.get("raw"),
+                "delivered": funnel.get("delivered"),
+                "waking_drop_share": round(shares[name], 4),
+            },
+        )
 
     assert results["flat day"][1].funnel.get("raw") > 0
     assert results["diurnal day (A=0.8)"][1].funnel.get("raw") > 0

@@ -15,7 +15,11 @@ The module also carries **E16a**, the delivery-side ablation of the
 columnar candidate path: the same raw candidate stream pushed through the
 funnel once per-candidate (boxed ``offer``) and once columnar
 (``offer_batch``), with identical survivors required and the speedup
-recorded to ``BENCH_funnel.json`` (the CI bench-smoke job gates it).
+recorded to ``BENCH_funnel.json`` (the CI bench-smoke job gates it) —
+and **E17**, the ranked-delivery ablation: the same stream through the
+``TopKPerUserBuffer`` scoring stage once boxed (per-candidate ``offer``)
+and once columnar (``offer_batch`` + vectorized flush), plus an
+informational table-vs-dict comparison of the dedup/fatigue backends.
 """
 
 import time
@@ -30,7 +34,14 @@ from repro.bench.workloads import (
 )
 from repro.core import RecommendationBatch
 from repro.core.batch import iter_event_batches
-from repro.delivery import DeliveryPipeline, PushNotifier
+from repro.delivery import (
+    DedupFilter,
+    DeliveryPipeline,
+    FatigueFilter,
+    PushNotifier,
+    TopKPerUserBuffer,
+    WakingHoursFilter,
+)
 from repro.gen import (
     BurstSpec,
     StreamConfig,
@@ -40,6 +51,27 @@ from repro.gen import (
 )
 
 DAY = 86_400.0
+
+
+@pytest.fixture(scope="module")
+def burst_delivery_feed():
+    """The E16a/E17 candidate stream: detection runs once, outside every
+    timed region, and emits columnar batches paired with their clock."""
+    snapshot, events = bursty_workload(
+        num_users=6_000, duration=400.0, background_rate=4.0, burst_actors=80
+    )
+    engine = bench_engine(snapshot, track_latency=False)
+    feed: list[tuple[float, RecommendationBatch]] = []
+    for chunk in iter_event_batches(events, 256):
+        grouped = engine.process_batch_grouped(chunk)
+        groups = [group for batch in grouped for group in batch.groups]
+        if groups:
+            # One delivery batch per micro-batch, offered at the batch's
+            # newest event time (all paths use the same clock).
+            feed.append((float(chunk.timestamps[-1]), RecommendationBatch(groups)))
+    total = sum(len(batch) for _, batch in feed)
+    assert total > 50_000, "need a meaningful raw candidate volume"
+    return feed, total
 
 
 @pytest.fixture(scope="module")
@@ -131,7 +163,7 @@ def test_daily_funnel(benchmark, day_workload, report):
     )
 
 
-def test_funnel_columnar_vs_boxed(report):
+def test_funnel_columnar_vs_boxed(report, burst_delivery_feed):
     """E16a — the delivery funnel: columnar ``offer_batch`` vs boxed ``offer``.
 
     Detection runs once (outside the timed region) and emits the burst-heavy
@@ -144,20 +176,7 @@ def test_funnel_columnar_vs_boxed(report):
     candidate while the columnar path pays them only per survivor.
     Interleaved best-of rounds, fast enough for the CI smoke job.
     """
-    snapshot, events = bursty_workload(
-        num_users=6_000, duration=400.0, background_rate=4.0, burst_actors=80
-    )
-    engine = bench_engine(snapshot, track_latency=False)
-    feed: list[tuple[float, RecommendationBatch]] = []
-    for chunk in iter_event_batches(events, 256):
-        grouped = engine.process_batch_grouped(chunk)
-        groups = [group for batch in grouped for group in batch.groups]
-        if groups:
-            # One delivery batch per micro-batch, offered at the batch's
-            # newest event time (both paths use the same clock).
-            feed.append((float(chunk.timestamps[-1]), RecommendationBatch(groups)))
-    total = sum(len(batch) for _, batch in feed)
-    assert total > 50_000, "need a meaningful raw candidate volume"
+    feed, total = burst_delivery_feed
 
     def run_boxed():
         pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
@@ -210,4 +229,134 @@ def test_funnel_columnar_vs_boxed(report):
     assert speedup >= 1.5, (
         f"columnar funnel only {speedup:.2f}x over boxed; the batched "
         "delivery path failed to amortize"
+    )
+
+
+def test_ranked_delivery_columnar_vs_boxed(report, burst_delivery_feed):
+    """E17 — ranked delivery: vectorized top-k scoring vs boxed offers.
+
+    The ranked configuration inserts a ``TopKPerUserBuffer`` between
+    detection and the funnel; before this ablation's tentpole the buffer
+    walked recipients per group in Python.  Both paths here share the
+    identical vectorized flush and the identical downstream funnel — the
+    ablated region is *offering*: (a) boxed — iterate the batch (boxing
+    every raw candidate) and ``offer`` each into the buffer; (b) columnar
+    — ``offer_batch`` buffers each group's recipient column by reference.
+    Released winners must be identical (content and order), and so must
+    the downstream funnels.  Recorded to ``BENCH_funnel.json``; the CI
+    bench-smoke job gates ``speedup_vs_boxed``.
+    """
+    feed, total = burst_delivery_feed
+
+    def run_boxed():
+        buffer = TopKPerUserBuffer(k=2)
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        started = time.perf_counter()
+        for now, batch in feed:
+            for rec in batch:  # boxes every raw candidate
+                buffer.offer(rec)
+            pipeline.offer_all(buffer.flush(now), now)
+        return time.perf_counter() - started, pipeline
+
+    def run_columnar():
+        buffer = TopKPerUserBuffer(k=2)
+        pipeline = DeliveryPipeline(notifier=PushNotifier(keep_at_most=10_000))
+        started = time.perf_counter()
+        for now, batch in feed:
+            buffer.offer_batch(batch)  # recipient columns by reference
+            pipeline.offer_all(buffer.flush(now), now)
+        return time.perf_counter() - started, pipeline
+
+    best, funnels = interleaved_best_of(
+        {"boxed": run_boxed, "columnar": run_columnar}
+    )
+    # Identical winners, identical funnels: the columnar scoring path
+    # changes nothing but the speed.
+    assert_same_delivery(funnels["boxed"], funnels["columnar"])
+
+    speedup = best["boxed"] / best["columnar"]
+    table = report.table(
+        "E17",
+        "ranked delivery: columnar top-k scoring vs boxed offers",
+        ["path", "raw candidates", "candidates/sec", "speedup"],
+    )
+    for key in ("boxed", "columnar"):
+        table.add_row(
+            key,
+            total,
+            f"{total / best[key]:,.0f}",
+            f"{best['boxed'] / best[key]:.2f}x",
+        )
+    released = funnels["columnar"].funnel.get("raw")
+    table.add_note(
+        f"{total} raw -> {released} released by top-2-per-user scoring -> "
+        f"{funnels['columnar'].funnel.get('delivered')} delivered; both "
+        "paths share the vectorized flush and funnel — the ablation is "
+        "offer boxing"
+    )
+    for key in ("boxed", "columnar"):
+        report.record(
+            "funnel",
+            {"workload": "ranked-delivery", "candidates": total, "path": key},
+            {
+                "candidates_per_sec": round(total / best[key], 1),
+                "speedup_vs_boxed": round(best["boxed"] / best[key], 3),
+            },
+        )
+    assert speedup >= 2.0, (
+        f"columnar scoring only {speedup:.2f}x over boxed offers; the "
+        "vectorized top-k failed to amortize"
+    )
+
+
+def test_funnel_pair_table_vs_dict(report, burst_delivery_feed):
+    """E17 (companion) — the funnel's dedup/fatigue state backends.
+
+    The same columnar candidate stream through ``offer_batch`` twice:
+    once with the numpy pair tables (default) and once with the reference
+    dict maps.  Decisions must be identical — this is the workload-scale
+    mirror of the Hypothesis equivalence suite — and the recorded
+    throughputs (informational, machine-dependent, not gated) track
+    whether the vectorized probes keep their edge.  Memory is the
+    structural win: the pair table holds a live pair in ~17 bytes of
+    columns versus ~100+ bytes per dict entry.
+    """
+    feed, total = burst_delivery_feed
+
+    def run_with(backend: str):
+        def run():
+            pipeline = DeliveryPipeline(
+                filters=[
+                    DedupFilter(backend=backend),
+                    WakingHoursFilter(),
+                    FatigueFilter(backend=backend),
+                ],
+                notifier=PushNotifier(keep_at_most=10_000),
+            )
+            started = time.perf_counter()
+            for now, batch in feed:
+                pipeline.offer_batch(batch, now)
+            return time.perf_counter() - started, pipeline
+        return run
+
+    best, funnels = interleaved_best_of(
+        {"table": run_with("table"), "dict": run_with("dict")}
+    )
+    assert_same_delivery(funnels["dict"], funnels["table"])
+
+    table = report.table(
+        "E17b",
+        "funnel state backends: numpy pair table vs dict",
+        ["backend", "raw candidates", "candidates/sec"],
+    )
+    for key in ("dict", "table"):
+        table.add_row(key, total, f"{total / best[key]:,.0f}")
+        report.record(
+            "funnel",
+            {"workload": "burst-delivery-backend", "candidates": total, "path": key},
+            {"candidates_per_sec": round(total / best[key], 1)},
+        )
+    table.add_note(
+        "identical survivors and funnel counts by construction "
+        "(assert_same_delivery); throughputs informational"
     )

@@ -104,6 +104,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="micro-batch flush deadline in virtual seconds",
     )
+    simulate.add_argument(
+        "--delivery-batch-size",
+        type=int,
+        default=1,
+        help="coalesce candidate batches until this many raw candidates "
+        "are pending before one funnel dispatch (1 = per-batch)",
+    )
+    simulate.add_argument(
+        "--delivery-max-wait",
+        type=float,
+        default=0.05,
+        help="delivery coalescing window in virtual seconds (time spent "
+        "waiting is reported as the path:delivery-batching stage)",
+    )
     _add_backend_args(simulate)
 
     explain = commands.add_parser("explain", help="print a motif's compiled plan")
@@ -261,6 +275,8 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         seed=args.seed,
         batch_size=args.batch_size,
         max_wait=args.max_batch_wait,
+        delivery_batch_size=args.delivery_batch_size,
+        delivery_max_wait=args.delivery_max_wait,
     )
     result = topology.run(events)
     summary = result.breakdown.summary()

@@ -18,6 +18,11 @@ The *columnar* shapes keep that raw volume out of the Python object heap:
   boxed objects still gets them — but the hot path (the funnel's
   ``offer_batch``) consumes the flat columns and boxes only the final
   survivors, the paper's millions rather than billions.
+
+``docs/ARCHITECTURE.md`` maps where these shapes sit in the end-to-end
+columnar path (detector -> engine -> broker -> push queue -> coalescer ->
+funnel) and the equivalence-testing convention that keeps the boxed and
+columnar views interchangeable.
 """
 
 from __future__ import annotations
@@ -260,6 +265,40 @@ class RecommendationBatch:
         if not self.groups:
             return other
         return RecommendationBatch(self.groups + other.groups)
+
+    @classmethod
+    def concat_all(
+        cls, batches: Iterable["RecommendationBatch"]
+    ) -> "RecommendationBatch":
+        """One batch holding every group of *batches*, in input order.
+
+        The delivery coalescer's merge: group arrays are shared, never
+        copied, and degenerate inputs alias (a single non-empty input is
+        returned as-is; an all-empty input is the shared empty batch).
+
+        >>> a = RecommendationBatch(
+        ...     [RecommendationGroup([1, 2], candidate=9, created_at=0.0)]
+        ... )
+        >>> b = RecommendationBatch(
+        ...     [RecommendationGroup([3], candidate=8, created_at=1.0)]
+        ... )
+        >>> merged = RecommendationBatch.concat_all(
+        ...     [a, EMPTY_RECOMMENDATION_BATCH, b]
+        ... )
+        >>> [rec.recipient for rec in merged]
+        [1, 2, 3]
+        >>> RecommendationBatch.concat_all([a]) is a
+        True
+        """
+        non_empty = [batch for batch in batches if batch.groups]
+        if not non_empty:
+            return EMPTY_RECOMMENDATION_BATCH
+        if len(non_empty) == 1:
+            return non_empty[0]
+        groups: list[RecommendationGroup] = []
+        for batch in non_empty:
+            groups.extend(batch.groups)
+        return cls(groups)
 
     # ------------------------------------------------------------------
     # Sequence protocol (lazy boxed view)

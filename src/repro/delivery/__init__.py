@@ -16,6 +16,16 @@ The funnel stages, in production order:
 :class:`~repro.delivery.pipeline.DeliveryPipeline` composes the stages and
 keeps a :class:`~repro.sim.metrics.FunnelCounter`, which benchmark E6 reads
 to reproduce the billions-to-millions reduction ratio.
+
+The stateful stages (dedup, fatigue) store their maps either in numpy
+open-addressing tables (``backend="table"``, the default — vectorized
+``allow_mask`` probes, horizon-compacted residency; see
+:mod:`repro.delivery.pairtable`) or in the reference dicts
+(``backend="dict"`` — arbitrary id spaces and clocks, fastest for
+per-candidate ``offer`` workloads).  The ranked configuration inserts
+:class:`~repro.delivery.scoring.TopKPerUserBuffer` — columnar accumulation
+with a vectorized per-recipient top-k at flush — between detection and
+the funnel.
 """
 
 from repro.delivery.dedup import DedupFilter

@@ -2,8 +2,23 @@
 
 A hot C keeps completing diamonds as more B's pile on, so the same
 (recipient, candidate) pair arrives over and over in the raw stream.  Each
-pair is allowed through once per ``window`` seconds; the seen-map is pruned
-opportunistically so memory tracks the active window, not the full day.
+pair is allowed through once per ``window`` seconds.
+
+Two interchangeable storage backends hold the seen-map:
+
+* ``backend="table"`` (default) — an open-addressing numpy pair table
+  (:class:`~repro.delivery.pairtable.Int64KeyTable`): the pair packs into
+  one ``uint64`` key, ``allow_mask`` probes the whole batch with a few
+  vectorized passes, and expired pairs are evicted by horizon-based
+  compaction when the table needs room (daily-horizon residency is a
+  few tens of bytes per live pair instead of a ~100-byte dict entry).
+  Requires ids below 2**32 and a non-decreasing ``now`` sequence (both
+  true on the streaming path).
+* ``backend="dict"`` — the reference ``(recipient, candidate) ->
+  last_sent`` dict, pruned opportunistically every
+  :data:`~DedupFilter.PRUNE_EVERY` accepts.  Handles arbitrary ids and
+  arbitrary clocks; equivalence between the two backends is enforced by
+  ``tests/test_pair_table.py``.
 """
 
 from __future__ import annotations
@@ -11,26 +26,44 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.recommendation import CandidateColumns, Recommendation
-from repro.util.validation import require_positive
+from repro.delivery.pairtable import (
+    Int64KeyTable,
+    pack_pair,
+    pack_pairs,
+    unpack_pairs,
+)
+from repro.util.validation import require, require_positive
+
+DEDUP_BACKENDS = ("table", "dict")
 
 
 class DedupFilter:
     """Suppress repeats of (recipient, candidate) within a time window."""
 
-    #: How many accepts between opportunistic prunes of the seen-map.
+    #: Dict backend: accepts between opportunistic prunes of the seen-map.
     PRUNE_EVERY = 4096
 
-    def __init__(self, window: float = 86_400.0) -> None:
+    def __init__(self, window: float = 86_400.0, backend: str = "table") -> None:
         """Create the filter.
 
         Args:
             window: seconds during which a repeated pair is suppressed
                 (default one day, matching the paper's daily accounting).
+            backend: ``"table"`` for the numpy pair table (default) or
+                ``"dict"`` for the reference dict seen-map.
         """
         require_positive(window, "window")
+        require(
+            backend in DEDUP_BACKENDS,
+            f"backend must be one of {DEDUP_BACKENDS}, got {backend!r}",
+        )
         self.window = window
-        self._last_sent: dict[tuple[int, int], float] = {}
-        self._since_prune = 0
+        self.backend = backend
+        if backend == "dict":
+            self._last_sent: dict[tuple[int, int], float] = {}
+            self._since_prune = 0
+        else:
+            self._table = Int64KeyTable({"time": (np.float64, 0)})
 
     @property
     def name(self) -> str:
@@ -39,6 +72,22 @@ class DedupFilter:
 
     def allow(self, rec: Recommendation, now: float) -> bool:
         """True iff this pair has not been let through within the window."""
+        if self.backend == "dict":
+            return self._allow_dict(rec, now)
+        table = self._table
+        key = pack_pair(rec.recipient, rec.candidate)
+        slot = table.find(key)
+        if slot >= 0:
+            if now - table.columns["time"][slot] < self.window:
+                return False
+        else:
+            cutoff = now - self.window
+            table.reserve(1, keep=lambda: table.columns["time"] >= cutoff)
+            slot, _ = table.upsert(key)
+        table.columns["time"][slot] = now
+        return True
+
+    def _allow_dict(self, rec: Recommendation, now: float) -> bool:
         key = rec.key()
         last = self._last_sent.get(key)
         if last is not None and now - last < self.window:
@@ -53,12 +102,44 @@ class DedupFilter:
         """Batched :meth:`allow`: one decision per candidate, state updated
         in candidate order — exactly the sequence of per-candidate calls.
 
-        The seen-map is inherently sequential (a pair's first occurrence in
-        the batch claims the window for the rest), so this runs as one
-        tight loop over the decoded id lists; the win over per-candidate
-        offering is skipping the boxed ``Recommendation`` and the
-        per-candidate funnel dispatch, not vectorizing the dict.
+        On the table backend the whole batch vectorizes: within one call
+        every occurrence of a pair after the first is a duplicate of that
+        first occurrence (it was just let through, or it was already
+        blocked), so the stage reduces to one ``np.unique`` plus one bulk
+        table probe over the distinct pairs — no per-candidate Python at
+        all.  The dict backend runs the reference sequential loop over
+        the decoded id lists.
         """
+        if self.backend == "dict":
+            return self._allow_mask_dict(columns, now)
+        recipients = columns.recipients
+        n = len(recipients)
+        keys = pack_pairs(recipients, columns.candidates)
+        distinct, first_index = np.unique(keys, return_index=True)
+        table = self._table
+        slots = table.lookup(distinct)
+        found = slots >= 0
+        allowed = np.ones(len(distinct), dtype=bool)
+        if found.any():
+            last = table.columns["time"][slots[found]]
+            allowed[found] = now - last >= self.window
+        out = np.zeros(n, dtype=bool)
+        out[first_index] = allowed
+        refreshed = found & allowed
+        if refreshed.any():
+            table.columns["time"][slots[refreshed]] = now
+        missing = ~found
+        num_missing = int(missing.sum())
+        if num_missing:
+            cutoff = now - self.window
+            table.reserve(
+                num_missing, keep=lambda: table.columns["time"] >= cutoff
+            )
+            new_slots = table.insert(distinct[missing])
+            table.columns["time"][new_slots] = now
+        return out
+
+    def _allow_mask_dict(self, columns: CandidateColumns, now: float) -> np.ndarray:
         recipients = columns.recipients_list()
         candidates = columns.candidates_list()
         out = np.empty(len(recipients), dtype=bool)
@@ -90,4 +171,22 @@ class DedupFilter:
 
     def tracked_pairs(self) -> int:
         """Number of pairs currently remembered (memory accounting)."""
-        return len(self._last_sent)
+        if self.backend == "dict":
+            return len(self._last_sent)
+        return len(self._table)
+
+    def last_sent_entries(self) -> dict[tuple[int, int], float]:
+        """Snapshot of ``(recipient, candidate) -> last_sent`` (tests).
+
+        Backends prune/compact expired entries at different moments, so
+        only the in-window subset is comparable across them.
+        """
+        if self.backend == "dict":
+            return dict(self._last_sent)
+        slots = self._table.filled_slots()
+        recipients, candidates = unpack_pairs(self._table.keys_at(slots))
+        times = self._table.columns["time"][slots]
+        return {
+            (int(r), int(c)): float(t)
+            for r, c, t in zip(recipients, candidates, times)
+        }

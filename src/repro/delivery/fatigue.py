@@ -4,6 +4,19 @@ Even perfectly relevant notifications drive users to disable pushes when
 there are too many of them; production "controls for fatigue".  We model
 the standard mechanism: at most ``max_per_window`` deliveries per user per
 rolling ``window`` seconds.
+
+Two interchangeable storage backends hold the per-user histories:
+
+* ``backend="table"`` (default) — an open-addressing numpy table keyed by
+  recipient, holding a fixed ``max_per_window``-wide timestamp ring per
+  slot (the rolling window never needs more entries than the cap).
+  ``allow_mask`` charges a whole batch with a handful of vectorized
+  passes; dead users are evicted by horizon-based compaction when the
+  table needs room.  Assumes a non-decreasing ``now`` sequence (true on
+  the streaming path).
+* ``backend="dict"`` — the reference ``recipient -> deque[float]`` map.
+  Equivalence between the two backends is enforced by
+  ``tests/test_pair_table.py``.
 """
 
 from __future__ import annotations
@@ -13,24 +26,48 @@ from collections import deque
 import numpy as np
 
 from repro.core.recommendation import CandidateColumns, Recommendation
-from repro.util.validation import require_positive
+from repro.delivery.pairtable import Int64KeyTable
+from repro.util.validation import require, require_positive
+
+FATIGUE_BACKENDS = ("table", "dict")
 
 
 class FatigueFilter:
     """Rolling-window rate limit per recipient."""
 
-    def __init__(self, max_per_window: int = 2, window: float = 86_400.0) -> None:
+    def __init__(
+        self,
+        max_per_window: int = 2,
+        window: float = 86_400.0,
+        backend: str = "table",
+    ) -> None:
         """Create the filter.
 
         Args:
             max_per_window: deliveries allowed per user per window.
             window: rolling window length in seconds (default one day).
+            backend: ``"table"`` for the numpy ring table (default) or
+                ``"dict"`` for the reference deque map.
         """
         require_positive(max_per_window, "max_per_window")
         require_positive(window, "window")
+        require(
+            backend in FATIGUE_BACKENDS,
+            f"backend must be one of {FATIGUE_BACKENDS}, got {backend!r}",
+        )
         self.max_per_window = max_per_window
         self.window = window
-        self._sent: dict[int, deque[float]] = {}
+        self.backend = backend
+        if backend == "dict":
+            self._sent: dict[int, deque[float]] = {}
+        else:
+            self._table = Int64KeyTable(
+                {
+                    "times": (np.float64, max_per_window),
+                    "head": (np.int32, 0),
+                    "count": (np.int32, 0),
+                }
+            )
 
     @property
     def name(self) -> str:
@@ -39,6 +76,34 @@ class FatigueFilter:
 
     def allow(self, rec: Recommendation, now: float) -> bool:
         """True iff the recipient is under their cap; counts the delivery."""
+        if self.backend == "dict":
+            return self._allow_dict(rec, now)
+        table = self._table
+        cap = self.max_per_window
+        cutoff = now - self.window
+        slot = table.find(rec.recipient)
+        if slot < 0:
+            table.reserve(1, keep=lambda: self._live_slots(cutoff))
+            slot, _ = table.upsert(rec.recipient)
+        columns = table.columns
+        times = columns["times"]
+        head = int(columns["head"][slot])
+        count = int(columns["count"][slot])
+        # Prune from the oldest end, stopping at the first live entry —
+        # the exact deque ``popleft`` sequence of the dict backend.
+        while count and times[slot, head] < cutoff:
+            head = (head + 1) % cap
+            count -= 1
+        if count >= cap:
+            columns["head"][slot] = head
+            columns["count"][slot] = count
+            return False
+        times[slot, (head + count) % cap] = now
+        columns["head"][slot] = head
+        columns["count"][slot] = count + 1
+        return True
+
+    def _allow_dict(self, rec: Recommendation, now: float) -> bool:
         history = self._sent.get(rec.recipient)
         if history is None:
             history = deque()
@@ -54,12 +119,82 @@ class FatigueFilter:
     def allow_mask(self, columns: CandidateColumns, now: float) -> np.ndarray:
         """Batched :meth:`allow`: per-candidate decisions in order.
 
-        The rolling windows are stateful per recipient (an accept charges
-        the budget the next candidate sees), so decisions run as one loop
-        over the decoded recipient list — the same sequence of window
-        prunes, cap checks, and charges as per-candidate calls, without the
-        per-candidate boxing and dispatch.
+        All candidates in one call share ``now``, so per recipient the
+        sequential semantics collapse to: prune once, then admit the
+        first ``cap - live`` occurrences and reject the rest.  The table
+        backend computes that shape fully vectorized (one ``np.unique``
+        over recipients, one bulk probe, ring updates as a few masked
+        writes); the dict backend runs the reference sequential loop.
         """
+        if self.backend == "dict":
+            return self._allow_mask_dict(columns, now)
+        recipients = columns.recipients
+        n = len(recipients)
+        out = np.empty(n, dtype=bool)
+        if n == 0:
+            return out
+        distinct, inverse, occurrences = np.unique(
+            recipients, return_inverse=True, return_counts=True
+        )
+        table = self._table
+        cap = self.max_per_window
+        cutoff = now - self.window
+        keys = distinct.astype(np.uint64)
+        slots = table.lookup(keys)
+        found = slots >= 0
+        alive = np.zeros(len(distinct), dtype=np.int64)
+        table_columns = table.columns
+        if found.any():
+            found_slots = slots[found]
+            times = table_columns["times"]
+            head = table_columns["head"][found_slots].astype(np.int64)
+            count = table_columns["count"][found_slots].astype(np.int64)
+            # Leading-expired prune, vectorized over the (tiny) ring width.
+            pruned = np.zeros(len(found_slots), dtype=np.int64)
+            leading = np.ones(len(found_slots), dtype=bool)
+            for j in range(cap):
+                stamp = times[found_slots, (head + j) % cap]
+                expired = leading & (j < count) & (stamp < cutoff)
+                pruned += expired
+                leading = expired
+            head = (head + pruned) % cap
+            count = count - pruned
+            alive[found] = count
+        budget = cap - alive
+        granted = np.minimum(budget, occurrences)
+        # Row i passes iff it is among the first `granted` occurrences of
+        # its recipient: rank rows within each recipient in arrival order.
+        order = np.argsort(inverse, kind="stable")
+        grouped = inverse[order]
+        starts = np.flatnonzero(
+            np.r_[True, grouped[1:] != grouped[:-1]]
+        ) if n else np.empty(0, dtype=np.int64)
+        rank = np.arange(n) - np.repeat(starts, occurrences)
+        out[order] = rank < granted[grouped]
+        if found.any():
+            # Charge the admitted deliveries: append `now` x granted.
+            grants_found = granted[found]
+            times = table_columns["times"]
+            for j in range(int(grants_found.max(initial=0))):
+                charged = grants_found > j
+                positions = (head[charged] + count[charged] + j) % cap
+                times[found_slots[charged], positions] = now
+            table_columns["head"][found_slots] = head
+            table_columns["count"][found_slots] = count + grants_found
+        missing = ~found
+        num_missing = int(missing.sum())
+        if num_missing:
+            table.reserve(num_missing, keep=lambda: self._live_slots(cutoff))
+            new_slots = table.insert(keys[missing])
+            table_columns = table.columns  # reserve may have reallocated
+            grants_missing = granted[missing]
+            for j in range(int(grants_missing.max(initial=0))):
+                charged = grants_missing > j
+                table_columns["times"][new_slots[charged], j] = now
+            table_columns["count"][new_slots] = grants_missing
+        return out
+
+    def _allow_mask_dict(self, columns: CandidateColumns, now: float) -> np.ndarray:
         recipients = columns.recipients_list()
         out = np.empty(len(recipients), dtype=bool)
         sent = self._sent
@@ -79,10 +214,38 @@ class FatigueFilter:
                 out[i] = True
         return out
 
+    def _live_slots(self, cutoff: float) -> np.ndarray:
+        """Compaction keep-mask: slots with any charge still in window."""
+        table = self._table
+        cap = self.max_per_window
+        times = table.columns["times"]
+        head = table.columns["head"].astype(np.int64)
+        count = table.columns["count"].astype(np.int64)
+        rows = np.arange(table.capacity)
+        live = np.zeros(table.capacity, dtype=bool)
+        for j in range(cap):
+            stamp = times[rows, (head + j) % cap]
+            live |= (j < count) & (stamp >= cutoff)
+        return live
+
     def sent_in_window(self, user: int, now: float) -> int:
         """Deliveries charged to *user* within the current window."""
-        history = self._sent.get(user)
-        if not history:
-            return 0
         cutoff = now - self.window
-        return sum(1 for t in history if t >= cutoff)
+        if self.backend == "dict":
+            history = self._sent.get(user)
+            if not history:
+                return 0
+            return sum(1 for t in history if t >= cutoff)
+        slot = self._table.find(user)
+        if slot < 0:
+            return 0
+        columns = self._table.columns
+        cap = self.max_per_window
+        head = int(columns["head"][slot])
+        count = int(columns["count"][slot])
+        times = columns["times"]
+        return sum(
+            1
+            for j in range(count)
+            if times[slot, (head + j) % cap] >= cutoff
+        )

@@ -63,7 +63,34 @@ class DeliveryFilter(Protocol):
 
 
 class DeliveryPipeline:
-    """Raw candidates in, push notifications out, counters in between."""
+    """Raw candidates in, push notifications out, counters in between.
+
+    The contract every consumer relies on:
+
+    * **Stage order is evaluation order** — cheapest-and-most-selective
+      first (dedup), and a rejection short-circuits: later stages never
+      see (and never update state for) a rejected candidate.
+    * **``offer_batch`` ≡ sequential ``offer``** — same survivors, same
+      delivery order, same per-stage funnel counts key for key, same
+      filter state afterwards.  The pipeline guarantees this by
+      compressing the candidate columns after every stage, so a stateful
+      stage's ``allow_mask`` only ever sees the earlier stages' survivors.
+    * **Custom filters keep working** — a configured stage without
+      ``allow_mask`` routes the whole batch through the per-candidate
+      loop (exact, just slower).
+
+    >>> from repro.core.recommendation import (
+    ...     RecommendationBatch, RecommendationGroup,
+    ... )
+    >>> pipeline = DeliveryPipeline(filters=[DedupFilter(window=60.0)])
+    >>> batch = RecommendationBatch(
+    ...     [RecommendationGroup([1, 2, 1], candidate=9, created_at=0.0)]
+    ... )
+    >>> [n.recipient for n in pipeline.offer_batch(batch, now=0.0)]
+    [1, 2]
+    >>> pipeline.funnel.stages
+    {'raw': 3, 'dropped:dedup': 1, 'passed:dedup': 2, 'delivered': 2}
+    """
 
     def __init__(
         self,

@@ -11,15 +11,62 @@ diamond candidate combines:
 :class:`TopKPerUserBuffer` batches raw candidates per recipient over a
 short window and releases only each user's top-k, which is how a ranked
 delivery stage slots between detection and the fatigue filter.
+
+The buffer is *columnar*: offers accumulate as flat numpy columns
+(recipient, candidate, witnesses, created_at) — one appended chunk per
+:class:`~repro.core.recommendation.RecommendationGroup` on the batched
+path, so a viral trigger's whole audience lands as one array reference —
+and :meth:`~TopKPerUserBuffer.flush` computes every user's top-k with a
+handful of vectorized passes (lexsort over recipient-grouped segments),
+boxing only the flushed winners.  Semantics are identical to the
+per-candidate reference path (``tests/test_delivery_scoring.py`` enforces
+winners, tie-breaking, and flush order with Hypothesis).
+
+>>> from repro.core.recommendation import RecommendationBatch, RecommendationGroup
+>>> buffer = TopKPerUserBuffer(k=1)
+>>> buffer.offer_batch(RecommendationBatch([
+...     RecommendationGroup([1, 2], candidate=10, created_at=0.0, via=(5,)),
+...     RecommendationGroup([1], candidate=11, created_at=0.0, via=(5, 6)),
+... ]))
+>>> [(rec.recipient, rec.candidate) for rec in buffer.flush(now=0.0)]
+[(1, 11), (2, 10)]
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import numpy as np
 
-from repro.core.recommendation import Recommendation, RecommendationBatch
+from repro.core.recommendation import (
+    Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
+)
 from repro.util.validation import require_positive
+
+#: A buffered run of individually-offered (already boxed) candidates, or
+#: one columnar detection group — the two chunk shapes the buffer holds.
+_Chunk = RecommendationGroup | list
+
+
+def decayed_scores(
+    witnesses: np.ndarray,
+    created_at: np.ndarray,
+    now: float,
+    half_life: float = 1_800.0,
+) -> np.ndarray:
+    """Corroboration x freshness scores for aligned candidate columns.
+
+    The canonical score computation: ``max(witnesses, 1)`` scaled by
+    ``2 ** (-age / half_life)``.  :func:`witness_score` delegates here so
+    the scalar and vectorized paths agree bit for bit (``np.exp2`` keeps
+    one code path; mixing in ``math.pow`` would not — numpy's SIMD
+    kernels round differently in the last ulp).
+    """
+    require_positive(half_life, "half_life")
+    ages = np.maximum(now - created_at, 0.0)
+    return np.maximum(witnesses, 1).astype(np.float64) * np.exp2(
+        -ages / half_life
+    )
 
 
 def witness_score(
@@ -31,23 +78,27 @@ def witness_score(
     with the given *half_life* in seconds.  Candidates with no recorded
     witnesses (foreign detectors) score as single-witness.
     """
-    require_positive(half_life, "half_life")
-    witnesses = max(len(rec.via), 1)
-    age = max(now - rec.created_at, 0.0)
-    return witnesses * math.pow(2.0, -age / half_life)
-
-
-@dataclass
-class _UserBuffer:
-    candidates: list[Recommendation] = field(default_factory=list)
+    return float(
+        decayed_scores(
+            np.array([len(rec.via)], dtype=np.int64),
+            np.array([rec.created_at], dtype=np.float64),
+            now,
+            half_life,
+        )[0]
+    )
 
 
 class TopKPerUserBuffer:
     """Batch candidates per recipient; flush releases each user's best k.
 
     Dedups by (recipient, candidate) within the buffer, keeping the
-    highest-witness instance, so a re-firing motif does not crowd out
-    distinct candidates.
+    first-offered instance with the highest witness count (later offers
+    replace only on *strictly more* witnesses), so a re-firing motif does
+    not crowd out distinct candidates.
+
+    Offers are O(1) appends — a whole detection group lands as one chunk,
+    a scalar offer as one list append — and all selection work happens in
+    :meth:`flush`, vectorized over the accumulated columns.
     """
 
     def __init__(self, k: int = 2, half_life: float = 1_800.0) -> None:
@@ -56,54 +107,154 @@ class TopKPerUserBuffer:
         require_positive(half_life, "half_life")
         self.k = k
         self.half_life = half_life
-        self._buffers: dict[int, dict[int, Recommendation]] = {}
+        #: Offer-ordered chunks: RecommendationGroup | list[Recommendation].
+        self._chunks: list[_Chunk] = []
+        self._buffered = 0
         self.offered = 0
 
     def offer(self, rec: Recommendation) -> None:
-        """Add one raw candidate to its recipient's buffer."""
+        """Add one raw (boxed) candidate to the buffer."""
         self.offered += 1
-        per_user = self._buffers.setdefault(rec.recipient, {})
-        existing = per_user.get(rec.candidate)
-        if existing is None or len(rec.via) > len(existing.via):
-            per_user[rec.candidate] = rec
+        self._buffered += 1
+        chunks = self._chunks
+        if chunks and type(chunks[-1]) is list:
+            chunks[-1].append(rec)
+        else:
+            chunks.append([rec])
 
     def offer_batch(self, batch: RecommendationBatch) -> None:
         """Offer every candidate of a columnar batch, in order.
 
-        Equivalent to per-candidate :meth:`offer` calls, but a candidate is
-        boxed only when it actually enters (or replaces an entry in) a
-        buffer — the shared group metadata makes the witness-count compare
-        free for everyone else.
+        Equivalent to per-candidate :meth:`offer` calls, but nothing is
+        boxed: each group's recipient column is buffered by reference and
+        its shared metadata (candidate, witnesses, creation time) expands
+        to columns only at :meth:`flush`.
         """
-        buffers = self._buffers
+        chunks = self._chunks
         for group in batch.groups:
             size = len(group)
             self.offered += size
-            candidate = group.candidate
-            witnesses = group.num_witnesses
-            for i, recipient in enumerate(group.recipients_list()):
-                per_user = buffers.setdefault(recipient, {})
-                existing = per_user.get(candidate)
-                if existing is None or witnesses > len(existing.via):
-                    per_user[candidate] = group.recommendation_at(i)
+            self._buffered += size
+            if size:
+                chunks.append(group)
+
+    def _gather(self) -> tuple[np.ndarray, ...]:
+        """Concatenate the buffered chunks into flat aligned columns.
+
+        Returns ``(recipients, candidates, witnesses, created_at,
+        chunk_starts)`` where ``chunk_starts[i]`` is chunk *i*'s offset in
+        the flat order (for mapping winners back to their source chunk).
+        """
+        recipient_parts: list[np.ndarray] = []
+        candidate_parts: list[np.ndarray] = []
+        witness_parts: list[np.ndarray] = []
+        created_parts: list[np.ndarray] = []
+        starts = np.empty(len(self._chunks), dtype=np.int64)
+        offset = 0
+        for i, chunk in enumerate(self._chunks):
+            starts[i] = offset
+            if type(chunk) is list:
+                size = len(chunk)
+                recipient_parts.append(
+                    np.fromiter((r.recipient for r in chunk), np.int64, size)
+                )
+                candidate_parts.append(
+                    np.fromiter((r.candidate for r in chunk), np.int64, size)
+                )
+                witness_parts.append(
+                    np.fromiter((len(r.via) for r in chunk), np.int64, size)
+                )
+                created_parts.append(
+                    np.fromiter((r.created_at for r in chunk), np.float64, size)
+                )
+            else:
+                size = len(chunk)
+                recipient_parts.append(chunk.recipients)
+                candidate_parts.append(np.full(size, chunk.candidate, np.int64))
+                witness_parts.append(
+                    np.full(size, chunk.num_witnesses, np.int64)
+                )
+                created_parts.append(
+                    np.full(size, chunk.created_at, np.float64)
+                )
+            offset += size
+        return (
+            np.concatenate(recipient_parts),
+            np.concatenate(candidate_parts),
+            np.concatenate(witness_parts),
+            np.concatenate(created_parts),
+            starts,
+        )
+
+    def _kept_rows(self) -> tuple[np.ndarray, ...]:
+        """Flat indices surviving the in-buffer (recipient, candidate)
+        dedup, plus their aligned id columns.
+
+        The per-candidate rule — replace only on strictly more witnesses —
+        keeps, for each pair, the *first* occurrence of its maximum
+        witness count; a stable lexsort on (recipient, candidate,
+        -witnesses) puts exactly that occurrence first in each pair's run.
+        """
+        recipients, candidates, witnesses, created_at, starts = self._gather()
+        order = np.lexsort((-witnesses, candidates, recipients))
+        sorted_recipients = recipients[order]
+        sorted_candidates = candidates[order]
+        first_in_pair = np.r_[
+            True,
+            (sorted_recipients[1:] != sorted_recipients[:-1])
+            | (sorted_candidates[1:] != sorted_candidates[:-1]),
+        ]
+        kept = order[first_in_pair]
+        return (
+            kept,
+            sorted_recipients[first_in_pair],
+            sorted_candidates[first_in_pair],
+            witnesses[kept],
+            created_at[kept],
+            starts,
+        )
 
     def pending(self) -> int:
         """Distinct (recipient, candidate) pairs currently buffered."""
-        return sum(len(per_user) for per_user in self._buffers.values())
+        if not self._buffered:
+            return 0
+        return len(self._kept_rows()[0])
 
     def flush(self, now: float) -> list[Recommendation]:
         """Release each user's top-k by score; clears the buffers.
 
-        Output is ordered by (recipient, descending score) so downstream
-        filters see each user's best candidate first — the fatigue filter
-        then spends the budget on the highest-scoring ones.
+        Output is ordered by (recipient, descending score, candidate) so
+        downstream filters see each user's best candidate first — the
+        fatigue filter then spends the budget on the highest-scoring
+        ones.  Only the winners are boxed; everything below the cut stays
+        columnar and is dropped with the buffers.
         """
+        if not self._buffered:
+            self._chunks.clear()
+            return []
+        kept, kept_recipients, kept_candidates, kept_witnesses, kept_created, starts = (
+            self._kept_rows()
+        )
+        scores = decayed_scores(kept_witnesses, kept_created, now, self.half_life)
+        ranking = np.lexsort((kept_candidates, -scores, kept_recipients))
+        ranked_recipients = kept_recipients[ranking]
+        run_first = np.r_[True, ranked_recipients[1:] != ranked_recipients[:-1]]
+        run_starts = np.flatnonzero(run_first)
+        run_ids = np.cumsum(run_first) - 1
+        rank_in_run = np.arange(len(ranking)) - run_starts[run_ids]
+        winners = kept[ranking[rank_in_run < self.k]]
+
+        chunks = self._chunks
+        chunk_ids = np.searchsorted(starts, winners, side="right") - 1
+        starts_list = starts.tolist()
         released: list[Recommendation] = []
-        for recipient in sorted(self._buffers):
-            candidates = list(self._buffers[recipient].values())
-            candidates.sort(
-                key=lambda rec: (-witness_score(rec, now, self.half_life), rec.candidate)
-            )
-            released.extend(candidates[: self.k])
-        self._buffers.clear()
+        for flat, chunk_id in zip(winners.tolist(), chunk_ids.tolist()):
+            chunk = chunks[chunk_id]
+            row = flat - starts_list[chunk_id]
+            if type(chunk) is list:
+                released.append(chunk[row])
+            else:
+                released.append(chunk.recommendation_at(row))
+        self._chunks = []
+        self._buffered = 0
         return released

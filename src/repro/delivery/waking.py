@@ -13,32 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.recommendation import CandidateColumns, Recommendation
+from repro.util.hashing import MASK64 as _MASK64
+from repro.util.hashing import splitmix64 as _splitmix64
+from repro.util.hashing import splitmix64_array as _splitmix64_array
 from repro.util.validation import require
-
-_MASK64 = (1 << 64) - 1
-
-_SM64_GAMMA = 0x9E3779B97F4A7C15
-_SM64_MIX1 = 0xBF58476D1CE4E5B9
-_SM64_MIX2 = 0x94D049BB133111EB
-
-
-def _splitmix64(value: int) -> int:
-    value = (value + _SM64_GAMMA) & _MASK64
-    value = ((value ^ (value >> 30)) * _SM64_MIX1) & _MASK64
-    value = ((value ^ (value >> 27)) * _SM64_MIX2) & _MASK64
-    return value ^ (value >> 31)
-
-
-def _splitmix64_array(values: np.ndarray) -> np.ndarray:
-    """Vectorised :func:`_splitmix64` over a ``uint64`` column.
-
-    ``uint64`` arithmetic wraps modulo 2**64, which is exactly the scalar
-    version's ``& _MASK64`` — the two produce identical mixes bit for bit.
-    """
-    values = (values + np.uint64(_SM64_GAMMA))
-    values = (values ^ (values >> np.uint64(30))) * np.uint64(_SM64_MIX1)
-    values = (values ^ (values >> np.uint64(27))) * np.uint64(_SM64_MIX2)
-    return values ^ (values >> np.uint64(31))
 
 
 class WakingHoursFilter:

@@ -19,13 +19,14 @@ and reports the per-stage latency breakdown that benchmark E4 prints.
 
 from repro.streaming.queue import MessageQueue, QueueStats
 from repro.streaming.source import ReplaySource
-from repro.streaming.consumer import DetectionConsumer
+from repro.streaming.consumer import DeliveryCoalescer, DetectionConsumer
 from repro.streaming.pipeline import StreamingTopology, TopologyReport
 
 __all__ = [
     "MessageQueue",
     "QueueStats",
     "ReplaySource",
+    "DeliveryCoalescer",
     "DetectionConsumer",
     "StreamingTopology",
     "TopologyReport",

@@ -7,13 +7,18 @@
       -> [fan-out queue]       (lognormal hop)
       -> broker + partitions   (measured detection ms + virtual rpc)
       -> [push queue]          (lognormal hop)
+      -> delivery coalescer    (merge batches over delivery_max_wait)
       -> delivery funnel       (dedup / waking hours / fatigue)
       -> push notification
 
 Per-notification latency is ``delivered_at - edge.created_at`` in virtual
 time; the breakdown separates queue hops from detection so benchmark E4 can
 verify the paper's claim that "nearly all the latency comes from event
-propagation delays in various message queues".
+propagation delays in various message queues".  Both micro-batching knobs
+are symmetric: the detection consumer batches *events* (``batch_size`` /
+``max_wait``, reported as ``path:batching``) and the delivery coalescer
+batches *candidate batches* (``delivery_batch_size`` /
+``delivery_max_wait``, reported as ``path:delivery-batching``).
 """
 
 from __future__ import annotations
@@ -22,7 +27,6 @@ from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
 from repro.core.events import EdgeEvent
-from repro.core.recommendation import RecommendationBatch
 from repro.delivery.pipeline import DeliveryPipeline
 from repro.delivery.notifier import PushNotification
 from repro.sim.des import DiscreteEventSimulator
@@ -33,7 +37,11 @@ from repro.sim.latency import (
     PRODUCTION_HOP_SIGMA,
 )
 from repro.sim.metrics import LatencyBreakdown
-from repro.streaming.consumer import CandidateBatch, DetectionConsumer
+from repro.streaming.consumer import (
+    CandidateBatch,
+    DeliveryCoalescer,
+    DetectionConsumer,
+)
 from repro.streaming.queue import MessageQueue
 from repro.streaming.source import ReplaySource
 from repro.util.rng import make_rng
@@ -77,6 +85,8 @@ class StreamingTopology:
         seed: int = 0,
         batch_size: int = 1,
         max_wait: float = 0.05,
+        delivery_batch_size: int = 1,
+        delivery_max_wait: float = 0.05,
     ) -> None:
         """Build the topology.
 
@@ -94,6 +104,12 @@ class StreamingTopology:
             batch_size: detection-consumer micro-batch size (1 = per-event).
             max_wait: micro-batch flush deadline in virtual seconds; time
                 spent waiting is reported as the ``path:batching`` stage.
+            delivery_batch_size: candidate count at which the delivery
+                coalescer flushes a merged batch into the funnel
+                (1 = dispatch every candidate batch on arrival).
+            delivery_max_wait: coalescer flush deadline in virtual
+                seconds; time spent waiting is reported as the
+                ``path:delivery-batching`` stage.
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -129,12 +145,26 @@ class StreamingTopology:
             max_wait=max_wait,
         )
         self._notifications: list[PushNotification] = []
+        # Latency is measured per *recommendation delivery* (the paper's
+        # "from the edge creation event to the delivery of the
+        # recommendation"), before the product filters — dedup would bias
+        # the distribution toward the fastest duplicate.  The coalescer
+        # owns that accounting (plus the delivery-batching wait, when
+        # coalescing is enabled).
+        self.coalescer = DeliveryCoalescer(
+            self.sim,
+            self.delivery,
+            self.breakdown,
+            self._notifications,
+            batch_size=delivery_batch_size,
+            max_wait=delivery_max_wait,
+        )
 
         # Wire the stages.
         self.firehose.subscribe(self._forward_to_fanout)
         self.fanout.subscribe(self.consumer)
         self.fanout.subscribe(self._record_fanout_delay)
-        self.push.subscribe(self._deliver_batch)
+        self.push.subscribe(self.coalescer)
 
     # ------------------------------------------------------------------
     # Stage glue
@@ -145,41 +175,6 @@ class StreamingTopology:
     ) -> None:
         self.breakdown.record("queue:firehose", delivered_at - published_at)
         self.fanout.publish(event)
-
-    def _deliver_batch(
-        self, batch: CandidateBatch, published_at: float, delivered_at: float
-    ) -> None:
-        self.breakdown.record("queue:push", delivered_at - published_at)
-        # Latency is measured per *recommendation delivery* (the paper's
-        # "from the edge creation event to the delivery of the
-        # recommendation"), before the product filters — dedup would bias
-        # the distribution toward the fastest duplicate.
-        total = delivered_at - batch.origin_event.created_at
-        processing = batch.detection_seconds + batch.rpc_seconds
-        batching = batch.batching_seconds
-        queue_path = total - processing - batching
-        recommendations = batch.recommendations
-        breakdown = self.breakdown
-        for _ in range(len(recommendations)):
-            breakdown.record_total(total)
-            breakdown.record("path:queue", queue_path)
-            breakdown.record("path:processing", processing)
-            if batch.micro_batched:
-                # Zero-wait samples (the size-trigger's final event) count
-                # too, or the stage's percentiles would overstate the
-                # typical batching delay.
-                breakdown.record("path:batching", batching)
-        if isinstance(recommendations, RecommendationBatch):
-            # Columnar candidates stay columnar through the funnel; only
-            # the final survivors are boxed (inside offer_batch).
-            self._notifications.extend(
-                self.delivery.offer_batch(recommendations, delivered_at)
-            )
-        else:
-            for rec in recommendations:
-                notification = self.delivery.offer(rec, delivered_at)
-                if notification is not None:
-                    self._notifications.append(notification)
 
     # ------------------------------------------------------------------
     # Running

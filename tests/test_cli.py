@@ -116,6 +116,39 @@ class TestGenerateAndRun:
         assert code == 0
         assert "events ingested" in output
 
+    def test_simulate_command_delivery_coalesced(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--delivery-batch-size", "64", "--delivery-max-wait", "0.3",
+        )
+        assert code == 0
+        assert "events ingested" in output
+        assert "notifications" in output
+
+    def test_simulate_delivery_coalescing_changes_no_counts(self, artifacts):
+        """The delivery window delays dispatch; with a dedup-only funnel
+        and a window shorter than any dedup horizon, the notification
+        count is unchanged."""
+        graph, stream = artifacts
+        def counts(output):
+            return [
+                line for line in output.splitlines()
+                if "events ingested" in line or "notifications" in line
+            ]
+        code_plain, out_plain = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+        )
+        code_coalesced, out_coalesced = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--delivery-batch-size", "256", "--delivery-max-wait", "0.05",
+        )
+        assert code_plain == 0 and code_coalesced == 0
+        assert counts(out_plain) == counts(out_coalesced)
+
     def test_analyze_command(self, artifacts):
         graph, _ = artifacts
         code, output = run_cli("analyze", str(graph))

@@ -60,18 +60,23 @@ def batch_strategy():
 
 
 def filters_strategy():
-    """A random funnel configuration (subset + parameters, order fixed)."""
+    """A random funnel configuration (subset + parameters + backends,
+    order fixed)."""
     return st.builds(
-        lambda dedup_window, waking, fatigue_cap, use_dedup, use_fatigue: [
+        lambda dedup_window, waking, fatigue_cap, use_dedup, use_fatigue, backends: [
             stage
             for stage in (
-                DedupFilter(window=dedup_window) if use_dedup else None,
+                DedupFilter(window=dedup_window, backend=backends[0])
+                if use_dedup
+                else None,
                 WakingHoursFilter(
                     waking_start_hour=waking[0],
                     waking_end_hour=waking[1],
                     timezone_salt=waking[2],
                 ),
-                FatigueFilter(max_per_window=fatigue_cap) if use_fatigue else None,
+                FatigueFilter(max_per_window=fatigue_cap, backend=backends[1])
+                if use_fatigue
+                else None,
             )
             if stage is not None
         ],
@@ -82,6 +87,9 @@ def filters_strategy():
         fatigue_cap=st.integers(1, 4),
         use_dedup=st.booleans(),
         use_fatigue=st.booleans(),
+        backends=st.tuples(
+            st.sampled_from(("table", "dict")), st.sampled_from(("table", "dict"))
+        ),
     )
 
 
@@ -204,8 +212,10 @@ class TestDedupAllowMask:
         assert dedup.allow_mask(columns_of([(1, 2)]), now=151.0).tolist() == [True]
 
     def test_mask_prunes_like_scalar_path(self):
-        scalar = DedupFilter(window=10.0)
-        batched = DedupFilter(window=10.0)
+        # The dict backend is the one with the opportunistic prune cadence
+        # (the table backend compacts on occupancy instead).
+        scalar = DedupFilter(window=10.0, backend="dict")
+        batched = DedupFilter(window=10.0, backend="dict")
         pairs = [(i, 0) for i in range(3 * DedupFilter.PRUNE_EVERY)]
         for i, (recipient, candidate) in enumerate(pairs):
             scalar.allow(

@@ -1,11 +1,24 @@
-"""Unit + property tests for candidate scoring and top-k selection."""
+"""Unit + property tests for candidate scoring and top-k selection.
 
+The buffer is columnar (offers accumulate as numpy columns, flush runs a
+vectorized per-recipient top-k); :func:`reference_flush` is the boxed
+per-candidate model it must match — the dict-of-dicts implementation the
+vectorized path replaced, kept here as the semantic oracle for winners,
+tie-breaking, and flush order.
+"""
+
+import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.recommendation import Recommendation
+from repro.core.recommendation import (
+    Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
+)
 from repro.delivery import TopKPerUserBuffer, witness_score
+from repro.delivery.scoring import decayed_scores
 
 
 def rec(recipient=1, candidate=2, created_at=0.0, witnesses=3):
@@ -15,6 +28,24 @@ def rec(recipient=1, candidate=2, created_at=0.0, witnesses=3):
         created_at=created_at,
         via=tuple(range(100, 100 + witnesses)),
     )
+
+
+def reference_flush(offers, k, half_life, now):
+    """The per-candidate reference: dict buffers + boxed sort at flush."""
+    buffers: dict[int, dict[int, Recommendation]] = {}
+    for offered in offers:
+        per_user = buffers.setdefault(offered.recipient, {})
+        existing = per_user.get(offered.candidate)
+        if existing is None or len(offered.via) > len(existing.via):
+            per_user[offered.candidate] = offered
+    released = []
+    for recipient in sorted(buffers):
+        candidates = list(buffers[recipient].values())
+        candidates.sort(
+            key=lambda r: (-witness_score(r, now, half_life), r.candidate)
+        )
+        released.extend(candidates[:k])
+    return released
 
 
 class TestWitnessScore:
@@ -108,3 +139,132 @@ class TestTopKPerUserBuffer:
         # And no duplicate (recipient, candidate) pairs escape.
         pairs = [(r.recipient, r.candidate) for r in released]
         assert len(pairs) == len(set(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Columnar flush == per-candidate reference (the vectorized-scoring oracle)
+# ---------------------------------------------------------------------------
+
+def group_strategy():
+    """One detection group, tuned to collide recipients and candidates."""
+    return st.builds(
+        lambda recipients, candidate, created_at, witnesses: RecommendationGroup(
+            recipients,
+            candidate=candidate,
+            created_at=created_at,
+            via=tuple(range(200, 200 + witnesses)),
+        ),
+        recipients=st.lists(st.integers(0, 5), min_size=1, max_size=6),
+        candidate=st.integers(0, 7),
+        created_at=st.floats(0.0, 5_000.0, allow_nan=False),
+        witnesses=st.integers(0, 5),
+    )
+
+
+def identity(recommendation):
+    return (
+        recommendation.recipient,
+        recommendation.candidate,
+        recommendation.created_at,
+        recommendation.via,
+    )
+
+
+class TestColumnarFlushEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(group_strategy(), min_size=0, max_size=4), min_size=1, max_size=4
+        ),
+        k=st.integers(1, 3),
+        half_life=st.floats(10.0, 10_000.0, allow_nan=False),
+        now=st.floats(0.0, 10_000.0, allow_nan=False),
+    )
+    def test_offer_batch_flush_matches_reference(self, batches, k, half_life, now):
+        """Columnar accumulate + vectorized flush == dict model, exactly:
+        same winners (including which duplicate instance won), same
+        tie-breaking, same flush order."""
+        buffer = TopKPerUserBuffer(k=k, half_life=half_life)
+        boxed: list[Recommendation] = []
+        for groups in batches:
+            batch = RecommendationBatch(groups)
+            buffer.offer_batch(batch)
+            boxed.extend(batch)
+        expected = reference_flush(boxed, k, half_life, now)
+        assert buffer.offered == len(boxed)
+        released = buffer.flush(now)
+        assert [identity(r) for r in released] == [identity(r) for r in expected]
+        assert buffer.pending() == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        offers=st.lists(
+            st.tuples(
+                st.integers(0, 4),
+                st.integers(0, 6),
+                st.integers(0, 5),
+                st.floats(0.0, 1_000.0, allow_nan=False),
+            ),
+            max_size=40,
+        ),
+        groups=st.lists(group_strategy(), max_size=3),
+        k=st.integers(1, 3),
+    )
+    def test_interleaved_scalar_and_batch_offers_match_reference(
+        self, offers, groups, k
+    ):
+        """Scalar offers and columnar groups share one buffer; the global
+        offer order decides which duplicate instance survives."""
+        buffer = TopKPerUserBuffer(k=k)
+        boxed: list[Recommendation] = []
+        half = len(offers) // 2
+        for recipient, candidate, witnesses, created_at in offers[:half]:
+            offered = rec(
+                recipient=recipient, candidate=candidate,
+                created_at=created_at, witnesses=witnesses,
+            )
+            buffer.offer(offered)
+            boxed.append(offered)
+        batch = RecommendationBatch(groups)
+        buffer.offer_batch(batch)
+        boxed.extend(batch)
+        for recipient, candidate, witnesses, created_at in offers[half:]:
+            offered = rec(
+                recipient=recipient, candidate=candidate,
+                created_at=created_at, witnesses=witnesses,
+            )
+            buffer.offer(offered)
+            boxed.append(offered)
+        expected = reference_flush(boxed, k, 1_800.0, now=500.0)
+        released = buffer.flush(now=500.0)
+        assert [identity(r) for r in released] == [identity(r) for r in expected]
+
+    def test_pending_counts_distinct_pairs_across_chunk_kinds(self):
+        buffer = TopKPerUserBuffer(k=2)
+        buffer.offer(rec(recipient=1, candidate=10))
+        buffer.offer_batch(
+            RecommendationBatch(
+                [RecommendationGroup([1, 2], candidate=10, created_at=0.0)]
+            )
+        )
+        assert buffer.pending() == 2  # (1, 10) deduped across chunk kinds
+        assert buffer.offered == 3
+
+    def test_scalar_score_matches_vectorized_bitwise(self):
+        """witness_score delegates to the columnar kernel, so sort keys
+        computed either way are bit-identical (numpy's SIMD exp2 does not
+        round like libm pow in the last ulp — one code path, no ties
+        broken differently)."""
+        rng = np.random.default_rng(7)
+        created = rng.uniform(0.0, 5_000.0, 500)
+        witnesses = rng.integers(0, 9, 500)
+        now, half_life = 5_100.0, 333.0
+        vector = decayed_scores(witnesses, created, now, half_life)
+        for i in range(500):
+            boxed = Recommendation(
+                recipient=1,
+                candidate=2,
+                created_at=float(created[i]),
+                via=tuple(range(int(witnesses[i]))),
+            )
+            assert witness_score(boxed, now, half_life) == vector[i]

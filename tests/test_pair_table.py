@@ -1,0 +1,381 @@
+"""Unit + property tests for the open-addressing numpy pair tables.
+
+Covers the table core (probe wraparound, self-colliding bulk inserts,
+full-table grow, horizon compaction) and the dedup/fatigue backend
+equivalence: ``backend="table"`` must make exactly the decisions of
+``backend="dict"`` — survivors, order, and observable filter state —
+under non-decreasing clocks (the streaming path's contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recommendation import Recommendation, RecommendationBatch, RecommendationGroup
+from repro.delivery import DedupFilter, FatigueFilter
+from repro.delivery.pairtable import (
+    MAX_LOAD,
+    PAIR_ID_LIMIT,
+    Int64KeyTable,
+    pack_pair,
+    pack_pairs,
+    unpack_pairs,
+)
+
+
+def columns_of(pairs):
+    """Flat candidate columns for a list of (recipient, candidate)."""
+    batch = RecommendationBatch(
+        [
+            RecommendationGroup([recipient], candidate=candidate, created_at=0.0)
+            for recipient, candidate in pairs
+        ]
+    )
+    return batch.columns()
+
+
+def keys_with_home_slot(capacity: int, slot: int, count: int) -> list[int]:
+    """The first *count* keys whose splitmix64 home slot is *slot*."""
+    from repro.util.hashing import splitmix64
+
+    out = []
+    key = 0
+    while len(out) < count:
+        if splitmix64(key) & (capacity - 1) == slot:
+            out.append(key)
+        key += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Key packing
+# ---------------------------------------------------------------------------
+
+class TestPacking:
+    def test_round_trip_including_boundaries(self):
+        recipients = np.array([0, 1, PAIR_ID_LIMIT - 1, 12345], dtype=np.int64)
+        candidates = np.array([PAIR_ID_LIMIT - 1, 0, 7, 54321], dtype=np.int64)
+        keys = pack_pairs(recipients, candidates)
+        back_r, back_c = unpack_pairs(keys)
+        assert back_r.tolist() == recipients.tolist()
+        assert back_c.tolist() == candidates.tolist()
+
+    def test_scalar_matches_columnar(self):
+        recipients = np.array([3, 99, 2**31], dtype=np.int64)
+        candidates = np.array([5, 0, 2**31 + 1], dtype=np.int64)
+        keys = pack_pairs(recipients, candidates)
+        for i in range(len(recipients)):
+            assert pack_pair(int(recipients[i]), int(candidates[i])) == int(keys[i])
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ValueError):
+            pack_pair(PAIR_ID_LIMIT, 0)
+        with pytest.raises(ValueError):
+            pack_pair(0, -1)
+        with pytest.raises(ValueError):
+            pack_pairs(
+                np.array([PAIR_ID_LIMIT], dtype=np.int64),
+                np.array([0], dtype=np.int64),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Table core
+# ---------------------------------------------------------------------------
+
+def fresh_table(capacity=8):
+    return Int64KeyTable({"time": (np.float64, 0)}, capacity=capacity)
+
+
+class TestInt64KeyTable:
+    def test_scalar_upsert_and_find(self):
+        table = fresh_table()
+        slot, inserted = table.upsert(42)
+        assert inserted
+        table.columns["time"][slot] = 7.0
+        assert table.find(42) == slot
+        again, inserted = table.upsert(42)
+        assert again == slot and not inserted
+        assert table.find(43) == -1
+        assert len(table) == 1
+
+    def test_vector_insert_and_lookup(self):
+        table = fresh_table(capacity=64)
+        keys = np.arange(20, dtype=np.uint64)
+        slots = table.insert(keys)
+        assert len(np.unique(slots)) == 20  # distinct slots
+        assert table.lookup(keys).tolist() == slots.tolist()
+        missing = table.lookup(np.array([99, 100], dtype=np.uint64))
+        assert missing.tolist() == [-1, -1]
+
+    def test_lookup_on_empty_table(self):
+        table = fresh_table()
+        assert table.lookup(np.array([1, 2], dtype=np.uint64)).tolist() == [-1, -1]
+        assert table.find(1) == -1
+
+    def test_probe_wraps_around_the_capacity(self):
+        # Three keys whose home is the LAST slot: the probe chain must
+        # wrap to slot 0 and the keys must still resolve, scalar and
+        # vectorized alike.
+        capacity = 8
+        table = fresh_table(capacity=capacity)
+        keys = keys_with_home_slot(capacity, capacity - 1, 3)
+        slots = [table.upsert(key)[0] for key in keys]
+        assert slots[0] == capacity - 1
+        assert slots[1] == 0 and slots[2] == 1  # wrapped
+        for key, slot in zip(keys, slots):
+            assert table.find(key) == slot
+        vector = table.lookup(np.array(keys, dtype=np.uint64))
+        assert vector.tolist() == slots
+
+    def test_self_colliding_bulk_insert(self):
+        # Many new keys share one home slot *within the same insert call*;
+        # the round-based claims must still give every key its own slot on
+        # a valid linear probe chain.
+        capacity = 32
+        table = fresh_table(capacity=capacity)
+        keys = np.array(
+            keys_with_home_slot(capacity, 5, 9), dtype=np.uint64
+        )
+        slots = table.insert(keys)
+        assert len(np.unique(slots)) == len(keys)
+        assert table.lookup(keys).tolist() == slots.tolist()
+        for key, slot in zip(keys.tolist(), slots.tolist()):
+            assert table.find(key) == slot
+
+    def test_grow_preserves_entries_and_values(self):
+        table = fresh_table(capacity=8)
+        keys = np.arange(100, dtype=np.uint64)
+        slots = table.insert(keys)  # far beyond 8 * MAX_LOAD: multiple grows
+        table.columns["time"][slots] = keys.astype(np.float64)
+        assert table.capacity >= 100 / MAX_LOAD / 2  # grew
+        assert table.capacity & (table.capacity - 1) == 0  # still a power of 2
+        found = table.lookup(keys)
+        assert (found >= 0).all()
+        assert table.columns["time"][found].tolist() == keys.astype(float).tolist()
+        assert len(table) == 100
+
+    def test_scalar_upsert_grows_too(self):
+        table = fresh_table(capacity=4)
+        slots = {}
+        for key in range(50):
+            slot, inserted = table.upsert(key)
+            assert inserted
+            table.columns["time"][slot] = float(key)
+        for key in range(50):
+            slot = table.find(key)
+            assert slot >= 0
+            assert table.columns["time"][slot] == float(key)
+
+    def test_reserve_keep_evicts_marked_entries(self):
+        table = fresh_table(capacity=8)
+        keys = np.arange(4, dtype=np.uint64)
+        slots = table.insert(keys)
+        table.columns["time"][slots] = np.array([0.0, 10.0, 20.0, 30.0])
+        # Force a rebuild that keeps only entries with time >= 15.
+        rebuilt = table.reserve(3, keep=lambda: table.columns["time"] >= 15.0)
+        assert rebuilt
+        assert len(table) == 2
+        assert table.lookup(keys).tolist()[0:2] == [-1, -1]
+        kept = table.lookup(keys[2:])
+        assert (kept >= 0).all()
+        assert sorted(table.columns["time"][kept].tolist()) == [20.0, 30.0]
+
+    def test_reserve_noop_under_load_limit(self):
+        table = fresh_table(capacity=64)
+        table.insert(np.arange(4, dtype=np.uint64))
+        column_before = table.columns["time"]
+        assert not table.reserve(4)
+        assert table.columns["time"] is column_before
+
+    def test_multi_column_specs(self):
+        table = Int64KeyTable(
+            {"times": (np.float64, 3), "count": (np.int32, 0)}, capacity=8
+        )
+        slot, _ = table.upsert(5)
+        table.columns["times"][slot] = [1.0, 2.0, 3.0]
+        table.columns["count"][slot] = 2
+        table.insert(np.arange(100, 140, dtype=np.uint64))  # force grows
+        slot = table.find(5)
+        assert table.columns["times"][slot].tolist() == [1.0, 2.0, 3.0]
+        assert table.columns["count"][slot] == 2
+
+    def test_rejects_non_power_of_two_capacity(self):
+        with pytest.raises(ValueError):
+            Int64KeyTable({"time": (np.float64, 0)}, capacity=12)
+
+
+# ---------------------------------------------------------------------------
+# Dedup: table backend units + equivalence
+# ---------------------------------------------------------------------------
+
+class TestDedupTableBackend:
+    def test_horizon_compaction_bounds_residency(self):
+        dedup = DedupFilter(window=10.0, backend="table")
+        for i in range(20_000):
+            assert dedup.allow(
+                Recommendation(recipient=i % 4096, candidate=i, created_at=0.0),
+                now=float(i),
+            )
+        # Expired pairs are evicted when the table needs room, so the
+        # live set tracks the window (~10 pairs), not the 20k inserts.
+        assert dedup.tracked_pairs() < 2_000
+        assert dedup._table.capacity <= 4096
+
+    def test_wide_ids_rejected_with_guidance(self):
+        dedup = DedupFilter(backend="table")
+        with pytest.raises(ValueError, match="dict"):
+            dedup.allow(
+                Recommendation(recipient=2**40, candidate=1, created_at=0.0),
+                now=0.0,
+            )
+
+    def test_entries_snapshot_matches_dict_backend(self):
+        table = DedupFilter(window=100.0, backend="table")
+        ref = DedupFilter(window=100.0, backend="dict")
+        pairs = [(1, 2), (1, 3), (1, 2), (4, 5)]
+        for i, (r, c) in enumerate(pairs):
+            rec = Recommendation(recipient=r, candidate=c, created_at=0.0)
+            assert table.allow(rec, now=float(i)) == ref.allow(rec, now=float(i))
+        assert table.last_sent_entries() == ref.last_sent_entries()
+
+
+def pair_stream():
+    """Batches of (recipient, candidate) pairs with heavy repetition."""
+    return st.lists(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)),
+            min_size=1,
+            max_size=12,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+
+
+class TestDedupBackendEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        batches=pair_stream(),
+        window=st.floats(1.0, 5_000.0, allow_nan=False),
+        step=st.floats(0.0, 2_000.0, allow_nan=False),
+    )
+    def test_mask_decisions_match_dict(self, batches, window, step):
+        table = DedupFilter(window=window, backend="table")
+        ref = DedupFilter(window=window, backend="dict")
+        for i, batch in enumerate(batches):
+            now = i * step
+            columns = columns_of(batch)
+            assert (
+                table.allow_mask(columns, now).tolist()
+                == ref.allow_mask(columns, now).tolist()
+            )
+        # Observable state agrees on the live horizon (backends prune
+        # expired entries at different moments).
+        last_now = (len(batches) - 1) * step
+        cutoff = last_now - window
+
+        def live(entries):
+            return {key: t for key, t in entries.items() if t >= cutoff}
+
+        assert live(table.last_sent_entries()) == live(ref.last_sent_entries())
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=pair_stream(), window=st.floats(1.0, 5_000.0))
+    def test_scalar_allow_matches_mask(self, batches, window):
+        scalar = DedupFilter(window=window, backend="table")
+        masked = DedupFilter(window=window, backend="table")
+        for i, batch in enumerate(batches):
+            now = i * 100.0
+            mask = masked.allow_mask(columns_of(batch), now)
+            decisions = [
+                scalar.allow(
+                    Recommendation(recipient=r, candidate=c, created_at=0.0), now
+                )
+                for r, c in batch
+            ]
+            assert mask.tolist() == decisions
+
+
+# ---------------------------------------------------------------------------
+# Fatigue: table backend units + equivalence
+# ---------------------------------------------------------------------------
+
+class TestFatigueTableBackend:
+    def test_ring_wraps_across_rolling_windows(self):
+        table = FatigueFilter(max_per_window=2, window=100.0, backend="table")
+        ref = FatigueFilter(max_per_window=2, window=100.0, backend="dict")
+        rec = Recommendation(recipient=1, candidate=0, created_at=0.0)
+        for now in (0.0, 40.0, 80.0, 120.0, 160.0, 200.0, 500.0, 510.0, 520.0):
+            assert table.allow(rec, now) == ref.allow(rec, now)
+            assert table.sent_in_window(1, now) == ref.sent_in_window(1, now)
+
+    def test_horizon_compaction_evicts_dead_users(self):
+        fatigue = FatigueFilter(max_per_window=1, window=5.0, backend="table")
+        for i in range(10_000):
+            fatigue.allow(
+                Recommendation(recipient=i, candidate=0, created_at=0.0),
+                now=float(i),
+            )
+        assert fatigue._table.capacity <= 2048
+
+    def test_huge_user_ids_supported(self):
+        # Fatigue keys on the bare recipient, so 64-bit ids are fine.
+        fatigue = FatigueFilter(max_per_window=1, backend="table")
+        rec = Recommendation(recipient=2**62, candidate=1, created_at=0.0)
+        assert fatigue.allow(rec, now=0.0)
+        assert not fatigue.allow(rec, now=1.0)
+        assert fatigue.sent_in_window(2**62, now=1.0) == 1
+
+
+class TestFatigueBackendEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(st.integers(0, 5), min_size=1, max_size=10),
+            min_size=1,
+            max_size=6,
+        ),
+        cap=st.integers(1, 4),
+        window=st.floats(1.0, 5_000.0, allow_nan=False),
+        step=st.floats(0.0, 2_000.0, allow_nan=False),
+    )
+    def test_mask_decisions_match_dict(self, batches, cap, window, step):
+        table = FatigueFilter(max_per_window=cap, window=window, backend="table")
+        ref = FatigueFilter(max_per_window=cap, window=window, backend="dict")
+        users = sorted({u for batch in batches for u in batch})
+        for i, batch in enumerate(batches):
+            now = i * step
+            columns = columns_of([(u, i) for u in batch])
+            assert (
+                table.allow_mask(columns, now).tolist()
+                == ref.allow_mask(columns, now).tolist()
+            )
+            for user in users:
+                assert table.sent_in_window(user, now) == ref.sent_in_window(
+                    user, now
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(st.integers(0, 5), min_size=1, max_size=10),
+            min_size=1,
+            max_size=5,
+        ),
+        cap=st.integers(1, 3),
+    )
+    def test_scalar_allow_matches_mask(self, batches, cap):
+        scalar = FatigueFilter(max_per_window=cap, window=300.0, backend="table")
+        masked = FatigueFilter(max_per_window=cap, window=300.0, backend="table")
+        for i, batch in enumerate(batches):
+            now = i * 100.0
+            mask = masked.allow_mask(columns_of([(u, i) for u in batch]), now)
+            decisions = [
+                scalar.allow(
+                    Recommendation(recipient=u, candidate=i, created_at=0.0), now
+                )
+                for u in batch
+            ]
+            assert mask.tolist() == decisions

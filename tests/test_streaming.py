@@ -150,6 +150,61 @@ class TestStreamingTopology:
         ]
         assert got.candidates_detected == expected.candidates_detected
 
+    def test_delivery_coalescer_attributes_waiting_stage(self, figure1_snapshot):
+        """With a delivery window, the breakdown grows path:delivery-batching
+        and the end-to-end decomposition still sums exactly."""
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        hops = {name: FixedDelay(1.0) for name in ("firehose", "fanout", "push")}
+        topology = StreamingTopology(
+            cluster,
+            delivery=DeliveryPipeline(filters=[]),
+            hop_models=hops,
+            delivery_batch_size=64,
+            delivery_max_wait=2.5,
+        )
+        report = topology.run([EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)])
+        assert len(report.notifications) == 1
+        breakdown = report.breakdown
+        assert "path:delivery-batching" in breakdown.stages()
+        # The lone candidate batch waited out the full window.
+        assert breakdown.stage("path:delivery-batching").percentile(
+            100
+        ) == pytest.approx(2.5, abs=1e-6)
+        total = breakdown.total.percentile(50)
+        parts = (
+            breakdown.stage("path:queue").percentile(50)
+            + breakdown.stage("path:processing").percentile(50)
+            + breakdown.stage("path:delivery-batching").percentile(50)
+        )
+        assert parts == pytest.approx(total, rel=1e-9)
+        assert topology.coalescer.flushes == 1
+
+    def test_coalesced_topology_same_notifications(self, figure1_snapshot):
+        expected = self.build_topology(figure1_snapshot).run(
+            [EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)]
+        )
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        hops = {name: FixedDelay(1.0) for name in ("firehose", "fanout", "push")}
+        coalesced = StreamingTopology(
+            cluster,
+            delivery=DeliveryPipeline(filters=[]),
+            hop_models=hops,
+            delivery_batch_size=8,
+            delivery_max_wait=10.0,
+        )
+        got = coalesced.run([EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)])
+        assert [n.recipient for n in got.notifications] == [
+            n.recipient for n in expected.notifications
+        ]
+        # Merged dispatch happens later (the window), same survivors.
+        assert got.notifications[0].delivered_at > (
+            expected.notifications[0].delivered_at
+        )
+
     def test_default_hop_models_near_paper_distribution(self, figure1_snapshot):
         """With calibrated hops, a single motif's latency lands in 3-40 s."""
         cluster = Cluster.build(

@@ -1,0 +1,68 @@
+"""Check that relative links in markdown docs resolve to real files.
+
+The CI docs job runs this over README.md and docs/*.md so a moved or
+renamed file can't silently orphan its references.  External links
+(http/https/mailto) and pure in-page anchors are skipped; a relative
+link's ``#fragment`` suffix is ignored — only file existence is checked.
+
+Usage::
+
+    python tools/check_docs_links.py README.md docs/*.md
+
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target) — excluding images' leading "!"
+#: is unnecessary since image targets must resolve too.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def broken_links(path: Path) -> list[str]:
+    """Relative link targets in *path* that do not exist on disk."""
+    broken = []
+    for target in LINK_PATTERN.findall(path.read_text()):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs_links.py FILE.md [FILE.md ...]")
+        return 2
+    failures = 0
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"error: no such file {path}")
+            failures += 1
+            continue
+        checked += 1
+        for target in broken_links(path):
+            print(f"BROKEN: {path}: ({target}) does not resolve")
+            failures += 1
+    print(f"checked {checked} file(s)")
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
