@@ -180,6 +180,45 @@ def viral_firehose_stream_config(
     )
 
 
+def hub_burst_stream_config(
+    num_users: int = 20_000,
+    duration: float = 900.0,
+    rate: float = 20.0,
+    burst_actors: int = 400,
+    num_bursts: int = 4,
+    seed: int = 99,
+) -> StreamConfig:
+    """The cold firehose plus bursts acted by *heavily-followed* accounts.
+
+    Same uncorrelated cold background as :func:`firehose_stream_config`,
+    with bursts whose actors are sampled with full popularity bias — the
+    fresh B's completing motifs are hub accounts with long follower
+    lists.  This is the workload shape where partition-parallel execution
+    pays: the k-overlap intersections run over follower lists that shard
+    ~1/P per partition (the length-proportional work splits), while the
+    replicated D-side work stays modest.  The partition-scaling wall-clock
+    experiment (E18) uses it alongside the pure cold firehose, where
+    full-D-replication means there is nothing to parallelize.
+    """
+    return StreamConfig(
+        num_users=num_users,
+        duration=duration,
+        background_rate=rate,
+        target_popularity_exponent=0.4,
+        bursts=tuple(
+            BurstSpec(
+                target=num_users - 1 - i,
+                start=duration * 0.1 + (duration * 0.8 / num_bursts) * i,
+                duration=duration * 0.8 / num_bursts * 0.75,
+                num_actors=burst_actors,
+                actor_popularity_bias=1.0,
+            )
+            for i in range(num_bursts)
+        ),
+        seed=seed,
+    )
+
+
 def drive_stream(system, events: list[EdgeEvent], batch_size: int = 1):
     """Replay *events* through an engine or cluster, optionally batched.
 
@@ -248,8 +287,13 @@ def bench_cluster(
     params: DetectionParams | None = None,
     s_backend: str = "csr",
     d_backend: str = "ring",
+    transport: str = "inprocess",
 ) -> Cluster:
-    """A cluster with the benchmark's default parameters."""
+    """A cluster with the benchmark's default parameters.
+
+    ``transport="process"`` builds the worker-process deployment; callers
+    own the ``close()`` (use the cluster as a context manager).
+    """
     return Cluster.build(
         snapshot,
         params or BENCH_PARAMS,
@@ -259,5 +303,6 @@ def bench_cluster(
             max_edges_per_target=BENCH_D_CAP,
             s_backend=s_backend,
             d_backend=d_backend,
+            transport=transport,
         ),
     )

@@ -25,9 +25,9 @@ from collections import Counter as CollectionsCounter
 from pathlib import Path
 
 from repro.analysis import analyze_structure
-from repro.cluster import Cluster, ClusterConfig
+from repro.cluster import TRANSPORTS, Cluster, ClusterConfig
 from repro.core import ActionType, DetectionParams, EdgeEvent, MotifEngine
-from repro.delivery import DedupFilter, DeliveryPipeline
+from repro.delivery import DedupFilter, DeliveryPipeline, ShardedDeliveryPipeline
 from repro.gen import (
     BurstSpec,
     StreamConfig,
@@ -44,6 +44,7 @@ from repro.graph import (
 )
 from repro.motif import MOTIF_CATALOG, DeclarativeDetector, parse_motif
 from repro.streaming import StreamingTopology
+from repro.util.validation import require_positive
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -117,6 +118,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="delivery coalescing window in virtual seconds (time spent "
         "waiting is reported as the path:delivery-batching stage)",
+    )
+    simulate.add_argument(
+        "--transport",
+        choices=TRANSPORTS,
+        default="inprocess",
+        help="broker-to-partition transport: inprocess = direct calls "
+        "with simulated latency (default), process = one multiprocessing "
+        "worker per partition (real parallelism)",
+    )
+    simulate.add_argument(
+        "--delivery-shards",
+        type=int,
+        default=1,
+        help="shard the delivery funnel by recipient hash onto this many "
+        "independent shards (workers under --transport process; 1 = the "
+        "single in-process funnel)",
+    )
+    simulate.add_argument(
+        "--ranked",
+        action="store_true",
+        help="ranked delivery: buffer candidates per recipient over the "
+        "coalescing window and release only each user's top-k into the "
+        "funnel",
+    )
+    simulate.add_argument(
+        "--ranked-k",
+        type=int,
+        default=2,
+        help="per-user candidates released per coalescing window under "
+        "--ranked",
     )
     _add_backend_args(simulate)
 
@@ -257,6 +288,11 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _delivery_shard_pipeline(_shard: int) -> DeliveryPipeline:
+    """One delivery shard's funnel for ``simulate --delivery-shards``."""
+    return DeliveryPipeline(filters=[DedupFilter()])
+
+
 def _cmd_simulate(args: argparse.Namespace, out) -> int:
     snapshot = GraphSnapshot.load(args.graph)
     events = _load_stream(args.stream)
@@ -267,18 +303,34 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
             num_partitions=args.partitions,
             s_backend=args.s_backend,
             d_backend=args.d_backend,
+            transport=args.transport,
         ),
     )
+    require_positive(args.delivery_shards, "--delivery-shards")
+    if args.delivery_shards > 1:
+        delivery = ShardedDeliveryPipeline(
+            args.delivery_shards,
+            pipeline_factory=_delivery_shard_pipeline,
+            transport=args.transport,
+        )
+    else:
+        delivery = _delivery_shard_pipeline(0)
     topology = StreamingTopology(
         cluster,
-        delivery=DeliveryPipeline(filters=[DedupFilter()]),
+        delivery=delivery,
         seed=args.seed,
         batch_size=args.batch_size,
         max_wait=args.max_batch_wait,
         delivery_batch_size=args.delivery_batch_size,
         delivery_max_wait=args.delivery_max_wait,
+        ranked_k=args.ranked_k if args.ranked else None,
     )
-    result = topology.run(events)
+    try:
+        result = topology.run(events)
+    finally:
+        cluster.close()
+        if isinstance(delivery, ShardedDeliveryPipeline):
+            delivery.close()
     summary = result.breakdown.summary()
     total = summary.get("total", {})
     print(f"events ingested  : {result.events_ingested}", file=out)

@@ -17,6 +17,9 @@ Mapping to modules:
 * :mod:`~repro.cluster.replica` — replica sets with primary reads,
   failover, and resync after recovery;
 * :mod:`~repro.cluster.broker` — fan-out / gather over all partitions;
+* :mod:`~repro.cluster.transport` — the pluggable broker-to-partition
+  call path: direct in-process calls (default) or one multiprocessing
+  worker per partition fed over columnar queues;
 * :mod:`~repro.cluster.rpc` — a simulated call layer that accounts virtual
   network latency and injected failures without sleeping;
 * :mod:`~repro.cluster.cluster` — assembly of the whole stack from an
@@ -27,6 +30,15 @@ from repro.cluster.partitioner import HashPartitioner, ModuloPartitioner, Partit
 from repro.cluster.rpc import RpcError, RpcStats, SimulatedChannel
 from repro.cluster.partition import PartitionServer
 from repro.cluster.replica import AllReplicasDown, ReplicaSet
+from repro.cluster.transport import (
+    TRANSPORTS,
+    InProcessTransport,
+    PartitionHealthSnapshot,
+    PartitionReply,
+    PartitionTransport,
+    ReplicaHealthSnapshot,
+    WorkerProcessTransport,
+)
 from repro.cluster.broker import Broker, BrokerStats
 from repro.cluster.cluster import Cluster, ClusterConfig
 
@@ -40,6 +52,13 @@ __all__ = [
     "PartitionServer",
     "AllReplicasDown",
     "ReplicaSet",
+    "TRANSPORTS",
+    "PartitionTransport",
+    "PartitionReply",
+    "PartitionHealthSnapshot",
+    "ReplicaHealthSnapshot",
+    "InProcessTransport",
+    "WorkerProcessTransport",
     "Broker",
     "BrokerStats",
     "Cluster",

@@ -6,13 +6,25 @@ results."  A broker receives each live edge event, fans it out to every
 partition's replica set (because D is fully replicated, every partition
 must see every event), and gathers the per-partition candidate lists.
 Partitions own disjoint A's, so gathering is pure concatenation.
+
+The fan-out itself goes through a pluggable
+:class:`~repro.cluster.transport.PartitionTransport`: the default
+:class:`~repro.cluster.transport.InProcessTransport` preserves the classic
+direct-call behavior (partitions in this process, simulated channel
+latency), while :class:`~repro.cluster.transport.WorkerProcessTransport`
+hosts each partition in its own worker process for real parallelism.  The
+broker's submit/gather split means the fan-out is asynchronous whenever
+the transport is: every partition receives the batch before any result is
+awaited.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.cluster.replica import AllReplicasDown, ReplicaSet
+from repro.cluster.transport import InProcessTransport, PartitionTransport
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.recommendation import (
@@ -21,6 +33,9 @@ from repro.core.recommendation import (
     RecommendationBatch,
 )
 from repro.util.validation import require
+
+if TYPE_CHECKING:  # runtime cycle: replica -> rpc only, broker -> transport
+    from repro.cluster.replica import ReplicaSet
 
 
 @dataclass
@@ -36,16 +51,58 @@ class BrokerStats:
 class Broker:
     """Fans each event out to all partitions and gathers candidates."""
 
-    def __init__(self, replica_sets: list[ReplicaSet]) -> None:
-        """Create a broker over the given replica sets (one per partition)."""
-        require(len(replica_sets) >= 1, "a broker needs at least one partition")
-        self.replica_sets = list(replica_sets)
+    def __init__(
+        self,
+        replica_sets: "list[ReplicaSet] | None" = None,
+        transport: PartitionTransport | None = None,
+    ) -> None:
+        """Create a broker over replica sets or an explicit transport.
+
+        Args:
+            replica_sets: the classic construction — one replica set per
+                partition, wrapped in an :class:`InProcessTransport`.
+            transport: a prebuilt transport (exclusive with
+                *replica_sets*); this is how worker-process partitions are
+                parked behind a broker.
+        """
+        if transport is None:
+            require(
+                replica_sets is not None and len(replica_sets) >= 1,
+                "a broker needs at least one partition",
+            )
+            transport = InProcessTransport(replica_sets)
+        else:
+            require(
+                replica_sets is None,
+                "pass replica_sets or transport, not both",
+            )
+        self.transport = transport
         self.stats = BrokerStats()
+        #: Sizes of submitted-but-ungathered batches, FIFO — the broker
+        #: records them at submit so gathers can never be mis-paired.
+        self._inflight_sizes: deque[int] = deque()
 
     @property
     def num_partitions(self) -> int:
         """Partition count behind this broker."""
-        return len(self.replica_sets)
+        return self.transport.num_partitions
+
+    @property
+    def replica_sets(self) -> "list[ReplicaSet]":
+        """The partitions, when they live in this process.
+
+        Raises:
+            RuntimeError: under a cross-process transport — the replica
+                sets live in the workers; use the transport's control
+                messages (``health``, ``prune``) instead.
+        """
+        local = self.transport.local_replica_sets
+        if local is None:
+            raise RuntimeError(
+                "replica sets are not local under this transport; use "
+                "transport.health() / transport.prune() control messages"
+            )
+        return local
 
     def process_event(
         self, event: EdgeEvent, now: float | None = None
@@ -64,50 +121,56 @@ class Broker:
         gathered: list[Recommendation] = []
         worst_latency = 0.0
         self.stats.events_routed += 1
-        for replica_set in self.replica_sets:
-            self.stats.fan_out_calls += 1
-            try:
-                local, latency = replica_set.ingest(event, now)
-            except AllReplicasDown:
+        self.stats.fan_out_calls += self.transport.num_partitions
+        self.transport.submit_event(event, now)
+        for reply in self.transport.gather_event():
+            if reply.lost:
                 self.stats.partitions_lost_events += 1
                 continue
-            worst_latency = max(worst_latency, latency)
-            gathered.extend(local)
+            worst_latency = max(worst_latency, reply.latency)
+            gathered.extend(reply.recommendations)
         self.stats.gather_results += len(gathered)
         return gathered, worst_latency
 
-    def process_batch(
-        self, batch: EventBatch, now: float | None = None
-    ) -> tuple[list[RecommendationBatch], float]:
-        """Route a columnar micro-batch through the whole cluster.
+    def submit_batch(self, batch: EventBatch, now: float | None = None) -> None:
+        """Fan a columnar micro-batch out without awaiting results.
 
-        Batched RPC accounting: each partition's replica set is reached by
-        *one* fan-out call carrying the whole batch (one virtual round-trip
-        per batch, matching how production brokers pipeline), so
-        ``stats.fan_out_calls`` grows per batch instead of per event.
+        One fan-out call per partition per batch (pipelined RPC
+        accounting).  Pair each submit with one :meth:`gather_batch`;
+        submits may be stacked ahead of the gathers when the transport
+        pipelines (the worker transport does, the in-process one degrades
+        to synchronous execution at submit time).
+        """
+        self.stats.events_routed += len(batch)
+        self.stats.fan_out_calls += self.transport.num_partitions
+        self._inflight_sizes.append(len(batch))
+        self.transport.submit_batch(batch, now)
+
+    def gather_batch(self) -> tuple[list[RecommendationBatch], float]:
+        """Gather the oldest outstanding batch's replies.
+
+        The batch's size was recorded at submit, so callers never pair a
+        gather with the wrong event count.
 
         Returns the gathered candidates positionally aligned with the batch
         (one columnar :class:`~repro.core.recommendation
         .RecommendationBatch` per event; partitions own disjoint A's, so
         gathering is per-event group concatenation — the recipient columns
         are never unboxed in flight) plus the slowest partition's ack
-        latency.  Partitions whose replicas are all down lose the whole
-        batch.
+        latency.  Partitions whose replicas are all down — or whose worker
+        process died — lose the whole batch.
         """
-        n = len(batch)
+        require(len(self._inflight_sizes) > 0, "gather without a submit")
+        n = self._inflight_sizes.popleft()
         gathered: list[RecommendationBatch] = [EMPTY_RECOMMENDATION_BATCH] * n
         worst_latency = 0.0
-        self.stats.events_routed += n
         total = 0
-        for replica_set in self.replica_sets:
-            self.stats.fan_out_calls += 1
-            try:
-                local, latency = replica_set.ingest_batch(batch, now)
-            except AllReplicasDown:
+        for reply in self.transport.gather_batch():
+            if reply.lost:
                 self.stats.partitions_lost_events += n
                 continue
-            worst_latency = max(worst_latency, latency)
-            for i, recs in enumerate(local):
+            worst_latency = max(worst_latency, reply.latency)
+            for i, recs in enumerate(reply.grouped):
                 size = len(recs)
                 if size:
                     gathered[i] = gathered[i].concat(recs)
@@ -115,15 +178,25 @@ class Broker:
         self.stats.gather_results += total
         return gathered, worst_latency
 
+    def process_batch(
+        self, batch: EventBatch, now: float | None = None
+    ) -> tuple[list[RecommendationBatch], float]:
+        """Route a columnar micro-batch through the whole cluster.
+
+        Submit to every partition, then gather — under a worker transport
+        the partitions process the batch genuinely in parallel and the
+        gather barrier waits for the slowest one, matching how production
+        brokers pipeline.  ``stats.fan_out_calls`` grows per batch instead
+        of per event.
+        """
+        self.submit_batch(batch, now)
+        return self.gather_batch()
+
     def query_audience(self, target: int, now: float) -> tuple[list[int], float]:
         """Fan a read-only audience query out to all partitions and merge."""
         audience: list[int] = []
         worst_latency = 0.0
-        for replica_set in self.replica_sets:
-            try:
-                local, latency = replica_set.query_audience(target, now)
-            except AllReplicasDown:
-                continue
+        for local, latency in self.transport.query_audience(target, now):
             worst_latency = max(worst_latency, latency)
             audience.extend(local)
         return sorted(audience), worst_latency

@@ -12,11 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+
 from repro.cluster.broker import Broker
 from repro.cluster.partition import PartitionServer
 from repro.cluster.partitioner import HashPartitioner, Partitioner
 from repro.cluster.replica import ReplicaSet
 from repro.cluster.rpc import SimulatedChannel
+from repro.cluster.transport import (
+    TRANSPORTS,
+    PartitionTransport,
+    WorkerProcessTransport,
+)
 from repro.core.batch import EventBatch, iter_event_batches
 from repro.core.detector import OnlineDetector
 from repro.core.events import EdgeEvent
@@ -26,7 +32,7 @@ from repro.graph.dynamic_index import DynamicEdgeIndex
 from repro.graph.snapshot import GraphSnapshot, build_follower_snapshot
 from repro.graph.static_index import StaticFollowerIndex
 from repro.util.rng import make_rng
-from repro.util.validation import require_positive
+from repro.util.validation import require, require_positive
 
 #: Builds one replica's detector programs from its (S shard, D copy).
 DetectorFactory = Callable[
@@ -53,6 +59,13 @@ class ClusterConfig:
             are identical.
         d_backend: D storage layout per replica — ``"ring"`` (columnar
             ring buffers for hot targets, default) or ``"list"``.
+        transport: how the broker reaches the partitions —
+            ``"inprocess"`` (direct calls + simulated channel latency,
+            default) or ``"process"`` (one multiprocessing worker per
+            partition; call :meth:`Cluster.close` when done).
+        worker_start_method: multiprocessing start method for the
+            ``"process"`` transport (platform default when ``None``:
+            ``fork`` where available, else ``spawn``).
     """
 
     num_partitions: int = PRODUCTION_PARTITIONS
@@ -62,10 +75,16 @@ class ClusterConfig:
     track_latency: bool = False
     s_backend: str = "csr"
     d_backend: str = "ring"
+    transport: str = "inprocess"
+    worker_start_method: str | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_partitions, "num_partitions")
         require_positive(self.replication_factor, "replication_factor")
+        require(
+            self.transport in TRANSPORTS,
+            f"transport must be one of {TRANSPORTS}, got {self.transport!r}",
+        )
 
 
 class Cluster:
@@ -160,7 +179,15 @@ class Cluster:
                 else:
                     channels.append(SimulatedChannel(f"p{p}/r{r}"))
             replica_sets.append(ReplicaSet(p, replicas, channels))
-        return cls(Broker(replica_sets), partitioner, params, config)
+        if config.transport == "process":
+            broker = Broker(
+                transport=WorkerProcessTransport(
+                    replica_sets, start_method=config.worker_start_method
+                )
+            )
+        else:
+            broker = Broker(replica_sets)
+        return cls(broker, partitioner, params, config)
 
     # ------------------------------------------------------------------
     # Serving interface
@@ -184,20 +211,44 @@ class Cluster:
         return out
 
     def process_stream(
-        self, events: list[EdgeEvent], batch_size: int = 1
+        self,
+        events: list[EdgeEvent],
+        batch_size: int = 1,
+        pipeline_depth: int = 1,
     ) -> list[Recommendation]:
         """Route a whole stream; returns all gathered candidates.
 
         ``batch_size > 1`` routes the stream through the columnar
         :meth:`process_batch` path in chunks of that size.
+        ``pipeline_depth > 1`` keeps up to that many batches in flight
+        (submit-ahead) before gathering the oldest — a no-op on the
+        synchronous in-process transport, and the throughput mode on the
+        worker transport, where the parent encodes the next batch while
+        workers chew the previous ones.  Output order and content are
+        identical at any depth.
         """
         require_positive(batch_size, "batch_size")
+        require_positive(pipeline_depth, "pipeline_depth")
         if batch_size > 1:
-            out = []
+            out: list[Recommendation] = []
+            inflight = 0
+
+            def gather_oldest() -> None:
+                grouped, _latency = self.broker.gather_batch()
+                for per_event in grouped:
+                    out.extend(per_event)
+
             for batch in iter_event_batches(events, batch_size):
-                out.extend(self.process_batch(batch))
+                self.broker.submit_batch(batch)
+                inflight += 1
+                if inflight >= pipeline_depth:
+                    gather_oldest()
+                    inflight -= 1
+            while inflight:
+                gather_oldest()
+                inflight -= 1
             return out
-        out: list[Recommendation] = []
+        out = []
         for event in events:
             out.extend(self.process_event(event))
         return out
@@ -212,17 +263,33 @@ class Cluster:
     # ------------------------------------------------------------------
 
     @property
+    def transport(self) -> PartitionTransport:
+        """The broker-to-partition transport in use."""
+        return self.broker.transport
+
+    @property
     def replica_sets(self) -> list[ReplicaSet]:
-        """The partitions behind the broker."""
+        """The partitions behind the broker (in-process transports only)."""
         return self.broker.replica_sets
 
+    def close(self) -> None:
+        """Release transport resources (joins worker processes).
+
+        Idempotent; a no-op for the in-process transport.  Clusters built
+        with ``transport="process"`` must be closed (or used as a context
+        manager) so the partition workers are stopped and reaped.
+        """
+        self.broker.transport.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
     def prune(self, now: float) -> int:
-        """Evict expired D entries on every replica."""
-        removed = 0
-        for replica_set in self.replica_sets:
-            for replica in replica_set.replicas:
-                removed += replica.prune(now)
-        return removed
+        """Evict expired D entries on every replica (via the transport)."""
+        return self.broker.transport.prune(now)
 
     def reload_snapshot(
         self,
@@ -235,7 +302,9 @@ class Cluster:
         the system periodically".  Shards are rebuilt with the same
         partitioner (ownership is stable), then each replica swaps its S
         reference atomically; the event stream keeps flowing throughout
-        and D is untouched.
+        and D is untouched.  In-process transports only (worker-hosted
+        partitions would receive the reload as a control message — not
+        implemented; rebuild the cluster instead).
         """
         for p, replica_set in enumerate(self.replica_sets):
             shard = build_follower_snapshot(
@@ -252,13 +321,15 @@ class Cluster:
 
         D's total grows with partitions x replicas (full replication, the
         paper's acknowledged bottleneck); S's total stays roughly constant
-        because the shards are disjoint.
+        because the shards are disjoint.  Collected over the transport's
+        health control message, so it works for worker-hosted partitions
+        too (dead workers contribute nothing).
         """
         total = {"static_index": 0, "dynamic_index": 0}
-        for replica_set in self.replica_sets:
-            report = replica_set.memory_bytes()
-            total["static_index"] += report["static_index"]
-            total["dynamic_index"] += report["dynamic_index"]
+        for partition in self.broker.transport.health():
+            for replica in partition.replicas:
+                total["static_index"] += replica.static_memory_bytes
+                total["dynamic_index"] += replica.dynamic_memory_bytes
         return total
 
 

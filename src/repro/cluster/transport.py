@@ -1,0 +1,608 @@
+"""The transport layer between a broker and its partitions.
+
+The paper's final design is "a fairly standard partitioned, replicated
+architecture with coordination handled by brokers that fan-out queries and
+gather results".  Until this layer existed, that fan-out was *simulated*:
+the broker called every partition's replica set directly inside one Python
+process and summed sampled virtual latencies — which measures a fan-out
+penalty, never a speedup.  :class:`PartitionTransport` makes the call path
+pluggable:
+
+* :class:`InProcessTransport` — the original direct-call path with
+  :class:`~repro.cluster.rpc.SimulatedChannel` latency sampling.  Behavior
+  preserving; still the default, and the right lane for tests and for the
+  discrete-event latency simulation.
+* :class:`WorkerProcessTransport` — each partition's replica set hosted in
+  a ``multiprocessing`` worker, fed over queues carrying the *columnar*
+  wire format (:mod:`repro.core.wire` — flat numpy columns, never boxed
+  events).  Fan-out is asynchronous: the broker submits one batch to every
+  partition's request queue and only then gathers, so partitions genuinely
+  chew in parallel, and multiple batches may be submitted before the first
+  gather (pipelining — the parent encodes batch *i+1* while the workers
+  process batch *i*).
+
+Both transports speak the same tiny protocol: submit/gather for event
+batches, plus health / prune / audience control messages, plus graceful
+``close``.  A worker that dies mid-batch is detected at gather time, its
+partition's events are reported as lost (the broker counts them in
+``partitions_lost_events``), and the transport keeps serving the healthy
+partitions — the same availability-over-completeness trade the replica
+layer makes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.batch import EventBatch
+from repro.core.events import EdgeEvent
+from repro.core.recommendation import Recommendation, RecommendationBatch
+from repro.core.wire import (
+    decode_event_batch,
+    decode_grouped,
+    encode_event_batch,
+    encode_grouped,
+)
+from repro.util.procpool import (
+    WorkerHandle,
+    default_start_method,
+    receive_reply,
+    spawn_worker,
+    stop_workers,
+)
+from repro.util.validation import require
+
+if TYPE_CHECKING:  # circular at runtime: replica imports nothing from here
+    from repro.cluster.replica import ReplicaSet
+
+__all__ = [
+    "TRANSPORTS",
+    "PartitionTransport",
+    "PartitionReply",
+    "EventReply",
+    "ReplicaHealthSnapshot",
+    "PartitionHealthSnapshot",
+    "InProcessTransport",
+    "WorkerProcessTransport",
+    "default_start_method",
+]
+
+#: Transport names accepted by ClusterConfig / the CLI.
+TRANSPORTS = ("inprocess", "process")
+
+
+@dataclass(frozen=True)
+class PartitionReply:
+    """One partition's answer to a submitted batch (or its loss).
+
+    ``lost`` is True when the partition could not process the batch at all
+    — every replica down (in-process) or the worker process dead
+    (cross-process).  ``grouped`` is ``None`` exactly when ``lost``.
+    """
+
+    partition_id: int
+    grouped: list[RecommendationBatch] | None
+    latency: float
+    lost: bool = False
+
+
+@dataclass(frozen=True)
+class EventReply:
+    """One partition's answer to a single submitted event."""
+
+    partition_id: int
+    recommendations: list[Recommendation] | None
+    latency: float
+    lost: bool = False
+
+
+@dataclass(frozen=True)
+class ReplicaHealthSnapshot:
+    """One replica's vital signs, as reported over the transport."""
+
+    name: str
+    available: bool
+    events_processed: int
+    missed_events: int
+    dynamic_edges: int
+    dynamic_memory_bytes: int
+    static_memory_bytes: int
+    channel_failures: int
+
+
+@dataclass(frozen=True)
+class PartitionHealthSnapshot:
+    """One partition's health: worker liveness, backlog, replica signs.
+
+    ``worker_alive`` is always True for the in-process transport;
+    ``backlog`` is the partition's pending request-queue depth (0 when the
+    transport is synchronous).  ``replicas`` is empty when the worker is
+    dead — there is nobody left to ask.
+    """
+
+    partition_id: int
+    worker_alive: bool
+    backlog: int
+    replicas: tuple[ReplicaHealthSnapshot, ...]
+
+
+@runtime_checkable
+class PartitionTransport(Protocol):
+    """What a broker needs from its partition fleet.
+
+    Submit and gather are split so fan-out can be asynchronous: a
+    ``submit_batch`` enqueues work on *every* partition before any result
+    is awaited, and each ``gather_batch`` returns one
+    :class:`PartitionReply` per partition for the oldest outstanding
+    submit (FIFO).  Control messages (health, prune, audience reads)
+    require no batches outstanding.
+    """
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count behind this transport."""
+        ...
+
+    @property
+    def local_replica_sets(self) -> "list[ReplicaSet] | None":
+        """The replica sets when they live in this process, else None."""
+        ...
+
+    def submit_batch(self, batch: EventBatch, now: float | None = None) -> None:
+        """Fan a columnar micro-batch out to every partition."""
+        ...
+
+    def gather_batch(self) -> list[PartitionReply]:
+        """Collect every partition's reply for the oldest submitted batch."""
+        ...
+
+    def submit_event(self, event: EdgeEvent, now: float | None = None) -> None:
+        """Fan a single event out to every partition (per-event lane)."""
+        ...
+
+    def gather_event(self) -> list[EventReply]:
+        """Collect every partition's reply for the oldest submitted event."""
+        ...
+
+    def query_audience(
+        self, target: int, now: float
+    ) -> list[tuple[list[int], float]]:
+        """Read-only audience query on every *reachable* partition."""
+        ...
+
+    def health(self) -> list[PartitionHealthSnapshot]:
+        """Per-partition health control message."""
+        ...
+
+    def prune(self, now: float) -> int:
+        """Evict expired D entries on every replica; total removed."""
+        ...
+
+    def backlog(self) -> int:
+        """Pending submitted-but-ungathered events across partitions."""
+        ...
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+        ...
+
+
+def _replica_set_health(
+    replica_set: "ReplicaSet",
+) -> tuple[ReplicaHealthSnapshot, ...]:
+    """Collect one replica set's health (runs wherever the replicas live)."""
+    out = []
+    for i, (replica, channel) in enumerate(
+        zip(replica_set.replicas, replica_set.channels)
+    ):
+        memory = replica.memory_bytes()
+        out.append(
+            ReplicaHealthSnapshot(
+                name=replica.name,
+                available=channel.available,
+                events_processed=replica.events_processed(),
+                missed_events=replica_set.missed_events[i],
+                dynamic_edges=replica.engine.dynamic_index.num_edges,
+                dynamic_memory_bytes=memory["dynamic_index"],
+                static_memory_bytes=memory["static_index"],
+                channel_failures=channel.stats.failures,
+            )
+        )
+    return tuple(out)
+
+
+class InProcessTransport:
+    """The direct-call transport: partitions live in this process.
+
+    ``submit_*`` executes the work synchronously (there is no concurrency
+    to exploit in one interpreter) and parks the replies; ``gather_*``
+    hands them back FIFO, so the submit/gather protocol — including
+    pipelined submits — behaves identically to the worker transport, just
+    without the parallelism.  Virtual latency keeps coming from each
+    replica's :class:`~repro.cluster.rpc.SimulatedChannel`.
+    """
+
+    def __init__(self, replica_sets: "list[ReplicaSet]") -> None:
+        require(
+            len(replica_sets) >= 1, "a transport needs at least one partition"
+        )
+        self.replica_sets = list(replica_sets)
+        self._pending_batches: deque[list[PartitionReply]] = deque()
+        self._pending_events: deque[list[EventReply]] = deque()
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.replica_sets)
+
+    @property
+    def local_replica_sets(self) -> "list[ReplicaSet]":
+        return self.replica_sets
+
+    # ------------------------------------------------------------------
+    # Batch lane
+    # ------------------------------------------------------------------
+
+    def submit_batch(self, batch: EventBatch, now: float | None = None) -> None:
+        from repro.cluster.replica import AllReplicasDown
+
+        replies: list[PartitionReply] = []
+        for replica_set in self.replica_sets:
+            try:
+                grouped, latency = replica_set.ingest_batch(batch, now)
+            except AllReplicasDown:
+                replies.append(
+                    PartitionReply(replica_set.partition_id, None, 0.0, lost=True)
+                )
+                continue
+            replies.append(
+                PartitionReply(replica_set.partition_id, grouped, latency)
+            )
+        self._pending_batches.append(replies)
+
+    def gather_batch(self) -> list[PartitionReply]:
+        require(len(self._pending_batches) > 0, "gather without a submit")
+        return self._pending_batches.popleft()
+
+    # ------------------------------------------------------------------
+    # Per-event lane
+    # ------------------------------------------------------------------
+
+    def submit_event(self, event: EdgeEvent, now: float | None = None) -> None:
+        from repro.cluster.replica import AllReplicasDown
+
+        replies: list[EventReply] = []
+        for replica_set in self.replica_sets:
+            try:
+                local, latency = replica_set.ingest(event, now)
+            except AllReplicasDown:
+                replies.append(
+                    EventReply(replica_set.partition_id, None, 0.0, lost=True)
+                )
+                continue
+            replies.append(EventReply(replica_set.partition_id, local, latency))
+        self._pending_events.append(replies)
+
+    def gather_event(self) -> list[EventReply]:
+        require(len(self._pending_events) > 0, "gather without a submit")
+        return self._pending_events.popleft()
+
+    # ------------------------------------------------------------------
+    # Control messages
+    # ------------------------------------------------------------------
+
+    def query_audience(
+        self, target: int, now: float
+    ) -> list[tuple[list[int], float]]:
+        from repro.cluster.replica import AllReplicasDown
+
+        out: list[tuple[list[int], float]] = []
+        for replica_set in self.replica_sets:
+            try:
+                out.append(replica_set.query_audience(target, now))
+            except AllReplicasDown:
+                continue
+        return out
+
+    def health(self) -> list[PartitionHealthSnapshot]:
+        return [
+            PartitionHealthSnapshot(
+                partition_id=replica_set.partition_id,
+                worker_alive=True,
+                backlog=0,
+                replicas=_replica_set_health(replica_set),
+            )
+            for replica_set in self.replica_sets
+        ]
+
+    def prune(self, now: float) -> int:
+        removed = 0
+        for replica_set in self.replica_sets:
+            for replica in replica_set.replicas:
+                removed += replica.prune(now)
+        return removed
+
+    def backlog(self) -> int:
+        return 0
+
+    def close(self) -> None:  # nothing to release
+        return None
+
+
+# ----------------------------------------------------------------------
+# Worker-process transport
+# ----------------------------------------------------------------------
+
+
+def _partition_worker_main(replica_set, requests, replies) -> None:
+    """One partition worker: drain requests until a stop message.
+
+    Batches arrive and leave in the columnar wire format; control
+    messages are tiny tuples.  Any unexpected exception kills the worker
+    — the parent detects the death at gather time and marks the
+    partition's events lost, exactly like a crashed machine.
+    """
+    from repro.cluster.replica import AllReplicasDown
+
+    while True:
+        message = requests.get()
+        kind = message[0]
+        if kind == "batch":
+            batch = decode_event_batch(message[1])
+            try:
+                grouped, latency = replica_set.ingest_batch(batch, message[2])
+            except AllReplicasDown:
+                replies.put(("lost", None, 0.0))
+                continue
+            replies.put(("ok", encode_grouped(grouped), latency))
+        elif kind == "event":
+            try:
+                local, latency = replica_set.ingest(message[1], message[2])
+            except AllReplicasDown:
+                replies.put(("lost", None, 0.0))
+                continue
+            replies.put(("ok", local, latency))
+        elif kind == "audience":
+            try:
+                audience, latency = replica_set.query_audience(
+                    message[1], message[2]
+                )
+            except AllReplicasDown:
+                replies.put(("lost", None, 0.0))
+                continue
+            replies.put(("ok", audience, latency))
+        elif kind == "health":
+            replies.put(("ok", _replica_set_health(replica_set), 0.0))
+        elif kind == "prune":
+            removed = sum(
+                replica.prune(message[1]) for replica in replica_set.replicas
+            )
+            replies.put(("ok", removed, 0.0))
+        elif kind == "stop":
+            replies.put(("ok", None, 0.0))
+            return
+
+
+class WorkerProcessTransport:
+    """Partition servers hosted in ``multiprocessing`` workers.
+
+    One worker per partition, each owning its replica set (S shard +
+    private D copies) and a request/reply queue pair.  The parent never
+    touches the replica sets after startup — its references (under the
+    ``fork`` start method) are stale copies; all state lives behind the
+    queues.
+
+    Fan-out/gather is asynchronous and pipelined: ``submit_batch`` puts
+    the (already encoded, shared) payload on every live worker's request
+    queue and returns; any number of submits may be outstanding, and each
+    ``gather_batch`` resolves the oldest one.  Replies per worker are FIFO
+    because each worker is serial, so no sequence numbers are needed.
+
+    Failure semantics: a dead worker's outstanding and future batches are
+    reported ``lost`` (the broker counts the events); the transport keeps
+    serving healthy partitions.  Control messages require no outstanding
+    batches (they share the reply queues).
+    """
+
+    def __init__(
+        self,
+        replica_sets: "list[ReplicaSet]",
+        start_method: str | None = None,
+    ) -> None:
+        require(
+            len(replica_sets) >= 1, "a transport needs at least one partition"
+        )
+        context = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        self._workers: list[WorkerHandle] = []
+        self._closed = False
+        #: FIFO of outstanding submits: one {partition_id -> submitted} plus
+        #: the batch kind, matched positionally by the gathers.
+        self._outstanding: deque[tuple[str, dict[int, bool]]] = deque()
+        for replica_set in replica_sets:
+            # spawn_worker hands the replica set over in a one-shot holder
+            # the parent clears right after start(): holding P full D
+            # copies in the broker process would double the fleet's memory.
+            self._workers.append(
+                spawn_worker(
+                    context,
+                    replica_set.partition_id,
+                    _partition_worker_main,
+                    replica_set,
+                    name=f"repro-partition-{replica_set.partition_id}",
+                )
+            )
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._workers)
+
+    @property
+    def local_replica_sets(self) -> None:
+        """The replica sets live in the workers, not this process."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Submit / gather plumbing
+    # ------------------------------------------------------------------
+
+    def _submit(self, kind: str, message: tuple) -> None:
+        require(not self._closed, "transport is closed")
+        submitted: dict[int, bool] = {}
+        for worker in self._workers:
+            if worker.dead or not worker.process.is_alive():
+                worker.dead = True
+                submitted[worker.key] = False
+                continue
+            worker.requests.put(message)
+            submitted[worker.key] = True
+        self._outstanding.append((kind, submitted))
+
+    def _gather(self, kind: str) -> list[tuple[int, tuple | None]]:
+        require(len(self._outstanding) > 0, "gather without a submit")
+        expected_kind, submitted = self._outstanding.popleft()
+        require(
+            expected_kind == kind,
+            f"gather kind mismatch: expected {expected_kind}, got {kind}",
+        )
+        out: list[tuple[int, tuple | None]] = []
+        for worker in self._workers:
+            if not submitted.get(worker.key, False):
+                out.append((worker.key, None))
+                continue
+            out.append((worker.key, receive_reply(worker)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Batch lane
+    # ------------------------------------------------------------------
+
+    def submit_batch(self, batch: EventBatch, now: float | None = None) -> None:
+        # Encode once; the queue pickles the same arrays per worker.
+        self._submit("batch", ("batch", encode_event_batch(batch), now))
+
+    def gather_batch(self) -> list[PartitionReply]:
+        replies: list[PartitionReply] = []
+        for partition_id, raw in self._gather("batch"):
+            if raw is None or raw[0] == "lost":
+                replies.append(PartitionReply(partition_id, None, 0.0, lost=True))
+                continue
+            replies.append(
+                PartitionReply(partition_id, decode_grouped(raw[1]), raw[2])
+            )
+        return replies
+
+    # ------------------------------------------------------------------
+    # Per-event lane
+    # ------------------------------------------------------------------
+
+    def submit_event(self, event: EdgeEvent, now: float | None = None) -> None:
+        self._submit("event", ("event", event, now))
+
+    def gather_event(self) -> list[EventReply]:
+        replies: list[EventReply] = []
+        for partition_id, raw in self._gather("event"):
+            if raw is None or raw[0] == "lost":
+                replies.append(EventReply(partition_id, None, 0.0, lost=True))
+                continue
+            replies.append(EventReply(partition_id, raw[1], raw[2]))
+        return replies
+
+    # ------------------------------------------------------------------
+    # Control messages
+    # ------------------------------------------------------------------
+
+    def _control(self, message: tuple) -> list[tuple[int, tuple | None]]:
+        require(
+            len(self._outstanding) == 0,
+            "control messages require no outstanding batches",
+        )
+        self._submit(message[0], message)
+        return self._gather(message[0])
+
+    def query_audience(
+        self, target: int, now: float
+    ) -> list[tuple[list[int], float]]:
+        out: list[tuple[list[int], float]] = []
+        for _partition_id, raw in self._control(("audience", target, now)):
+            if raw is None or raw[0] == "lost":
+                continue
+            out.append((raw[1], raw[2]))
+        return out
+
+    def health(self) -> list[PartitionHealthSnapshot]:
+        backlogs = {
+            worker.key: self._queue_depth(worker)
+            for worker in self._workers
+        }
+        out: list[PartitionHealthSnapshot] = []
+        for partition_id, raw in self._control(("health",)):
+            alive = raw is not None
+            out.append(
+                PartitionHealthSnapshot(
+                    partition_id=partition_id,
+                    worker_alive=alive,
+                    backlog=backlogs.get(partition_id, 0),
+                    replicas=raw[1] if alive else (),
+                )
+            )
+        return out
+
+    def prune(self, now: float) -> int:
+        removed = 0
+        for _partition_id, raw in self._control(("prune", now)):
+            if raw is not None:
+                removed += raw[1]
+        return removed
+
+    @staticmethod
+    def _queue_depth(worker: WorkerHandle) -> int:
+        try:
+            return worker.requests.qsize()
+        except NotImplementedError:  # macOS: qsize unsupported
+            return 0
+
+    def backlog(self) -> int:
+        """Pending request-queue depth summed across live workers."""
+        return sum(
+            self._queue_depth(worker)
+            for worker in self._workers
+            if not worker.dead
+        )
+
+    @property
+    def pending_gathers(self) -> int:
+        """Outstanding submitted-but-ungathered requests (pipelining depth)."""
+        return len(self._outstanding)
+
+    def workers_alive(self) -> int:
+        """Workers still running (dead ones stay dead until close)."""
+        return sum(
+            1
+            for worker in self._workers
+            if not worker.dead and worker.process.is_alive()
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop, join, and reap every worker (idempotent).
+
+        Graceful path first (a stop message each, bounded join), then
+        terminate stragglers so a wedged worker can never hang the parent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        stop_workers(self._workers)
+
+    def __del__(self) -> None:  # best-effort backstop; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass

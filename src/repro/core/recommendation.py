@@ -130,6 +130,23 @@ class RecommendationGroup:
             recipients = self._recipients_list = self.recipients.tolist()
         return recipients
 
+    def with_recipients(self, recipients: np.ndarray) -> "RecommendationGroup":
+        """A new group over *recipients* sharing this group's metadata.
+
+        The delivery shard splitter's primitive: a trigger's audience is
+        partitioned by recipient hash, and each shard's slice keeps one
+        reference to the shared (candidate, via, ...) metadata — nothing
+        per recipient is copied or boxed.
+        """
+        return RecommendationGroup(
+            recipients,
+            self.candidate,
+            self.created_at,
+            motif=self.motif,
+            action=self.action,
+            via=self._via,
+        )
+
     def recommendation_at(self, i: int) -> Recommendation:
         """Box the *i*-th recipient's :class:`Recommendation`."""
         return Recommendation(

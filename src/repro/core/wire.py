@@ -1,0 +1,190 @@
+"""Columnar wire codecs for cross-process transports.
+
+When partitions (or delivery shards) move into worker processes, batches
+must cross a ``multiprocessing`` queue.  Pickling the boxed object graph —
+one :class:`~repro.core.events.EdgeEvent` or
+:class:`~repro.core.recommendation.Recommendation` per element — would
+reintroduce exactly the per-item cost the columnar hot path removed, so
+the wire format is the columns themselves.
+
+Event batches serialize as their four flat arrays.  Recommendation
+replies are *flattened before pickling*: a burst batch can emit tens of
+thousands of small groups, and pickling one tuple (with two tiny numpy
+arrays) per group costs more than the detection did — so the codec packs
+every group's recipients into **one** concatenated ``int64`` column, the
+witness columns into another, and the per-group scalars (candidate,
+creation time, action code, interned motif id) into parallel arrays.  A
+partition's whole reply is then ~ten array pickles regardless of group
+count, and the decoder rebuilds the groups as zero-copy slices of the
+flat columns.
+
+The codecs are intentionally dumb tuples (pickled by the queue machinery):
+no versioning, no schema negotiation — both endpoints are the same build
+of this package inside one process tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import ACTION_CODES, ACTIONS, EventBatch
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    RecommendationBatch,
+    RecommendationGroup,
+)
+
+_EMPTY_INT64 = np.empty(0, dtype=np.int64)
+
+#: One serialized EventBatch: (timestamps, actors, targets, action_codes).
+EventBatchWire = tuple
+
+#: One serialized group table — see :func:`_encode_group_table`.
+GroupTableWire = tuple
+
+
+def encode_event_batch(batch: EventBatch) -> EventBatchWire:
+    """The batch as its flat numpy columns (never boxed events)."""
+    return (batch.timestamps, batch.actors, batch.targets, batch.actions)
+
+
+def decode_event_batch(payload: EventBatchWire) -> EventBatch:
+    """Re-wrap wire columns as an :class:`EventBatch` (no re-validation).
+
+    The sender validated at construction time; ids and alignment survive a
+    queue hop bit for bit.
+    """
+    timestamps, actors, targets, actions = payload
+    return EventBatch(timestamps, actors, targets, actions, validate=False)
+
+
+def _encode_group_table(groups: list[RecommendationGroup]) -> GroupTableWire:
+    """Flatten *groups* into parallel per-group columns.
+
+    Layout: ``(sizes, recipients, candidates, created_at, action_codes,
+    motif_codes, motif_names, via_sizes, via_values)`` where ``recipients``
+    (and ``via_values``) are the concatenation of every group's column in
+    order, sliced back apart by ``sizes`` (``via_sizes``) on decode.
+    Motif strings are interned per payload (``motif_names[motif_codes[i]]``).
+    """
+    n = len(groups)
+    sizes = np.fromiter((len(g) for g in groups), np.int64, n)
+    recipients = (
+        np.concatenate([g.recipients for g in groups]) if n else _EMPTY_INT64
+    )
+    candidates = np.fromiter((g.candidate for g in groups), np.int64, n)
+    created_at = np.fromiter((g.created_at for g in groups), np.float64, n)
+    action_codes = np.fromiter(
+        (ACTION_CODES[g.action] for g in groups), np.uint8, n
+    )
+    motif_names: list[str] = []
+    motif_index: dict[str, int] = {}
+    motif_codes = np.empty(n, np.uint16)
+    via_sizes = np.empty(n, np.int64)
+    via_parts: list[np.ndarray] = []
+    for i, group in enumerate(groups):
+        motif = group.motif
+        code = motif_index.get(motif)
+        if code is None:
+            code = motif_index[motif] = len(motif_names)
+            motif_names.append(motif)
+        motif_codes[i] = code
+        via = group._via  # tuple or ndarray; both convert without boxing
+        if type(via) is not np.ndarray:
+            via = np.asarray(via, dtype=np.int64)
+        via_sizes[i] = len(via)
+        if len(via):
+            via_parts.append(via)
+    via_values = np.concatenate(via_parts) if via_parts else _EMPTY_INT64
+    return (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        motif_names,
+        via_sizes,
+        via_values,
+    )
+
+
+def _decode_group_table(payload: GroupTableWire) -> list[RecommendationGroup]:
+    """Invert :func:`_encode_group_table` (groups slice the flat columns)."""
+    (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        motif_names,
+        via_sizes,
+        via_values,
+    ) = payload
+    groups: list[RecommendationGroup] = []
+    offset = 0
+    via_offset = 0
+    for size, candidate, created, action_code, motif_code, via_size in zip(
+        sizes.tolist(),
+        candidates.tolist(),
+        created_at.tolist(),
+        action_codes.tolist(),
+        motif_codes.tolist(),
+        via_sizes.tolist(),
+    ):
+        groups.append(
+            RecommendationGroup(
+                recipients[offset:offset + size],
+                candidate,
+                created,
+                motif=motif_names[motif_code],
+                action=ACTIONS[action_code],
+                via=via_values[via_offset:via_offset + via_size],
+            )
+        )
+        offset += size
+        via_offset += via_size
+    return groups
+
+
+def encode_recommendation_batch(batch: RecommendationBatch) -> GroupTableWire:
+    """A columnar candidate batch as one flattened group table."""
+    return _encode_group_table(batch.groups)
+
+
+def decode_recommendation_batch(payload: GroupTableWire) -> RecommendationBatch:
+    """Invert :func:`encode_recommendation_batch` (empties alias)."""
+    groups = _decode_group_table(payload)
+    if not groups:
+        return EMPTY_RECOMMENDATION_BATCH
+    return RecommendationBatch(groups)
+
+
+def encode_grouped(grouped: list[RecommendationBatch]) -> tuple:
+    """A partition's per-event gather reply, positionally aligned.
+
+    One shared group table for the whole reply plus a per-event group
+    count — the pickle cost is a handful of arrays however many events
+    (or triggers) the batch carried.
+    """
+    counts = np.fromiter(
+        (len(batch.groups) for batch in grouped), np.int64, len(grouped)
+    )
+    all_groups = [g for batch in grouped for g in batch.groups]
+    return (counts, _encode_group_table(all_groups))
+
+
+def decode_grouped(payload: tuple) -> list[RecommendationBatch]:
+    """Invert :func:`encode_grouped`."""
+    counts, table = payload
+    groups = _decode_group_table(table)
+    out: list[RecommendationBatch] = []
+    offset = 0
+    for count in counts.tolist():
+        if count == 0:
+            out.append(EMPTY_RECOMMENDATION_BATCH)
+        else:
+            out.append(RecommendationBatch(groups[offset:offset + count]))
+        offset += count
+    return out

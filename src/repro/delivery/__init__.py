@@ -26,6 +26,11 @@ per-candidate ``offer`` workloads).  The ranked configuration inserts
 :class:`~repro.delivery.scoring.TopKPerUserBuffer` — columnar accumulation
 with a vectorized per-recipient top-k at flush — between detection and
 the funnel.
+
+For real notifier concurrency, :class:`~repro.delivery.sharded
+.ShardedDeliveryPipeline` splits the funnel by recipient hash onto
+independent shards — in-process or one worker process per shard — with
+the delivered multiset and summed funnel counts unchanged.
 """
 
 from repro.delivery.dedup import DedupFilter
@@ -34,6 +39,11 @@ from repro.delivery.waking import WakingHoursFilter
 from repro.delivery.notifier import PushNotification, PushNotifier
 from repro.delivery.pipeline import DeliveryFilter, DeliveryPipeline
 from repro.delivery.scoring import TopKPerUserBuffer, witness_score
+from repro.delivery.sharded import (
+    DELIVERY_TRANSPORTS,
+    ShardedDeliveryPipeline,
+    split_batch_by_shard,
+)
 
 __all__ = [
     "DedupFilter",
@@ -45,4 +55,7 @@ __all__ = [
     "DeliveryPipeline",
     "TopKPerUserBuffer",
     "witness_score",
+    "DELIVERY_TRANSPORTS",
+    "ShardedDeliveryPipeline",
+    "split_batch_by_shard",
 ]

@@ -169,6 +169,31 @@ class DedupFilter:
         }
         self._since_prune = 0
 
+    def save_npz(self, path) -> None:
+        """Snapshot the seen-map so a delivery-tier restart keeps its
+        daily horizon (table backend only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        self._table.save_npz(path)
+
+    @classmethod
+    def from_snapshot(
+        cls, path, window: float = 86_400.0
+    ) -> "DedupFilter":
+        """A table-backend filter warmed from a :meth:`save_npz` snapshot.
+
+        *window* is configuration, not state — pass the same value the
+        saved filter ran with (it is not persisted).
+        """
+        out = cls(window=window, backend="table")
+        out._table = Int64KeyTable.from_snapshot(
+            path, {"time": (np.float64, 0)}
+        )
+        return out
+
     def tracked_pairs(self) -> int:
         """Number of pairs currently remembered (memory accounting)."""
         if self.backend == "dict":

@@ -214,6 +214,43 @@ class FatigueFilter:
                 out[i] = True
         return out
 
+    def save_npz(self, path) -> None:
+        """Snapshot the per-user histories so a delivery-tier restart
+        keeps charging against the same daily budgets (table backend
+        only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        self._table.save_npz(path)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        max_per_window: int = 2,
+        window: float = 86_400.0,
+    ) -> "FatigueFilter":
+        """A table-backend filter warmed from a :meth:`save_npz` snapshot.
+
+        *max_per_window* and *window* are configuration, not state — pass
+        the values the saved filter ran with (the ring width is checked
+        against the snapshot, so a mismatched cap fails loudly).
+        """
+        out = cls(
+            max_per_window=max_per_window, window=window, backend="table"
+        )
+        out._table = Int64KeyTable.from_snapshot(
+            path,
+            {
+                "times": (np.float64, max_per_window),
+                "head": (np.int32, 0),
+                "count": (np.int32, 0),
+            },
+        )
+        return out
+
     def _live_slots(self, cutoff: float) -> np.ndarray:
         """Compaction keep-mask: slots with any charge still in window."""
         table = self._table

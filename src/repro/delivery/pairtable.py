@@ -40,6 +40,7 @@ True
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -54,6 +55,13 @@ PAIR_ID_LIMIT = 1 << 32
 MAX_LOAD = 0.6
 
 _DEFAULT_CAPACITY = 1024
+
+
+def _with_npz_suffix(path: Path) -> Path:
+    """Normalize to the ``.npz`` suffix ``np.savez`` appends on write."""
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
 
 
 def pack_pair(recipient: int, candidate: int) -> int:
@@ -280,6 +288,70 @@ class Int64KeyTable:
         new_slots = self.insert(old_keys)
         for name, values in old_values.items():
             self.columns[name][new_slots] = values
+
+    # ------------------------------------------------------------------
+    # Snapshots (delivery-tier restarts)
+    # ------------------------------------------------------------------
+
+    def save_npz(self, path: str | Path) -> None:
+        """Serialize the live entries to an ``.npz`` snapshot.
+
+        Mirrors :meth:`repro.graph.static_index.CsrFollowerIndex.save_npz`:
+        only the occupied slots' keys and value columns are written (slot
+        positions are an artifact of the current capacity, so they are
+        *not* preserved — a reload re-probes).  Uncompressed on purpose;
+        reload speed is the point and the columns barely compress.
+        """
+        slots = self.filled_slots()
+        payload: dict[str, np.ndarray] = {"keys": self._keys[slots]}
+        for name, column in self.columns.items():
+            payload[f"column_{name}"] = column[slots]
+        np.savez(_with_npz_suffix(Path(path)), **payload)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str | Path,
+        value_columns: dict[str, tuple[np.dtype, int]],
+    ) -> "Int64KeyTable":
+        """Rebuild a table from a :meth:`save_npz` snapshot.
+
+        *value_columns* must describe the same schema the snapshot was
+        saved with (same names, dtypes, and widths) — a restarted delivery
+        tier constructs its filters with the same configuration, so the
+        spec is knowledge the caller already has.  Round-trips are exact
+        on the live state: every saved key resolves to its saved values.
+
+        Raises:
+            ValueError: when the snapshot's columns do not match the spec.
+        """
+        path = Path(path)
+        if not path.exists():
+            path = _with_npz_suffix(path)
+        table = cls(value_columns)
+        with np.load(path) as data:
+            keys = data["keys"]
+            saved = {
+                name[len("column_"):]: data[name]
+                for name in data.files
+                if name.startswith("column_")
+            }
+        if set(saved) != set(value_columns):
+            raise ValueError(
+                f"snapshot columns {sorted(saved)} do not match the "
+                f"declared schema {sorted(value_columns)}"
+            )
+        slots = table.insert(keys.astype(np.uint64, copy=False))
+        for name, values in saved.items():
+            column = table.columns[name]
+            if column[slots].shape != values.shape or column.dtype != values.dtype:
+                raise ValueError(
+                    f"snapshot column {name!r} has shape {values.shape} / "
+                    f"dtype {values.dtype}, schema expects "
+                    f"{column[slots].shape} / {column.dtype}"
+                )
+            column[slots] = values
+        return table
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,341 @@
+"""Sharded delivery: the notifier fan-out the paper's push tier implies.
+
+``offer_batch`` used to end in one in-process funnel + notifier, so the
+push tier — the part of the paper's pipeline that actually touches every
+surviving notification — ran serial no matter how parallel detection got.
+:class:`ShardedDeliveryPipeline` splits the funnel by **recipient hash**
+(splitmix64, the same mix the waking-hours and pair-table code uses) into
+``num_shards`` independent :class:`~repro.delivery.pipeline
+.DeliveryPipeline` instances.
+
+Sharding by recipient is semantics-preserving because every stateful
+funnel stage is recipient-keyed: dedup on (recipient, candidate), fatigue
+and waking-hours on recipient.  A recipient always lands on the same
+shard, so each shard's state evolves exactly as the unsharded funnel's
+would for that recipient subset — the delivered *multiset* and the summed
+per-stage funnel counts are identical; only the delivery interleaving
+across shards differs (shard-major instead of batch order).
+``tests/test_delivery_sharded.py`` enforces that contract.
+
+Two transports, mirroring the cluster side:
+
+* ``transport="inprocess"`` — shards run sequentially in this process
+  (useful for state isolation and as the semantic oracle);
+* ``transport="process"`` — one worker process per shard, fed the
+  columnar wire format (:mod:`repro.core.wire`); the fan-out is submitted
+  to every shard before any result is gathered, so shards genuinely run
+  concurrently.  Only surviving notifications cross back (the paper's
+  millions, never the billions).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable
+
+import numpy as np
+
+from repro.core.recommendation import (
+    EMPTY_RECOMMENDATION_BATCH,
+    Recommendation,
+    RecommendationBatch,
+)
+from repro.core.wire import (
+    decode_recommendation_batch,
+    encode_recommendation_batch,
+)
+from repro.delivery.notifier import PushNotification
+from repro.delivery.pipeline import DeliveryPipeline
+from repro.util.hashing import splitmix64, splitmix64_array
+from repro.util.procpool import (
+    WorkerHandle,
+    default_start_method,
+    receive_reply,
+    spawn_worker,
+    stop_workers,
+)
+from repro.util.validation import require, require_positive
+
+#: Delivery transports (the cluster-side names, same meaning).
+DELIVERY_TRANSPORTS = ("inprocess", "process")
+
+#: Builds one shard's funnel; receives the shard index.
+PipelineFactory = Callable[[int], DeliveryPipeline]
+
+
+def _default_pipeline_factory(_shard: int) -> DeliveryPipeline:
+    return DeliveryPipeline()
+
+
+def split_batch_by_shard(
+    batch: RecommendationBatch, num_shards: int
+) -> list[RecommendationBatch]:
+    """Partition a columnar batch into per-shard batches by recipient hash.
+
+    Group metadata is shared by reference
+    (:meth:`~repro.core.recommendation.RecommendationGroup.with_recipients`)
+    and within-shard candidate order is batch order, which is what keeps
+    each shard's stateful stages running the exact per-recipient decision
+    sequence the unsharded funnel would.
+    """
+    require_positive(num_shards, "num_shards")
+    per_shard: list[list] = [[] for _ in range(num_shards)]
+    for group in batch.groups:
+        shards = (
+            splitmix64_array(group.recipients.astype(np.uint64))
+            % np.uint64(num_shards)
+        ).astype(np.int64)
+        if len(shards) == 0:
+            continue
+        first = int(shards[0])
+        if np.all(shards == first):  # common small-group fast path
+            per_shard[first].append(group)
+            continue
+        for shard in np.unique(shards).tolist():
+            per_shard[shard].append(
+                group.with_recipients(group.recipients[shards == shard])
+            )
+    return [
+        RecommendationBatch(groups) if groups else EMPTY_RECOMMENDATION_BATCH
+        for groups in per_shard
+    ]
+
+
+def _delivery_worker_main(pipeline, requests, replies) -> None:
+    """One delivery shard worker: drain requests until a stop message.
+
+    Every reply carries the shard's current (funnel stages, delivered
+    total) so the parent's aggregate accounting stays current as of the
+    last reply even if this worker later dies — accumulated history must
+    never vanish from ``funnel_totals()`` retroactively.
+    """
+
+    def stats() -> tuple[dict[str, int], int]:
+        return (dict(pipeline.funnel.stages), pipeline.notifier.delivered_total)
+
+    while True:
+        message = requests.get()
+        kind = message[0]
+        if kind == "batch":
+            batch = decode_recommendation_batch(message[1])
+            delivered = pipeline.offer_batch(batch, message[2])
+            replies.put(("ok", delivered, stats()))
+        elif kind == "offer":
+            replies.put(("ok", pipeline.offer(message[1], message[2]), stats()))
+        elif kind == "stats":
+            replies.put(("ok", stats()))
+        elif kind == "stop":
+            replies.put(("ok", None))
+            return
+
+
+class ShardedDeliveryPipeline:
+    """Recipient-hash-sharded funnel, drop-in where a pipeline is consumed.
+
+    Implements the ``offer`` / ``offer_all`` / ``offer_batch`` surface the
+    delivery coalescer and the simulated topology drive, so
+    ``--delivery-shards N`` slots in without touching the callers.
+
+    Args:
+        num_shards: independent funnel shards (>= 1).
+        pipeline_factory: builds shard *i*'s funnel (a fresh production
+            trio per shard when omitted).  Under ``transport="process"``
+            with the ``spawn`` start method the factory's product must be
+            picklable; under ``fork`` (the platform default where
+            available) anything goes.
+        transport: ``"inprocess"`` (default) or ``"process"``.
+        start_method: multiprocessing start method override.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        pipeline_factory: PipelineFactory | None = None,
+        transport: str = "inprocess",
+        start_method: str | None = None,
+    ) -> None:
+        require_positive(num_shards, "num_shards")
+        require(
+            transport in DELIVERY_TRANSPORTS,
+            f"transport must be one of {DELIVERY_TRANSPORTS}, got {transport!r}",
+        )
+        factory = pipeline_factory or _default_pipeline_factory
+        self.num_shards = num_shards
+        self.transport = transport
+        #: Raw candidates lost to dead shard workers — counted in
+        #: candidates on every loss path (observability, never silent).
+        self.notifications_lost_shards = 0
+        #: Last (funnel stages, delivered total) seen per shard — every
+        #: worker reply refreshes it, so a shard that dies keeps its
+        #: accumulated history in the aggregates instead of erasing it.
+        self._stats_cache: dict[int, tuple[dict[str, int], int]] = {}
+        self._closed = False
+        if transport == "inprocess":
+            self._pipelines: list[DeliveryPipeline] | None = [
+                factory(shard) for shard in range(num_shards)
+            ]
+            self._workers: list[WorkerHandle] = []
+            return
+        self._pipelines = None
+        context = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        self._workers = []
+        for shard in range(num_shards):
+            # spawn_worker hands the shard's funnel over in a one-shot
+            # holder cleared right after start(): the parent must not
+            # retain N funnels' worth of state it never reads.
+            self._workers.append(
+                spawn_worker(
+                    context,
+                    shard,
+                    _delivery_worker_main,
+                    factory(shard),
+                    name=f"repro-delivery-{shard}",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Shard routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, recipient: int) -> int:
+        """The shard owning *recipient* (stable splitmix64 hash)."""
+        return splitmix64(recipient) % self.num_shards
+
+    # ------------------------------------------------------------------
+    # Funnel surface (what coalescer / topology call)
+    # ------------------------------------------------------------------
+
+    def offer(self, rec: Recommendation, now: float) -> PushNotification | None:
+        """Route one candidate to its recipient's shard."""
+        shard = self.shard_of(rec.recipient)
+        if self._pipelines is not None:
+            return self._pipelines[shard].offer(rec, now)
+        worker = self._workers[shard]
+        if worker.dead:
+            self.notifications_lost_shards += 1
+            return None
+        worker.requests.put(("offer", rec, now))
+        raw = receive_reply(worker)
+        if raw is None:
+            self.notifications_lost_shards += 1
+            return None
+        self._stats_cache[worker.key] = raw[2]
+        return raw[1]
+
+    def offer_all(
+        self, recs: list[Recommendation], now: float
+    ) -> list[PushNotification]:
+        """Offer boxed candidates arriving together; returns deliveries."""
+        return self.offer_batch(
+            RecommendationBatch.from_recommendations(recs), now
+        )
+
+    def offer_batch(
+        self, batch: RecommendationBatch, now: float
+    ) -> list[PushNotification]:
+        """Fan a columnar batch out across the shards and gather survivors.
+
+        Same survivor multiset and summed funnel counts as one unsharded
+        ``offer_batch``; delivery order is shard-major.  Under the process
+        transport every shard receives its slice before any reply is
+        awaited, so the funnels run concurrently.
+        """
+        if len(batch) == 0:
+            return []
+        shards = split_batch_by_shard(batch, self.num_shards)
+        if self._pipelines is not None:
+            delivered: list[PushNotification] = []
+            for pipeline, shard_batch in zip(self._pipelines, shards):
+                if len(shard_batch):
+                    delivered.extend(pipeline.offer_batch(shard_batch, now))
+            return delivered
+        submitted: list[tuple[WorkerHandle, int]] = []
+        for worker, shard_batch in zip(self._workers, shards):
+            if not len(shard_batch):
+                continue
+            if worker.dead or not worker.process.is_alive():
+                worker.dead = True
+                self.notifications_lost_shards += len(shard_batch)
+                continue
+            worker.requests.put(
+                ("batch", encode_recommendation_batch(shard_batch), now)
+            )
+            submitted.append((worker, len(shard_batch)))
+        delivered = []
+        for worker, shard_candidates in submitted:
+            raw = receive_reply(worker)
+            if raw is None:
+                # The loss ledger counts *candidates* in every path, so a
+                # mid-batch death charges the whole submitted slice.
+                self.notifications_lost_shards += shard_candidates
+                continue
+            self._stats_cache[worker.key] = raw[2]
+            delivered.extend(raw[1])
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Aggregated accounting
+    # ------------------------------------------------------------------
+
+    def funnel_totals(self) -> dict[str, int]:
+        """Per-stage funnel counts summed across shards (key for key)."""
+        totals: dict[str, int] = {}
+        for stages, _delivered in self._shard_stats():
+            for key, value in stages.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def delivered_total(self) -> int:
+        """Notifications delivered across all shards."""
+        return sum(delivered for _stages, delivered in self._shard_stats())
+
+    def reduction_ratio(self) -> float:
+        """Raw candidates per delivered push, aggregated over shards."""
+        totals = self.funnel_totals()
+        delivered = totals.get("delivered", 0)
+        if delivered == 0:
+            return float("inf")
+        return totals.get("raw", 0) / delivered
+
+    def _shard_stats(self) -> list[tuple[dict[str, int], int]]:
+        if self._pipelines is not None:
+            return [
+                (dict(p.funnel.stages), p.notifier.delivered_total)
+                for p in self._pipelines
+            ]
+        for worker in self._workers:
+            if worker.dead or not worker.process.is_alive():
+                # Dead shard: its history stays in the aggregates via the
+                # last reply's cached stats.
+                worker.dead = True
+                continue
+            worker.requests.put(("stats",))
+            raw = receive_reply(worker)
+            if raw is not None:
+                self._stats_cache[worker.key] = raw[1]
+        return list(self._stats_cache.values())
+
+    # ------------------------------------------------------------------
+    # Worker plumbing (shared with the cluster transport: util/procpool)
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop, join, and reap shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        stop_workers(self._workers)
+
+    def __enter__(self) -> "ShardedDeliveryPipeline":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort backstop; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass

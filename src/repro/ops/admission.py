@@ -80,6 +80,7 @@ class AdmissionController:
         policy: AdmissionPolicy = AdmissionPolicy.DROP,
         sample_one_in: int = 10,
         registry: MetricsRegistry | None = None,
+        backlog_limit: int | None = None,
     ) -> None:
         """Create a controller.
 
@@ -89,18 +90,38 @@ class AdmissionController:
             policy: what to do with the excess.
             sample_one_in: under ``SAMPLE``, admit every N-th shed event.
             registry: metrics sink (private registry when omitted).
+            backlog_limit: also shed while the *observed* downstream
+                backlog (real queue depth reported by the caller, e.g.
+                the worker transport's pending request count) exceeds
+                this — the token bucket models a budget, the backlog
+                gate reacts to what the fleet is actually failing to
+                keep up with.  ``None`` disables the gate.
         """
         require_positive(sample_one_in, "sample_one_in")
+        if backlog_limit is not None:
+            require_positive(backlog_limit, "backlog_limit")
         self._bucket = TokenBucket(rate, burst)
         self.policy = policy
         self.sample_one_in = sample_one_in
+        self.backlog_limit = backlog_limit
         self.registry = registry or MetricsRegistry()
         self._overflow_seen = 0
 
-    def admit(self, now: float) -> bool:
-        """Decide one event's fate at time *now*."""
+    def admit(self, now: float, backlog: int = 0) -> bool:
+        """Decide one event's fate at time *now*.
+
+        ``backlog`` is the caller-observed downstream queue depth;
+        ignored unless the controller was built with ``backlog_limit``.
+        """
         self.registry.counter("admission_offered").increment()
-        if self._bucket.try_acquire(now):
+        over_backlog = (
+            self.backlog_limit is not None and backlog > self.backlog_limit
+        )
+        if over_backlog:
+            # Overflow by observed backlog; the shedding policy below still
+            # applies (SAMPLE keeps its statistical trace of the overload).
+            self.registry.counter("admission_backlog_overflow").increment()
+        elif self._bucket.try_acquire(now):
             self.registry.counter("admission_admitted").increment()
             return True
         self._overflow_seen += 1

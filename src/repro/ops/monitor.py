@@ -1,9 +1,15 @@
 """Fleet health monitoring over a running cluster.
 
-A :class:`ClusterMonitor` polls every partition replica for the signals an
+A :class:`ClusterMonitor` polls every partition for the signals an
 operator pages on: events processed (lag detection between replicas of
 one partition), D size and memory (the paper's acknowledged memory
 pressure), channel failure counts, and replica availability.
+
+Polling goes through the cluster transport's ``health`` control message,
+so the same monitor watches in-process partitions *and* worker-hosted
+ones — for the latter it additionally surfaces worker liveness and the
+per-partition request-queue backlog (the admission controller's overload
+signal under real parallelism).
 """
 
 from __future__ import annotations
@@ -33,10 +39,18 @@ class PartitionHealth:
 
     partition_id: int
     replicas: tuple[ReplicaHealth, ...]
+    #: False when the partition's worker process has died (process
+    #: transport); in-process partitions are always "alive".
+    worker_alive: bool = True
+    #: Pending submitted-but-unprocessed requests on the partition's
+    #: queue (0 for synchronous transports).
+    backlog: int = 0
 
     @property
     def healthy_replicas(self) -> int:
-        """Replicas currently in service."""
+        """Replicas currently in service (0 when the worker is dead)."""
+        if not self.worker_alive:
+            return 0
         return sum(1 for replica in self.replicas if replica.available)
 
     @property
@@ -63,28 +77,41 @@ class ClusterMonitor:
     def __init__(self, cluster: Cluster, registry: MetricsRegistry | None = None) -> None:
         self.cluster = cluster
         self.registry = registry or MetricsRegistry()
+        #: Replica count last seen per partition, so a dead worker's
+        #: per-replica gauges can be zeroed instead of freezing at their
+        #: last healthy values (a frozen replica_available=1 on a dead
+        #: partition would silence the very page this monitor exists for).
+        self._known_replicas: dict[int, int] = {}
 
     def poll(self) -> list[PartitionHealth]:
         """Take a health snapshot of every partition, updating metrics."""
         report: list[PartitionHealth] = []
-        for replica_set in self.cluster.replica_sets:
+        for snapshot in self.cluster.broker.transport.health():
+            if not snapshot.worker_alive:
+                for i in range(self._known_replicas.get(snapshot.partition_id, 0)):
+                    labels = {
+                        "partition": str(snapshot.partition_id),
+                        "replica": str(i),
+                    }
+                    self.registry.gauge("replica_available", **labels).set(0.0)
+            else:
+                self._known_replicas[snapshot.partition_id] = len(
+                    snapshot.replicas
+                )
             replicas: list[ReplicaHealth] = []
-            for i, (replica, channel) in enumerate(
-                zip(replica_set.replicas, replica_set.channels)
-            ):
-                dynamic = replica.engine.dynamic_index
+            for i, replica in enumerate(snapshot.replicas):
                 health = ReplicaHealth(
                     name=replica.name,
-                    available=channel.available,
-                    events_processed=replica.events_processed(),
-                    missed_events=replica_set.missed_events[i],
-                    dynamic_edges=dynamic.num_edges,
-                    dynamic_memory_bytes=dynamic.memory_bytes(),
-                    channel_failures=channel.stats.failures,
+                    available=replica.available,
+                    events_processed=replica.events_processed,
+                    missed_events=replica.missed_events,
+                    dynamic_edges=replica.dynamic_edges,
+                    dynamic_memory_bytes=replica.dynamic_memory_bytes,
+                    channel_failures=replica.channel_failures,
                 )
                 replicas.append(health)
                 labels = {
-                    "partition": str(replica_set.partition_id),
+                    "partition": str(snapshot.partition_id),
                     "replica": str(i),
                 }
                 self.registry.gauge("replica_available", **labels).set(
@@ -97,10 +124,19 @@ class ClusterMonitor:
                 self.registry.gauge("missed_events", **labels).set(
                     health.missed_events
                 )
+            partition_labels = {"partition": str(snapshot.partition_id)}
+            self.registry.gauge("worker_alive", **partition_labels).set(
+                1.0 if snapshot.worker_alive else 0.0
+            )
+            self.registry.gauge("worker_backlog", **partition_labels).set(
+                snapshot.backlog
+            )
             report.append(
                 PartitionHealth(
-                    partition_id=replica_set.partition_id,
+                    partition_id=snapshot.partition_id,
                     replicas=tuple(replicas),
+                    worker_alive=snapshot.worker_alive,
+                    backlog=snapshot.backlog,
                 )
             )
         return report
@@ -109,7 +145,12 @@ class ClusterMonitor:
         """Human-readable alerts an operator would page on."""
         out: list[str] = []
         for partition in self.poll():
-            if partition.healthy_replicas == 0:
+            if not partition.worker_alive:
+                out.append(
+                    f"p{partition.partition_id}: WORKER DEAD - "
+                    "partition is losing every event"
+                )
+            elif partition.healthy_replicas == 0:
                 out.append(
                     f"p{partition.partition_id}: ALL REPLICAS DOWN - "
                     "events are being lost"

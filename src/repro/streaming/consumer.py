@@ -33,7 +33,8 @@ from repro.sim.metrics import LatencyBreakdown
 from repro.streaming.queue import MessageQueue
 from repro.util.validation import require, require_non_negative
 
-if TYPE_CHECKING:  # avoid an ops import at runtime for this optional hook
+if TYPE_CHECKING:  # avoid ops/scoring imports at runtime for these hooks
+    from repro.delivery.scoring import TopKPerUserBuffer
     from repro.ops.admission import AdmissionController
 
 
@@ -110,9 +111,19 @@ class DetectionConsumer:
         self, event: EdgeEvent, published_at: float, delivered_at: float
     ) -> None:
         """Queue-subscriber entry point."""
-        if self._admission is not None and not self._admission.admit(delivered_at):
-            self.events_shed += 1
-            return
+        if self._admission is not None:
+            # The transport's real request-queue depth (0 on synchronous
+            # transports) lets a backlog-gated controller shed on what the
+            # partition fleet actually failed to drain, not just a model.
+            # Only pay the per-event qsize syscalls when a limit is set.
+            backlog = (
+                self._cluster.broker.transport.backlog()
+                if self._admission.backlog_limit is not None
+                else 0
+            )
+            if not self._admission.admit(delivered_at, backlog=backlog):
+                self.events_shed += 1
+                return
         if self._batch_size > 1:
             self._buffer.append((event, delivered_at))
             if len(self._buffer) >= self._batch_size:
@@ -236,6 +247,14 @@ class DeliveryCoalescer:
     checks, and fatigue budgets are evaluated up to ``max_wait`` seconds
     later than they would have been uncoalesced — the same trade the
     detection consumer makes with event timestamps.
+
+    A *ranker* (:class:`~repro.delivery.scoring.TopKPerUserBuffer`) turns
+    this into the ranked delivery configuration: candidates accumulate in
+    the ranking buffer instead of hitting the funnel directly, and each
+    coalescing-window flush releases only every user's top-k (by
+    corroboration x freshness) into the funnel — the window doubles as
+    the ranking window.  The funnel then sees the already-ranked
+    survivors, so its "raw" count measures post-ranking volume.
     """
 
     def __init__(
@@ -246,6 +265,7 @@ class DeliveryCoalescer:
         notifications: list[PushNotification],
         batch_size: int = 1,
         max_wait: float = 0.05,
+        ranker: "TopKPerUserBuffer | None" = None,
     ) -> None:
         require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
         require_non_negative(max_wait, "max_wait")
@@ -255,6 +275,7 @@ class DeliveryCoalescer:
         self._notifications = notifications
         self._batch_size = batch_size
         self._max_wait = max_wait
+        self._ranker = ranker
         #: Pending (batch, delivered_at) pairs awaiting a flush.
         self._buffer: list[tuple[CandidateBatch, float]] = []
         self._pending_candidates = 0
@@ -322,6 +343,16 @@ class DeliveryCoalescer:
                     RecommendationBatch.from_recommendations(recommendations)
                 )
         merged = RecommendationBatch.concat_all(parts)
+        if self._ranker is not None:
+            # Ranked configuration: the coalescing window is the ranking
+            # window — buffer columnar, release each user's top-k, and
+            # only those winners enter the funnel.
+            self._ranker.offer_batch(merged)
+            released = self._ranker.flush(flushed_at)
+            self._notifications.extend(
+                self._delivery.offer_all(released, flushed_at)
+            )
+            return
         self._notifications.extend(
             self._delivery.offer_batch(merged, flushed_at)
         )
@@ -365,8 +396,23 @@ class DeliveryCoalescer:
                 breakdown.record("path:delivery-batching", wait)
 
     def _offer_inline(self, batch: CandidateBatch, now: float) -> None:
-        """Uncoalesced dispatch: the exact pre-coalescer behavior."""
+        """Uncoalesced dispatch: the exact pre-coalescer behavior.
+
+        With a ranker configured, each arriving batch is ranked and
+        flushed immediately (a degenerate one-batch ranking window): the
+        in-batch (recipient, candidate) dedup and per-user top-k still
+        apply, there is just no cross-batch accumulation.
+        """
         recommendations = batch.recommendations
+        if self._ranker is not None:
+            if isinstance(recommendations, RecommendationBatch):
+                self._ranker.offer_batch(recommendations)
+            else:
+                for rec in recommendations:
+                    self._ranker.offer(rec)
+            released = self._ranker.flush(now)
+            self._notifications.extend(self._delivery.offer_all(released, now))
+            return
         if isinstance(recommendations, RecommendationBatch):
             # Columnar candidates stay columnar through the funnel; only
             # the final survivors are boxed (inside offer_batch).

@@ -29,6 +29,7 @@ from repro.cluster.cluster import Cluster
 from repro.core.events import EdgeEvent
 from repro.delivery.pipeline import DeliveryPipeline
 from repro.delivery.notifier import PushNotification
+from repro.delivery.scoring import TopKPerUserBuffer
 from repro.sim.des import DiscreteEventSimulator
 from repro.sim.latency import (
     DelayModel,
@@ -87,6 +88,7 @@ class StreamingTopology:
         max_wait: float = 0.05,
         delivery_batch_size: int = 1,
         delivery_max_wait: float = 0.05,
+        ranked_k: int | None = None,
     ) -> None:
         """Build the topology.
 
@@ -110,6 +112,10 @@ class StreamingTopology:
             delivery_max_wait: coalescer flush deadline in virtual
                 seconds; time spent waiting is reported as the
                 ``path:delivery-batching`` stage.
+            ranked_k: enable the ranked delivery configuration — a
+                :class:`~repro.delivery.scoring.TopKPerUserBuffer`
+                releasing at most this many candidates per user per
+                coalescing window into the funnel (``None`` = unranked).
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -158,6 +164,11 @@ class StreamingTopology:
             self._notifications,
             batch_size=delivery_batch_size,
             max_wait=delivery_max_wait,
+            # ranked_k=0 must error (TopKPerUserBuffer validates), not
+            # silently fall back to the unranked configuration.
+            ranker=(
+                TopKPerUserBuffer(k=ranked_k) if ranked_k is not None else None
+            ),
         )
 
         # Wire the stages.

@@ -1,0 +1,141 @@
+"""Shared worker-process plumbing for the cluster and delivery transports.
+
+Both the partition transport (:mod:`repro.cluster.transport`) and the
+sharded delivery fan-out (:mod:`repro.delivery.sharded`) host stateful
+endpoints in ``multiprocessing`` workers behind request/reply queues.
+The lifecycle edge cases are identical — and subtle enough that they must
+not be maintained twice:
+
+* **bootstrap without parent retention** — the worker's (large) state is
+  handed over in a one-shot holder list that the parent clears right
+  after ``start()``: under ``fork`` the child copied it at fork time,
+  under ``spawn`` it was pickled synchronously during ``start()``, so
+  the parent never keeps P full state copies alive for the run.
+* **death detection at gather** — a reply that will never come (worker
+  died mid-batch) is detected by polling liveness between short
+  timeouts; a reply truncated mid-write (worker killed inside ``put``)
+  surfaces as a deserialization error and is treated the same way.
+* **graceful-then-forceful shutdown** — a stop message and bounded join
+  per worker, then terminate, so a wedged worker can never hang the
+  parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import sys
+from typing import Callable
+
+#: Seconds between liveness checks while a gather waits on a reply.
+GATHER_POLL_SECONDS = 0.1
+
+#: Seconds a graceful close waits per worker before terminating it.
+JOIN_TIMEOUT_SECONDS = 5.0
+
+
+def default_start_method() -> str:
+    """``fork`` on Linux (zero-copy bootstrap), the platform default
+    elsewhere.
+
+    macOS offers ``fork`` but CPython defaults it to ``spawn`` for a
+    reason: forking a parent that has loaded system frameworks is
+    crash-prone, and a worker that aborts on its first library call
+    would surface here as every partition silently losing its events.
+    """
+    if sys.platform == "linux":
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+class WorkerHandle:
+    """Parent-side handle on one worker process."""
+
+    __slots__ = ("key", "process", "requests", "replies", "dead")
+
+    def __init__(self, key, process, requests, replies) -> None:
+        #: Caller-chosen identity (partition id, shard index, ...).
+        self.key = key
+        self.process = process
+        self.requests = requests
+        self.replies = replies
+        #: Set once the worker is known dead; never unset (no retries).
+        self.dead = False
+
+
+def _worker_bootstrap(target, holder, requests, replies) -> None:
+    """Run *target* on the state popped from its one-shot holder."""
+    target(holder.pop(), requests, replies)
+
+
+def spawn_worker(
+    context,
+    key,
+    target: Callable,
+    state,
+    name: str,
+) -> WorkerHandle:
+    """Start one daemon worker running ``target(state, requests, replies)``.
+
+    *state* travels in a one-shot holder the parent empties immediately
+    after ``start()`` returns — by then the child owns its copy (fork) or
+    the pickled bytes are already written (spawn) — so the parent's only
+    live references to the worker's state are the queues.
+    """
+    requests = context.Queue()
+    replies = context.Queue()
+    holder = [state]
+    process = context.Process(
+        target=_worker_bootstrap,
+        args=(target, holder, requests, replies),
+        daemon=True,
+        name=name,
+    )
+    process.start()
+    holder.clear()
+    return WorkerHandle(key, process, requests, replies)
+
+
+def receive_reply(worker: WorkerHandle) -> tuple | None:
+    """One reply from *worker*, or None once it is known dead.
+
+    Polls with a short timeout so a worker that died mid-batch (its
+    reply will never come) is detected instead of hanging the caller.
+    A final non-blocking drain covers the race where the worker replied
+    and *then* died; a worker killed mid-*write* leaves a truncated
+    frame on the pipe, which surfaces as a deserialization error out of
+    ``get`` and is treated exactly like no reply at all.
+    """
+    while True:
+        try:
+            return worker.replies.get(timeout=GATHER_POLL_SECONDS)
+        except queue_module.Empty:
+            if not worker.process.is_alive():
+                try:  # reply may have been buffered before the death
+                    return worker.replies.get_nowait()
+                except Exception:  # Empty, or a truncated frame
+                    worker.dead = True
+                    return None
+        except Exception:
+            # Half-written frame (worker terminated mid-put): the worker
+            # is lost, not the parent.
+            worker.dead = True
+            return None
+
+
+def stop_workers(workers: list[WorkerHandle]) -> None:
+    """Stop, join, and reap *workers*: graceful first, then forceful."""
+    for worker in workers:
+        if worker.dead or not worker.process.is_alive():
+            continue
+        try:
+            worker.requests.put(("stop",))
+        except (ValueError, OSError):  # queue already torn down
+            pass
+    for worker in workers:
+        worker.process.join(timeout=JOIN_TIMEOUT_SECONDS)
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=JOIN_TIMEOUT_SECONDS)
+        worker.requests.close()
+        worker.replies.close()

@@ -149,6 +149,89 @@ class TestGenerateAndRun:
         assert code_plain == 0 and code_coalesced == 0
         assert counts(out_plain) == counts(out_coalesced)
 
+    def test_simulate_process_transport_matches_inprocess_counts(self, artifacts):
+        """The transport changes where partitions run, not what they emit:
+        same ingested-event and notification counts either way."""
+        graph, stream = artifacts
+
+        def counts(output):
+            return [
+                line for line in output.splitlines()
+                if "events ingested" in line or "notifications" in line
+            ]
+
+        code_in, out_in = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--batch-size", "32",
+        )
+        code_proc, out_proc = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--batch-size", "32", "--transport", "process",
+        )
+        assert code_in == 0 and code_proc == 0
+        assert counts(out_in) == counts(out_proc)
+
+    def test_simulate_delivery_shards_change_no_counts(self, artifacts):
+        graph, stream = artifacts
+
+        def counts(output):
+            return [
+                line for line in output.splitlines()
+                if "events ingested" in line or "notifications" in line
+            ]
+
+        code_one, out_one = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+        )
+        code_sharded, out_sharded = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--delivery-shards", "3",
+        )
+        assert code_one == 0 and code_sharded == 0
+        assert counts(out_one) == counts(out_sharded)
+
+    def test_simulate_ranked_caps_deliveries(self, artifacts):
+        graph, stream = artifacts
+
+        def notifications(output):
+            for line in output.splitlines():
+                if "notifications" in line:
+                    return int(line.split(":")[1])
+            raise AssertionError("no notification count printed")
+
+        code_plain, out_plain = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--delivery-batch-size", "256",
+        )
+        code_ranked, out_ranked = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--delivery-batch-size", "256", "--ranked", "--ranked-k", "1",
+        )
+        assert code_plain == 0 and code_ranked == 0
+        assert 0 < notifications(out_ranked) <= notifications(out_plain)
+
+    def test_simulate_rejects_nonpositive_delivery_shards(self, artifacts):
+        graph, stream = artifacts
+        with pytest.raises(ValueError, match="delivery-shards"):
+            run_cli(
+                "simulate", str(graph), str(stream),
+                "--k", "2", "--partitions", "2", "--delivery-shards", "0",
+            )
+
+    def test_simulate_rejects_unknown_transport(self, artifacts):
+        graph, stream = artifacts
+        with pytest.raises(SystemExit):
+            run_cli(
+                "simulate", str(graph), str(stream),
+                "--transport", "telegraph",
+            )
+
     def test_analyze_command(self, artifacts):
         graph, _ = artifacts
         code, output = run_cli("analyze", str(graph))

@@ -4,6 +4,7 @@ import pytest
 
 from repro.cluster import Broker, Cluster, ClusterConfig
 from repro.core import DetectionParams, EdgeEvent
+from repro.core.batch import EventBatch
 
 from tests.conftest import A2, B1, B2, C2
 
@@ -41,6 +42,102 @@ class TestBrokerStats:
     def test_empty_replica_sets_rejected(self):
         with pytest.raises(ValueError):
             Broker([])
+
+
+class TestWorkerDeathMidStream:
+    """A dead partition worker must cost exactly its events, nothing more.
+
+    The broker's contract under the worker transport mirrors the
+    all-replicas-down path: the dead partition's events are counted in
+    ``partitions_lost_events`` and the topology keeps running on the
+    healthy partitions.
+    """
+
+    @pytest.fixture
+    def process_cluster(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3, transport="process"),
+        )
+        yield cluster
+        cluster.close()
+
+    @staticmethod
+    def _batch(start: float, n: int) -> EventBatch:
+        events = [EdgeEvent(start + i, B1 if i % 2 else B2, C2) for i in range(n)]
+        return EventBatch.from_events(events)
+
+    def test_dead_worker_counts_lost_events_and_cluster_keeps_running(
+        self, process_cluster
+    ):
+        broker = process_cluster.broker
+        transport = process_cluster.transport
+        broker.process_batch(self._batch(0.0, 4))
+        assert broker.stats.partitions_lost_events == 0
+
+        # Kill one worker outright (a crashed machine, not a clean stop).
+        victim = transport._workers[0]
+        victim.process.terminate()
+        victim.process.join(timeout=5.0)
+
+        grouped, _latency = broker.process_batch(self._batch(10.0, 6))
+        assert len(grouped) == 6
+        assert broker.stats.partitions_lost_events == 6
+        assert transport.workers_alive() == 2
+
+        # The healthy partitions keep serving subsequent batches, and the
+        # dead one keeps being charged without being retried.
+        broker.process_batch(self._batch(20.0, 5))
+        assert broker.stats.partitions_lost_events == 11
+        health = {p.partition_id: p for p in transport.health()}
+        assert not health[victim.key].worker_alive
+        alive = [p for p in health.values() if p.worker_alive]
+        assert len(alive) == 2
+        for partition in alive:
+            assert partition.replicas[0].events_processed == 15
+
+    def test_dead_worker_mid_pipeline_loses_only_its_partition(
+        self, process_cluster
+    ):
+        broker = process_cluster.broker
+        transport = process_cluster.transport
+        # Two batches in flight, then the worker dies before the gathers.
+        broker.submit_batch(self._batch(0.0, 3))
+        broker.submit_batch(self._batch(5.0, 3))
+        victim = transport._workers[1]
+        victim.process.terminate()
+        victim.process.join(timeout=5.0)
+        broker.gather_batch()
+        broker.gather_batch()
+        # The victim may have processed 0, 1, or 2 of the in-flight batches
+        # before dying; whatever it missed is charged, nothing else is.
+        assert broker.stats.partitions_lost_events in (0, 3, 6)
+        grouped, _ = broker.process_batch(self._batch(10.0, 2))
+        assert len(grouped) == 2
+        assert transport.workers_alive() == 2
+
+    def test_recommendations_from_surviving_partitions_still_flow(
+        self, figure1_snapshot
+    ):
+        with Cluster.build(
+            figure1_snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3, transport="process"),
+        ) as cluster:
+            owner = cluster.partitioner.partition_of(A2)
+            victim_id = (owner + 1) % 3  # does NOT own the only recipient
+            victim = next(
+                w
+                for w in cluster.transport._workers
+                if w.key == victim_id
+            )
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            recs = cluster.process_stream(
+                [EdgeEvent(0.0, B1, C2), EdgeEvent(1.0, B2, C2)], batch_size=2
+            )
+            assert [(r.recipient, r.candidate) for r in recs] == [(A2, C2)]
 
 
 class TestBrokerQueries:

@@ -156,3 +156,90 @@ class TestAccounting:
             DeliveryCoalescer(
                 sim, delivery, breakdown, notifications, max_wait=-1.0
             )
+
+
+class TestRankedCoalescer:
+    """The ranked configuration: TopKPerUserBuffer inside the window."""
+
+    @staticmethod
+    def make_ranked_rig(batch_size=1, max_wait=0.5, k=1):
+        from repro.delivery import TopKPerUserBuffer
+
+        sim = DiscreteEventSimulator()
+        breakdown = LatencyBreakdown()
+        notifications = []
+        delivery = DeliveryPipeline(filters=[], notifier=PushNotifier())
+        coalescer = DeliveryCoalescer(
+            sim, delivery, breakdown, notifications,
+            batch_size=batch_size, max_wait=max_wait,
+            ranker=TopKPerUserBuffer(k=k),
+        )
+        return sim, breakdown, notifications, delivery, coalescer
+
+    def test_window_releases_each_users_top_k(self):
+        sim, _bd, notifications, delivery, coalescer = self.make_ranked_rig(
+            batch_size=3, k=1
+        )
+        # Two candidates for recipient 1 in one window: 11 has more
+        # witnesses, so only (1, 11) survives; recipient 2 keeps its one.
+        weak = RecommendationBatch(
+            [RecommendationGroup([1, 2], candidate=10, created_at=0.0, via=(5,))]
+        )
+        strong = RecommendationBatch(
+            [RecommendationGroup([1], candidate=11, created_at=0.0, via=(5, 6))]
+        )
+        origin = EdgeEvent(0.0, 100, 10, ActionType.FOLLOW)
+        coalescer(CandidateBatch(origin, weak), 0.0, 1.0)
+        assert notifications == []  # buffered, not yet flushed
+        coalescer(CandidateBatch(origin, strong), 0.0, 1.0)
+        released = sorted(
+            (n.recipient, n.recommendation.candidate) for n in notifications
+        )
+        assert released == [(1, 11), (2, 10)]
+        # The funnel saw only the ranked survivors, not the raw volume.
+        assert delivery.funnel.get("raw") == 2
+
+    def test_max_wait_timer_flushes_ranked_buffer(self):
+        sim, _bd, notifications, _delivery, coalescer = self.make_ranked_rig(
+            batch_size=100, max_wait=0.5, k=2
+        )
+        sim.clock.advance_to(1.0)
+        coalescer(candidate_batch([1, 1, 2], candidate=7), 0.0, 1.0)
+        assert notifications == []
+        sim.run()  # the 0.5 s window timer fires
+        pairs = sorted((n.recipient, n.recommendation.candidate) for n in notifications)
+        # In-window (recipient, candidate) dedup applies inside the ranker.
+        assert pairs == [(1, 7), (2, 7)]
+        assert all(n.delivered_at == pytest.approx(1.5) for n in notifications)
+
+    def test_inline_mode_ranks_each_batch_individually(self):
+        sim, _bd, notifications, delivery, coalescer = self.make_ranked_rig(
+            batch_size=1, k=1
+        )
+        coalescer(candidate_batch([1, 1, 1], candidate=7), 0.0, 1.0)
+        assert [(n.recipient, n.recommendation.candidate) for n in notifications] == [
+            (1, 7)
+        ]
+        # Boxed tuples route through the ranker too.
+        coalescer(candidate_batch([4], candidate=8, boxed=True), 0.0, 2.0)
+        assert notifications[-1].recipient == 4
+        assert delivery.funnel.get("raw") == 2
+
+    def test_topology_wires_ranker_from_ranked_k(self):
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.core import DetectionParams
+        from repro.graph import GraphSnapshot
+        from repro.streaming import StreamingTopology
+
+        snapshot = GraphSnapshot.from_edges(
+            [(0, 3), (1, 3), (1, 4), (2, 4)], num_nodes=8
+        )
+        cluster = Cluster.build(
+            snapshot, DetectionParams(k=2, tau=600.0),
+            ClusterConfig(num_partitions=2),
+        )
+        topology = StreamingTopology(cluster, seed=0, ranked_k=1)
+        assert topology.coalescer._ranker is not None
+        assert topology.coalescer._ranker.k == 1
+        unranked = StreamingTopology(cluster, seed=0)
+        assert unranked.coalescer._ranker is None

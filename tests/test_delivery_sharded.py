@@ -1,0 +1,198 @@
+"""Sharded delivery equivalence: recipient-hash shards must deliver the
+same multiset (and summed funnel counts) as one unsharded funnel.
+
+Sharding is semantics-preserving because every stateful funnel stage is
+recipient-keyed; these tests enforce it for both transports, across
+shard counts, and across repeated windows (stateful dedup/fatigue carry
+over between offers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recommendation import (
+    Recommendation,
+    RecommendationBatch,
+    RecommendationGroup,
+)
+from repro.delivery import (
+    DedupFilter,
+    DeliveryPipeline,
+    FatigueFilter,
+    ShardedDeliveryPipeline,
+    WakingHoursFilter,
+    split_batch_by_shard,
+)
+from repro.util.hashing import splitmix64
+
+
+def _production_trio(_shard: int) -> DeliveryPipeline:
+    return DeliveryPipeline(
+        filters=[DedupFilter(), WakingHoursFilter(), FatigueFilter()]
+    )
+
+
+def _random_batches(seed: int, windows: int = 3) -> list[RecommendationBatch]:
+    rng = np.random.default_rng(seed)
+    batches = []
+    for w in range(windows):
+        groups = []
+        for t in range(25):
+            n = int(rng.integers(1, 40))
+            groups.append(
+                RecommendationGroup(
+                    rng.integers(0, 60, n).astype(np.int64),
+                    candidate=int(rng.integers(100, 112)),
+                    created_at=float(w * 1000 + t),
+                    via=tuple(rng.integers(0, 50, 3).tolist()),
+                )
+            )
+        batches.append(RecommendationBatch(groups))
+    return batches
+
+
+def _pairs(notifications):
+    return sorted(
+        (n.recipient, n.recommendation.candidate, n.delivered_at)
+        for n in notifications
+    )
+
+
+class TestSplitBatchByShard:
+    def test_partition_is_exhaustive_and_hash_stable(self):
+        batches = _random_batches(seed=1, windows=1)
+        shards = split_batch_by_shard(batches[0], 4)
+        assert sum(len(s) for s in shards) == len(batches[0])
+        for shard_id, shard_batch in enumerate(shards):
+            for rec in shard_batch:
+                assert splitmix64(rec.recipient) % 4 == shard_id
+
+    def test_single_shard_reuses_groups(self):
+        batch = _random_batches(seed=2, windows=1)[0]
+        [only] = split_batch_by_shard(batch, 1)
+        assert only.groups == batch.groups
+
+    def test_metadata_shared_not_copied(self):
+        group = RecommendationGroup(
+            np.arange(64, dtype=np.int64), candidate=7, created_at=1.0,
+            via=(1, 2, 3),
+        )
+        shards = split_batch_by_shard(RecommendationBatch([group]), 2)
+        for shard_batch in shards:
+            for g in shard_batch.groups:
+                assert g.candidate == 7
+                assert g.via == (1, 2, 3)
+                assert g.created_at == 1.0
+
+
+@pytest.mark.parametrize("transport", ["inprocess", "process"])
+@pytest.mark.parametrize("num_shards", [1, 3, 8])
+class TestShardedEquivalence:
+    def test_multiset_and_funnel_match_unsharded(self, transport, num_shards):
+        reference = _production_trio(0)
+        sharded = ShardedDeliveryPipeline(
+            num_shards, pipeline_factory=_production_trio, transport=transport
+        )
+        try:
+            expected, got = [], []
+            for w, batch in enumerate(_random_batches(seed=3)):
+                now = 1_000.0 * w + 43_200.0  # midday: waking hours vary by tz
+                expected.extend(reference.offer_batch(batch, now))
+                got.extend(sharded.offer_batch(batch, now))
+            assert _pairs(got) == _pairs(expected)
+            assert sharded.funnel_totals() == reference.funnel.stages
+            assert sharded.delivered_total() == reference.notifier.delivered_total
+            assert sharded.reduction_ratio() == pytest.approx(
+                reference.reduction_ratio()
+            )
+        finally:
+            sharded.close()
+
+
+class TestShardedScalarOffers:
+    def test_offer_routes_to_owning_shard_state(self):
+        sharded = ShardedDeliveryPipeline(
+            4, pipeline_factory=lambda _s: DeliveryPipeline(filters=[DedupFilter()])
+        )
+        rec = Recommendation(recipient=5, candidate=9, created_at=0.0)
+        assert sharded.offer(rec, now=0.0) is not None
+        # Same pair inside the window: the owning shard remembers it.
+        assert sharded.offer(rec, now=10.0) is None
+        assert sharded.funnel_totals()["dropped:dedup"] == 1
+
+    def test_process_transport_scalar_offer(self):
+        with ShardedDeliveryPipeline(
+            2,
+            pipeline_factory=lambda _s: DeliveryPipeline(filters=[DedupFilter()]),
+            transport="process",
+        ) as sharded:
+            rec = Recommendation(recipient=5, candidate=9, created_at=0.0)
+            delivered = sharded.offer(rec, now=0.0)
+            assert delivered is not None and delivered.recipient == 5
+            assert sharded.offer(rec, now=10.0) is None
+
+    def test_offer_all_matches_offer_batch(self):
+        batch = _random_batches(seed=4, windows=1)[0]
+        via_batch = ShardedDeliveryPipeline(3, pipeline_factory=_production_trio)
+        via_boxed = ShardedDeliveryPipeline(3, pipeline_factory=_production_trio)
+        now = 43_200.0
+        a = via_batch.offer_batch(batch, now)
+        b = via_boxed.offer_all(list(batch), now)
+        assert _pairs(a) == _pairs(b)
+        assert via_batch.funnel_totals() == via_boxed.funnel_totals()
+
+
+class TestShardedFaultTolerance:
+    def test_dead_shard_worker_loses_only_its_recipients(self):
+        sharded = ShardedDeliveryPipeline(
+            2,
+            pipeline_factory=lambda _s: DeliveryPipeline(filters=[]),
+            transport="process",
+        )
+        try:
+            victim = sharded._workers[0]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            batch = _random_batches(seed=5, windows=1)[0]
+            shards = split_batch_by_shard(batch, 2)
+            delivered = sharded.offer_batch(batch, now=0.0)
+            # Shard 1's recipients all delivered (no filters); shard 0 lost.
+            assert len(delivered) == len(shards[1])
+            assert sharded.notifications_lost_shards == len(shards[0])
+            for notification in delivered:
+                assert splitmix64(notification.recipient) % 2 == 1
+        finally:
+            sharded.close()
+
+    def test_dead_shard_history_stays_in_aggregates(self):
+        sharded = ShardedDeliveryPipeline(
+            2,
+            pipeline_factory=lambda _s: DeliveryPipeline(filters=[]),
+            transport="process",
+        )
+        try:
+            batch = _random_batches(seed=6, windows=1)[0]
+            delivered_before = len(sharded.offer_batch(batch, now=0.0))
+            assert sharded.delivered_total() == delivered_before
+            victim = sharded._workers[0]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            # The dead shard's accumulated counts must not vanish from the
+            # aggregates — they are served from the last reply's cache.
+            assert sharded.delivered_total() == delivered_before
+            assert sharded.funnel_totals().get("delivered") == delivered_before
+        finally:
+            sharded.close()
+
+    def test_close_is_idempotent(self):
+        sharded = ShardedDeliveryPipeline(2, transport="process")
+        sharded.close()
+        sharded.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedDeliveryPipeline(0)
+        with pytest.raises(ValueError):
+            ShardedDeliveryPipeline(2, transport="smoke-signals")

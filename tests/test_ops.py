@@ -176,3 +176,81 @@ class TestClusterMonitor:
         snap = monitor.registry.snapshot()
         assert snap["replica_available{partition=0,replica=0}"] == 1.0
         assert snap["d_edges{partition=1,replica=1}"] == 1
+
+
+class TestBacklogGatedAdmission:
+    def test_backlog_over_limit_sheds_despite_token_budget(self):
+        controller = AdmissionController(rate=1000.0, burst=1000.0, backlog_limit=10)
+        assert controller.admit(now=0.0, backlog=10)  # at the limit: fine
+        assert not controller.admit(now=0.0, backlog=11)  # over: shed
+        assert controller.admit(now=0.0, backlog=0)  # drained: admit again
+
+    def test_backlog_ignored_without_limit(self):
+        controller = AdmissionController(rate=1000.0, burst=1000.0)
+        assert controller.admit(now=0.0, backlog=10**6)
+
+    def test_backlog_overflow_still_sampled(self):
+        controller = AdmissionController(
+            rate=1000.0, burst=1000.0,
+            policy=AdmissionPolicy.SAMPLE, sample_one_in=10,
+            backlog_limit=1,
+        )
+        admitted = sum(controller.admit(now=0.0, backlog=5) for _ in range(100))
+        assert admitted == 10  # the statistical trace survives the gate
+
+    def test_backlog_counter_published(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(
+            rate=1000.0, burst=1000.0, registry=registry, backlog_limit=1
+        )
+        controller.admit(0.0, backlog=5)
+        snap = registry.snapshot()
+        assert snap["admission_backlog_overflow"] == 1
+        assert snap["admission_shed"] == 1
+
+    def test_backlog_limit_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(rate=1.0, burst=1.0, backlog_limit=0)
+
+
+class TestMonitorOverWorkerTransport:
+    def test_poll_reports_worker_liveness_and_backlog(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot,
+            DetectionParams(k=2, tau=600.0),
+            ClusterConfig(
+                num_partitions=2, replication_factor=2, transport="process"
+            ),
+        )
+        try:
+            cluster.process_event(EdgeEvent(0.0, B1, C2))
+            monitor = ClusterMonitor(cluster)
+            health = monitor.poll()
+            assert len(health) == 2
+            assert all(p.worker_alive for p in health)
+            assert all(p.backlog == 0 for p in health)
+            assert all(p.healthy_replicas == 2 for p in health)
+            snap = monitor.registry.snapshot()
+            assert snap["worker_alive{partition=0}"] == 1.0
+            assert snap["worker_backlog{partition=1}"] == 0
+        finally:
+            cluster.close()
+
+    def test_dead_worker_alert(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot,
+            DetectionParams(k=2, tau=600.0),
+            ClusterConfig(num_partitions=2, transport="process"),
+        )
+        try:
+            victim = cluster.transport._workers[0]
+            victim.process.terminate()
+            victim.process.join(timeout=5.0)
+            monitor = ClusterMonitor(cluster)
+            health = {p.partition_id: p for p in monitor.poll()}
+            assert not health[victim.key].worker_alive
+            assert health[victim.key].healthy_replicas == 0
+            alerts = monitor.alerts()
+            assert any("WORKER DEAD" in a for a in alerts)
+        finally:
+            cluster.close()

@@ -379,3 +379,99 @@ class TestFatigueBackendEquivalence:
                 for u in batch
             ]
             assert mask.tolist() == decisions
+
+
+# ---------------------------------------------------------------------------
+# Snapshots (delivery-tier restarts)
+# ---------------------------------------------------------------------------
+
+class TestTableSnapshots:
+    SPEC = {"time": (np.float64, 0), "ring": (np.float64, 4)}
+
+    def test_round_trip_preserves_live_state(self, tmp_path):
+        table = Int64KeyTable(self.SPEC, capacity=8)
+        keys = np.arange(100, dtype=np.uint64) * np.uint64(7919)
+        slots = table.insert(keys)
+        table.columns["time"][slots] = np.arange(100, dtype=np.float64)
+        table.columns["ring"][slots] = np.arange(400, dtype=np.float64).reshape(
+            100, 4
+        )
+        table.save_npz(tmp_path / "table")
+
+        loaded = Int64KeyTable.from_snapshot(tmp_path / "table", self.SPEC)
+        assert len(loaded) == len(table)
+        found = loaded.lookup(keys)
+        assert (found >= 0).all()
+        np.testing.assert_array_equal(
+            loaded.columns["time"][found], np.arange(100, dtype=np.float64)
+        )
+        np.testing.assert_array_equal(
+            loaded.columns["ring"][found],
+            np.arange(400, dtype=np.float64).reshape(100, 4),
+        )
+
+    def test_empty_table_round_trips(self, tmp_path):
+        table = Int64KeyTable(self.SPEC)
+        table.save_npz(tmp_path / "empty.npz")
+        loaded = Int64KeyTable.from_snapshot(tmp_path / "empty.npz", self.SPEC)
+        assert len(loaded) == 0
+        assert loaded.find(123) == -1
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        table = Int64KeyTable({"time": (np.float64, 0)})
+        table.upsert(5)
+        table.save_npz(tmp_path / "t")
+        with pytest.raises(ValueError, match="schema"):
+            Int64KeyTable.from_snapshot(tmp_path / "t", {"other": (np.float64, 0)})
+        with pytest.raises(ValueError, match="shape"):
+            Int64KeyTable.from_snapshot(tmp_path / "t", {"time": (np.float64, 3)})
+
+    def test_dedup_filter_survives_restart(self, tmp_path):
+        before = DedupFilter(window=100.0, backend="table")
+        recs = [
+            Recommendation(recipient=r, candidate=c, created_at=0.0)
+            for r, c in [(1, 9), (2, 9), (3, 8)]
+        ]
+        for rec in recs:
+            assert before.allow(rec, now=50.0)
+        before.save_npz(tmp_path / "dedup")
+
+        after = DedupFilter.from_snapshot(tmp_path / "dedup", window=100.0)
+        # In-window pairs stay suppressed across the restart...
+        for rec in recs:
+            assert not after.allow(rec, now=120.0)
+        # ...and expire on the same horizon the old filter would have used.
+        assert after.allow(recs[0], now=151.0)
+        assert after.last_sent_entries().keys() == before.last_sent_entries().keys()
+
+    def test_fatigue_filter_survives_restart(self, tmp_path):
+        before = FatigueFilter(max_per_window=2, window=100.0, backend="table")
+        rec = Recommendation(recipient=7, candidate=1, created_at=0.0)
+        assert before.allow(rec, now=10.0)
+        assert before.allow(rec, now=20.0)
+        assert not before.allow(rec, now=30.0)
+        before.save_npz(tmp_path / "fatigue")
+
+        after = FatigueFilter.from_snapshot(
+            tmp_path / "fatigue", max_per_window=2, window=100.0
+        )
+        assert after.sent_in_window(7, now=30.0) == 2
+        # Budget still spent right after the restart, refreshed once the
+        # earliest charge rolls out of the window.
+        assert not after.allow(rec, now=40.0)
+        assert after.allow(rec, now=115.0)
+
+    def test_fatigue_snapshot_rejects_mismatched_cap(self, tmp_path):
+        before = FatigueFilter(max_per_window=2, window=100.0, backend="table")
+        before.allow(Recommendation(recipient=1, candidate=1, created_at=0.0), 1.0)
+        before.save_npz(tmp_path / "fatigue")
+        with pytest.raises(ValueError, match="shape"):
+            FatigueFilter.from_snapshot(
+                tmp_path / "fatigue", max_per_window=3, window=100.0
+            )
+
+    def test_dict_backend_refuses_snapshots(self, tmp_path):
+        with pytest.raises(ValueError, match="backend='table'"):
+            DedupFilter(backend="dict").save_npz(tmp_path / "nope")
+        with pytest.raises(ValueError, match="backend='table'"):
+            FatigueFilter(backend="dict").save_npz(tmp_path / "nope")

@@ -1,0 +1,243 @@
+"""Cross-transport equivalence: worker-process partitions must produce the
+same recommendation multiset as the in-process simulation.
+
+This is the transport layer's contract (docs/ARCHITECTURE.md): transports
+change *where* partitions run, never *what* they compute.  Order may
+differ across partitions (the gather is a concatenation in partition
+order either way, but pipelined streams interleave), so equality is
+asserted on the sorted multiset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    InProcessTransport,
+    WorkerProcessTransport,
+)
+from repro.core import DetectionParams
+from repro.core.batch import EventBatch
+from repro.gen import (
+    StreamConfig,
+    TwitterGraphConfig,
+    generate_event_stream,
+    generate_follow_graph,
+)
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+
+def _multiset(recommendations):
+    return sorted(
+        (r.created_at, r.recipient, r.candidate, r.via)
+        for r in recommendations
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    snapshot = generate_follow_graph(
+        TwitterGraphConfig(num_users=1_500, mean_followings=12.0, seed=11)
+    )
+    events = generate_event_stream(
+        StreamConfig(
+            num_users=1_500, duration=150.0, background_rate=6.0, seed=11
+        )
+    )
+    return snapshot, events
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    snapshot, events = workload
+    cluster = Cluster.build(
+        snapshot, PARAMS, ClusterConfig(num_partitions=3)
+    )
+    return _multiset(cluster.process_stream(events, batch_size=64))
+
+
+class TestCrossTransportEquivalence:
+    def test_worker_transport_matches_inprocess_batched(
+        self, workload, reference
+    ):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3, transport="process"),
+        ) as cluster:
+            got = _multiset(cluster.process_stream(events, batch_size=64))
+        assert got == reference
+
+    def test_worker_transport_matches_with_pipelining(
+        self, workload, reference
+    ):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3, transport="process"),
+        ) as cluster:
+            got = _multiset(
+                cluster.process_stream(events, batch_size=64, pipeline_depth=4)
+            )
+        assert got == reference
+
+    def test_worker_transport_matches_per_event_lane(
+        self, workload, reference
+    ):
+        snapshot, events = workload
+        short = events[:200]
+        inproc = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        expected = _multiset(inproc.process_stream(short))
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="process"),
+        ) as cluster:
+            got = _multiset(cluster.process_stream(short))
+        assert got == expected
+
+    def test_worker_transport_matches_with_replication(self, workload):
+        snapshot, events = workload
+        short = events[:300]
+        inproc = Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, replication_factor=2),
+        )
+        expected = _multiset(inproc.process_stream(short, batch_size=32))
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(
+                num_partitions=2, replication_factor=2, transport="process"
+            ),
+        ) as cluster:
+            got = _multiset(cluster.process_stream(short, batch_size=32))
+        assert got == expected
+
+
+class TestTransportControlMessages:
+    @pytest.fixture
+    def clusters(self, workload):
+        snapshot, events = workload
+        inproc = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        proc = Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="process"),
+        )
+        yield inproc, proc, events
+        proc.close()
+
+    def test_query_audience_matches(self, clusters, workload):
+        snapshot, _ = workload
+        inproc, proc, events = clusters
+        short = events[:300]
+        inproc.process_stream(short, batch_size=32)
+        proc.process_stream(short, batch_size=32)
+        target = snapshot.num_users - 1
+        now = short[-1].created_at + 1.0
+        assert proc.query_audience(target, now) == inproc.query_audience(
+            target, now
+        )
+
+    def test_health_reports_worker_side_progress(self, clusters):
+        inproc, proc, events = clusters
+        short = events[:100]
+        proc.process_stream(short, batch_size=32)
+        health = proc.transport.health()
+        assert len(health) == 2
+        for partition in health:
+            assert partition.worker_alive
+            # Full D replication: every partition consumed every event.
+            assert partition.replicas[0].events_processed == len(short)
+        # The parent's (forked, stale) replica copies never advanced.
+        assert proc.transport.local_replica_sets is None
+
+    def test_prune_runs_in_workers(self, clusters):
+        inproc, proc, events = clusters
+        short = events[:200]
+        inproc.process_stream(short, batch_size=32)
+        proc.process_stream(short, batch_size=32)
+        assert proc.prune(float("inf")) == inproc.prune(float("inf"))
+
+    def test_memory_report_covers_worker_partitions(self, clusters):
+        _inproc, proc, events = clusters
+        proc.process_stream(events[:100], batch_size=32)
+        report = proc.memory_report()
+        assert report["static_index"] > 0
+        assert report["dynamic_index"] > 0
+
+    def test_replica_sets_unavailable_under_worker_transport(self, clusters):
+        _inproc, proc, _events = clusters
+        with pytest.raises(RuntimeError, match="not local"):
+            proc.replica_sets
+
+    def test_close_is_idempotent(self, workload):
+        snapshot, _ = workload
+        cluster = Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="process"),
+        )
+        assert isinstance(cluster.transport, WorkerProcessTransport)
+        cluster.close()
+        cluster.close()
+
+    def test_inprocess_transport_is_default(self, workload):
+        snapshot, _ = workload
+        cluster = Cluster.build(snapshot, PARAMS, ClusterConfig(num_partitions=2))
+        assert isinstance(cluster.transport, InProcessTransport)
+        assert cluster.transport.backlog() == 0
+        cluster.close()  # no-op
+
+    def test_config_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            ClusterConfig(num_partitions=2, transport="carrier-pigeon")
+
+
+class TestPipelinedSubmitGather:
+    def test_inprocess_supports_stacked_submits(self, workload, reference):
+        snapshot, events = workload
+        cluster = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=3)
+        )
+        got = _multiset(
+            cluster.process_stream(events, batch_size=64, pipeline_depth=3)
+        )
+        assert got == reference
+
+    def test_gather_without_submit_rejected(self, workload):
+        snapshot, _ = workload
+        cluster = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=1)
+        )
+        with pytest.raises(ValueError, match="gather without a submit"):
+            cluster.broker.gather_batch()
+
+    def test_worker_transport_tracks_pending_gathers(self, workload):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="process"),
+        ) as cluster:
+            batch = EventBatch.from_events(events[:10])
+            cluster.broker.submit_batch(batch)
+            cluster.broker.submit_batch(batch)
+            assert cluster.transport.pending_gathers == 2
+            with pytest.raises(ValueError, match="no outstanding"):
+                cluster.transport.health()
+            cluster.broker.gather_batch()
+            cluster.broker.gather_batch()
+            assert cluster.transport.pending_gathers == 0
+            assert len(cluster.transport.health()) == 2
