@@ -36,6 +36,7 @@ from pathlib import Path
 HIGHER_IS_BETTER = ("events_per_sec", "speedup", "_per_sec", "throughput")
 LOWER_IS_BETTER = (
     "_vs_packed_ratio",  # columnar-vs-reference footprint: smaller wins
+    "wire_overhead",  # wall over in-process wall at the same P: smaller wins
     "_ms",
     "_us",
     "_seconds",

@@ -125,15 +125,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="inprocess",
         help="broker-to-partition transport: inprocess = direct calls "
         "with simulated latency (default), process = one multiprocessing "
-        "worker per partition (real parallelism)",
+        "worker per partition (real parallelism), shm = the same workers "
+        "fed over zero-copy shared-memory ring buffers (lowest wire "
+        "overhead; requires /dev/shm)",
     )
     simulate.add_argument(
         "--delivery-shards",
         type=int,
         default=1,
         help="shard the delivery funnel by recipient hash onto this many "
-        "independent shards (workers under --transport process; 1 = the "
-        "single in-process funnel)",
+        "independent shards (workers under --transport process/shm; 1 = "
+        "the single in-process funnel)",
     )
     simulate.add_argument(
         "--ranked",

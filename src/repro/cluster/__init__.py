@@ -18,8 +18,11 @@ Mapping to modules:
   failover, and resync after recovery;
 * :mod:`~repro.cluster.broker` — fan-out / gather over all partitions;
 * :mod:`~repro.cluster.transport` — the pluggable broker-to-partition
-  call path: direct in-process calls (default) or one multiprocessing
-  worker per partition fed over columnar queues;
+  call path: direct in-process calls (default), one multiprocessing
+  worker per partition fed over columnar queues, or the same workers fed
+  over zero-copy shared-memory ring buffers;
+* :mod:`~repro.cluster.shm` — the shared-memory slabs and ring protocol
+  behind the ``shm`` transport;
 * :mod:`~repro.cluster.rpc` — a simulated call layer that accounts virtual
   network latency and injected failures without sleeping;
 * :mod:`~repro.cluster.cluster` — assembly of the whole stack from an
@@ -30,6 +33,7 @@ from repro.cluster.partitioner import HashPartitioner, ModuloPartitioner, Partit
 from repro.cluster.rpc import RpcError, RpcStats, SimulatedChannel
 from repro.cluster.partition import PartitionServer
 from repro.cluster.replica import AllReplicasDown, ReplicaSet
+from repro.cluster.shm import ShmRing, TornFrameError, shm_available
 from repro.cluster.transport import (
     TRANSPORTS,
     InProcessTransport,
@@ -37,6 +41,7 @@ from repro.cluster.transport import (
     PartitionReply,
     PartitionTransport,
     ReplicaHealthSnapshot,
+    SharedMemoryTransport,
     WorkerProcessTransport,
 )
 from repro.cluster.broker import Broker, BrokerStats
@@ -59,6 +64,10 @@ __all__ = [
     "ReplicaHealthSnapshot",
     "InProcessTransport",
     "WorkerProcessTransport",
+    "SharedMemoryTransport",
+    "ShmRing",
+    "TornFrameError",
+    "shm_available",
     "Broker",
     "BrokerStats",
     "Cluster",

@@ -21,6 +21,7 @@ from repro.cluster.rpc import SimulatedChannel
 from repro.cluster.transport import (
     TRANSPORTS,
     PartitionTransport,
+    SharedMemoryTransport,
     WorkerProcessTransport,
 )
 from repro.core.batch import EventBatch, iter_event_batches
@@ -61,11 +62,18 @@ class ClusterConfig:
             ring buffers for hot targets, default) or ``"list"``.
         transport: how the broker reaches the partitions —
             ``"inprocess"`` (direct calls + simulated channel latency,
-            default) or ``"process"`` (one multiprocessing worker per
-            partition; call :meth:`Cluster.close` when done).
+            default), ``"process"`` (one multiprocessing worker per
+            partition fed over pickled queues), or ``"shm"`` (the same
+            workers fed over zero-copy shared-memory ring buffers; needs
+            a working ``/dev/shm``).  Worker transports must be closed
+            — call :meth:`Cluster.close` when done.
         worker_start_method: multiprocessing start method for the
-            ``"process"`` transport (platform default when ``None``:
-            ``fork`` where available, else ``spawn``).
+            worker transports (platform default when ``None``: ``fork``
+            where available, else ``spawn``).
+        shm_slots: ring slots per direction per worker for the ``"shm"``
+            transport (default 8; also bounds the usable pipeline depth).
+        shm_slot_bytes: payload bytes per ring slot (default 1 MiB);
+            frames that overflow a slot fall back to the pickle wire.
     """
 
     num_partitions: int = PRODUCTION_PARTITIONS
@@ -77,10 +85,14 @@ class ClusterConfig:
     d_backend: str = "ring"
     transport: str = "inprocess"
     worker_start_method: str | None = None
+    shm_slots: int = 8
+    shm_slot_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         require_positive(self.num_partitions, "num_partitions")
         require_positive(self.replication_factor, "replication_factor")
+        require_positive(self.shm_slots, "shm_slots")
+        require_positive(self.shm_slot_bytes, "shm_slot_bytes")
         require(
             self.transport in TRANSPORTS,
             f"transport must be one of {TRANSPORTS}, got {self.transport!r}",
@@ -179,7 +191,16 @@ class Cluster:
                 else:
                     channels.append(SimulatedChannel(f"p{p}/r{r}"))
             replica_sets.append(ReplicaSet(p, replicas, channels))
-        if config.transport == "process":
+        if config.transport == "shm":
+            broker = Broker(
+                transport=SharedMemoryTransport(
+                    replica_sets,
+                    start_method=config.worker_start_method,
+                    slots=config.shm_slots,
+                    slot_bytes=config.shm_slot_bytes,
+                )
+            )
+        elif config.transport == "process":
             broker = Broker(
                 transport=WorkerProcessTransport(
                     replica_sets, start_method=config.worker_start_method

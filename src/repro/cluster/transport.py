@@ -20,6 +20,15 @@ pluggable:
   chew in parallel, and multiple batches may be submitted before the first
   gather (pipelining — the parent encodes batch *i+1* while the workers
   process batch *i*).
+* :class:`SharedMemoryTransport` — same worker fleet, but batches and
+  grouped replies cross as *slab frames*: flat columns written once into
+  per-worker ``multiprocessing.shared_memory`` ring buffers
+  (:mod:`repro.cluster.shm`) and decoded as zero-copy views on the other
+  side — no pickling, no pipe write, no second copy.  Control messages
+  and any frame too large for a ring slot fall back to the pickle wire
+  behind an in-ring marker, so the ring stays the sole ordering channel
+  and oversized bursts degrade instead of failing (the fallback rate is
+  counted in ``wire_stats()``).
 
 Both transports speak the same tiny protocol: submit/gather for event
 batches, plus health / prune / audience control messages, plus graceful
@@ -37,18 +46,36 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
+from repro.cluster.shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    RingPair,
+    TornFrameError,
+    shm_available,
+    sweep_segments,
+)
 from repro.core.batch import EventBatch
 from repro.core.events import EdgeEvent
 from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.core.wire import (
+    FRAME_EVENT_BATCH,
+    FRAME_LOST,
+    FRAME_PICKLE,
     decode_event_batch,
     decode_grouped,
     encode_event_batch,
     encode_grouped,
+    event_batch_from_frame,
+    frame_event_batch,
+    frame_grouped,
+    grouped_payload_from_frame,
+    read_frame,
+    write_frame,
 )
 from repro.util.procpool import (
     WorkerHandle,
     default_start_method,
+    poll_queue,
     receive_reply,
     spawn_worker,
     stop_workers,
@@ -67,11 +94,12 @@ __all__ = [
     "PartitionHealthSnapshot",
     "InProcessTransport",
     "WorkerProcessTransport",
+    "SharedMemoryTransport",
     "default_start_method",
 ]
 
 #: Transport names accepted by ClusterConfig / the CLI.
-TRANSPORTS = ("inprocess", "process")
+TRANSPORTS = ("inprocess", "process", "shm")
 
 
 @dataclass(frozen=True)
@@ -336,6 +364,39 @@ class InProcessTransport:
 # ----------------------------------------------------------------------
 
 
+def _control_reply(replica_set, message: tuple) -> tuple | None:
+    """One non-batch message's reply tuple, or None for a stop message.
+
+    Shared by the queue and shm worker loops — control semantics must
+    not fork between wires.
+    """
+    from repro.cluster.replica import AllReplicasDown
+
+    kind = message[0]
+    if kind == "event":
+        try:
+            local, latency = replica_set.ingest(message[1], message[2])
+        except AllReplicasDown:
+            return ("lost", None, 0.0)
+        return ("ok", local, latency)
+    if kind == "audience":
+        try:
+            audience, latency = replica_set.query_audience(
+                message[1], message[2]
+            )
+        except AllReplicasDown:
+            return ("lost", None, 0.0)
+        return ("ok", audience, latency)
+    if kind == "health":
+        return ("ok", _replica_set_health(replica_set), 0.0)
+    if kind == "prune":
+        removed = sum(
+            replica.prune(message[1]) for replica in replica_set.replicas
+        )
+        return ("ok", removed, 0.0)
+    return None  # stop
+
+
 def _partition_worker_main(replica_set, requests, replies) -> None:
     """One partition worker: drain requests until a stop message.
 
@@ -348,8 +409,7 @@ def _partition_worker_main(replica_set, requests, replies) -> None:
 
     while True:
         message = requests.get()
-        kind = message[0]
-        if kind == "batch":
+        if message[0] == "batch":
             batch = decode_event_batch(message[1])
             try:
                 grouped, latency = replica_set.ingest_batch(batch, message[2])
@@ -357,32 +417,97 @@ def _partition_worker_main(replica_set, requests, replies) -> None:
                 replies.put(("lost", None, 0.0))
                 continue
             replies.put(("ok", encode_grouped(grouped), latency))
-        elif kind == "event":
-            try:
-                local, latency = replica_set.ingest(message[1], message[2])
-            except AllReplicasDown:
-                replies.put(("lost", None, 0.0))
-                continue
-            replies.put(("ok", local, latency))
-        elif kind == "audience":
-            try:
-                audience, latency = replica_set.query_audience(
-                    message[1], message[2]
-                )
-            except AllReplicasDown:
-                replies.put(("lost", None, 0.0))
-                continue
-            replies.put(("ok", audience, latency))
-        elif kind == "health":
-            replies.put(("ok", _replica_set_health(replica_set), 0.0))
-        elif kind == "prune":
-            removed = sum(
-                replica.prune(message[1]) for replica in replica_set.replicas
-            )
-            replies.put(("ok", removed, 0.0))
-        elif kind == "stop":
+            continue
+        reply = _control_reply(replica_set, message)
+        if reply is None:
             replies.put(("ok", None, 0.0))
             return
+        replies.put(reply)
+
+
+def _shm_partition_worker_main(state, requests, replies) -> None:
+    """One shm partition worker: frames in, frames out.
+
+    Requests decode as **zero-copy views of the request slot** — safe
+    because every index copies on insert and the detector emits fresh
+    arrays, so nothing retains the slab bytes past ``ingest_batch`` —
+    and the slot is released immediately after.  Replies encode straight
+    into a reply slot; a reply too large for the slot travels the pickle
+    wire behind a ``FRAME_PICKLE`` marker instead.  The same marker
+    carries control messages and request batches that overflowed their
+    slot parent-side.  A ``None`` from a ring wait means the parent
+    died: exit quietly (daemon semantics).
+    """
+    from repro.cluster.replica import AllReplicasDown
+
+    replica_set, spec = state
+    wire = RingPair.attach(spec)
+    parent_alive = multiprocessing.parent_process().is_alive
+
+    def ingest(batch, now):
+        try:
+            return replica_set.ingest_batch(batch, now)
+        except AllReplicasDown:
+            return None, 0.0
+
+    def reply_grouped(grouped, latency) -> bool:
+        """Frame one batch reply into the reply ring; False = parent died.
+
+        Slab views stay local to this frame, so nothing pins the mmap
+        once it returns.
+        """
+        reply_mem = wire.reply.acquire_slot(is_peer_alive=parent_alive)
+        if reply_mem is None:
+            return False
+        if grouped is None:
+            wire.reply.commit_slot(write_frame(reply_mem, FRAME_LOST))
+            return True
+        payload = encode_grouped(grouped)
+        nbytes = frame_grouped(reply_mem, payload, latency)
+        if nbytes is None:  # slot overflow: pickle fallback
+            replies.put(("ok", payload, latency))
+            nbytes = write_frame(reply_mem, FRAME_PICKLE)
+        wire.reply.commit_slot(nbytes)
+        return True
+
+    try:
+        while True:
+            mem = wire.request.acquire_frame(is_peer_alive=parent_alive)
+            if mem is None:
+                return
+            kind, cols, _blobs, now, _latency, _aux = read_frame(mem)
+            if kind == FRAME_EVENT_BATCH:
+                batch = event_batch_from_frame(cols)
+                grouped, latency = ingest(batch, now)
+                del batch, cols, mem  # no slab views may survive release
+                wire.request.release_frame()
+                if not reply_grouped(grouped, latency):
+                    return
+                continue
+            # FRAME_PICKLE marker: the actual message is on the queue.
+            del cols, mem
+            wire.request.release_frame()
+            message = poll_queue(requests, parent_alive)
+            if message is None:
+                return
+            if message[0] == "batch":  # request-side slot overflow
+                grouped, latency = ingest(
+                    decode_event_batch(message[1]), message[2]
+                )
+                if not reply_grouped(grouped, latency):
+                    return
+                continue
+            reply = _control_reply(replica_set, message)
+            if reply is None:
+                return  # stop: exit without a reply (close never gathers)
+            replies.put(reply)
+            reply_mem = wire.reply.acquire_slot(is_peer_alive=parent_alive)
+            if reply_mem is None:
+                return
+            wire.reply.commit_slot(write_frame(reply_mem, FRAME_PICKLE))
+            del reply_mem
+    finally:
+        wire.close()
 
 
 class WorkerProcessTransport:
@@ -422,6 +547,9 @@ class WorkerProcessTransport:
         #: FIFO of outstanding submits: one {partition_id -> submitted} plus
         #: the batch kind, matched positionally by the gathers.
         self._outstanding: deque[tuple[str, dict[int, bool]]] = deque()
+        self._spawn_workers(context, replica_sets)
+
+    def _spawn_workers(self, context, replica_sets: "list[ReplicaSet]") -> None:
         for replica_set in replica_sets:
             # spawn_worker hands the replica set over in a one-shot holder
             # the parent clears right after start(): holding P full D
@@ -457,9 +585,13 @@ class WorkerProcessTransport:
                 worker.dead = True
                 submitted[worker.key] = False
                 continue
-            worker.requests.put(message)
-            submitted[worker.key] = True
+            submitted[worker.key] = self._post(worker, message)
         self._outstanding.append((kind, submitted))
+
+    def _post(self, worker: WorkerHandle, message: tuple) -> bool:
+        """Deliver one message to a live worker; False if it died instead."""
+        worker.requests.put(message)
+        return True
 
     def _gather(self, kind: str) -> list[tuple[int, tuple | None]]:
         require(len(self._outstanding) > 0, "gather without a submit")
@@ -473,8 +605,12 @@ class WorkerProcessTransport:
             if not submitted.get(worker.key, False):
                 out.append((worker.key, None))
                 continue
-            out.append((worker.key, receive_reply(worker)))
+            out.append((worker.key, self._receive(worker, kind)))
         return out
+
+    def _receive(self, worker: WorkerHandle, kind: str) -> tuple | None:
+        """One reply tuple from *worker*, or None once it is known dead."""
+        return receive_reply(worker)
 
     # ------------------------------------------------------------------
     # Batch lane
@@ -558,8 +694,7 @@ class WorkerProcessTransport:
                 removed += raw[1]
         return removed
 
-    @staticmethod
-    def _queue_depth(worker: WorkerHandle) -> int:
+    def _queue_depth(self, worker: WorkerHandle) -> int:
         try:
             return worker.requests.qsize()
         except NotImplementedError:  # macOS: qsize unsupported
@@ -606,3 +741,180 @@ class WorkerProcessTransport:
             self.close()
         except Exception:
             pass
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+
+
+class SharedMemoryTransport(WorkerProcessTransport):
+    """Worker-process partitions fed over shared-memory ring buffers.
+
+    Same fleet, protocol, and failure semantics as
+    :class:`WorkerProcessTransport`; only the wire differs.  Event
+    batches are written once, as flat columns, into each worker's
+    request ring (:mod:`repro.cluster.shm`) and decoded in the worker as
+    zero-copy views of the very same bytes; grouped replies come back
+    the same way.  Control messages — and any frame that overflows a
+    ring slot — fall back to the pickle wire, announced by an in-ring
+    marker so the ring remains the sole ordering channel.
+
+    Pipelining is *bounded by the ring capacity*: at most ``slots``
+    submits may be outstanding (deeper stacking would block the parent
+    on a full request ring while the worker blocks on a full reply ring
+    — a deadlock).  The default of 8 slots comfortably covers the
+    pipeline depths the driver uses; configure more for deeper stacks.
+
+    Every segment is created (owned) by the parent: ``close()`` unlinks
+    them all — including the slabs of workers that died mid-batch — and
+    the module's atexit sweep reclaims them even if the parent itself
+    crashes before closing.
+    """
+
+    def __init__(
+        self,
+        replica_sets: "list[ReplicaSet]",
+        start_method: str | None = None,
+        slots: int = DEFAULT_SLOTS,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+    ) -> None:
+        require(
+            shm_available(),
+            "shared memory is unavailable on this host (no /dev/shm?); "
+            "use transport='process' instead",
+        )
+        self._slots = slots
+        self._slot_bytes = slot_bytes
+        self._segment_names: list[str] = []
+        super().__init__(replica_sets, start_method)
+
+    def _spawn_workers(self, context, replica_sets: "list[ReplicaSet]") -> None:
+        for replica_set in replica_sets:
+            wire = RingPair.create(self._slots, self._slot_bytes)
+            self._segment_names += [wire.request.name, wire.reply.name]
+            try:
+                worker = spawn_worker(
+                    context,
+                    replica_set.partition_id,
+                    _shm_partition_worker_main,
+                    (replica_set, wire.spec),
+                    name=f"repro-partition-{replica_set.partition_id}",
+                )
+            except Exception:
+                wire.destroy()
+                raise
+            worker.wire = wire
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # Wire hooks
+    # ------------------------------------------------------------------
+
+    def _submit(self, kind: str, message: tuple) -> None:
+        require(
+            len(self._outstanding) < self._slots,
+            f"shm transport pipelining is bounded by its ring capacity "
+            f"({self._slots} slots); gather before submitting deeper, or "
+            f"configure more slots",
+        )
+        super()._submit(kind, message)
+
+    def _post(self, worker: WorkerHandle, message: tuple) -> bool:
+        wire = worker.wire
+        mem = wire.request.acquire_slot(is_peer_alive=worker.process.is_alive)
+        if mem is None:
+            worker.dead = True
+            return False
+        if message[0] == "batch":
+            nbytes = frame_event_batch(mem, message[1], message[2])
+            if nbytes is not None:
+                wire.request.commit_slot(nbytes)
+                wire.frames_shm += 1
+                return True
+            wire.frames_fallback += 1  # batch too large for a slot
+        else:
+            wire.control_pickle += 1
+        # Pickle lane: queue payload first, then the ring marker, so a
+        # consumed marker's payload is guaranteed to be in flight.
+        worker.requests.put(message)
+        wire.request.commit_slot(write_frame(mem, FRAME_PICKLE))
+        return True
+
+    def _receive(self, worker: WorkerHandle, kind: str) -> tuple | None:
+        wire = worker.wire
+        try:
+            mem = wire.reply.acquire_frame(
+                is_peer_alive=worker.process.is_alive
+            )
+        except TornFrameError:  # died mid-commit: the frame is garbage
+            worker.dead = True
+            return None
+        if mem is None:
+            worker.dead = True
+            return None
+        frame_kind, cols, blobs, _now, latency, _aux = read_frame(
+            mem, copy=True
+        )
+        wire.reply.release_frame()
+        if frame_kind == FRAME_PICKLE:
+            if kind == "batch":  # reply-side slot overflow
+                wire.frames_fallback += 1
+            return receive_reply(worker)
+        if frame_kind == FRAME_LOST:
+            return ("lost", None, 0.0)
+        wire.frames_shm += 1
+        return ("ok", grouped_payload_from_frame(cols, blobs), latency)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _queue_depth(self, worker: WorkerHandle) -> int:
+        if self._closed or worker.dead:
+            return 0
+        return worker.wire.request.occupancy()
+
+    def wire_stats(self) -> dict[str, float]:
+        """Wire telemetry: frame/fallback counters and slab occupancy.
+
+        ``fallback_rate`` is the fraction of *batch* payloads (either
+        direction) that overflowed a ring slot and took the pickle wire
+        — the knob to watch when sizing ``slot_bytes``.  Control
+        messages always take the pickle wire and are counted separately.
+        """
+        frames = sum(w.wire.frames_shm for w in self._workers)
+        fallbacks = sum(w.wire.frames_fallback for w in self._workers)
+        control = sum(w.wire.control_pickle for w in self._workers)
+        total = frames + fallbacks
+        occupancy = 0
+        if not self._closed:
+            occupancy = sum(
+                w.wire.request.occupancy() + w.wire.reply.occupancy()
+                for w in self._workers
+                if not w.dead
+            )
+        return {
+            "frames_shm": float(frames),
+            "frames_fallback": float(fallbacks),
+            "control_pickle": float(control),
+            "fallback_rate": (fallbacks / total) if total else 0.0,
+            "slab_slots": float(2 * self._slots * len(self._workers)),
+            "slab_occupancy": float(occupancy),
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers, then reclaim every owned segment (idempotent).
+
+        ``stop_workers`` destroys each worker's rings after its join —
+        dead workers included — and the explicit sweep is the backstop
+        for segments whose worker never spawned.
+        """
+        if self._closed:
+            return
+        super().close()
+        sweep_segments(self._segment_names)

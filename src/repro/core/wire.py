@@ -21,6 +21,17 @@ flat columns.
 The codecs are intentionally dumb tuples (pickled by the queue machinery):
 no versioning, no schema negotiation — both endpoints are the same build
 of this package inside one process tree.
+
+The second half of this module is the *slab frame* codec used by the
+shared-memory transports (:mod:`repro.cluster.shm`): the same flat
+columns, but written directly into a shm ring slot instead of pickled.
+A frame is a 32-byte header (kind, column/blob counts, optional ``now``
+timestamp, latency, one integer ``aux``), a column descriptor table
+(dtype code + length each), a blob-length table, the blob bytes, then
+each column's raw bytes 8-aligned.  ``read_frame(..., copy=False)``
+returns columns as **zero-copy views of the slot itself** — valid only
+until the ring slot is released — while ``copy=True`` performs one bulk
+memcpy and then slices views of the private copy.
 """
 
 from __future__ import annotations
@@ -188,3 +199,411 @@ def decode_grouped(payload: tuple) -> list[RecommendationBatch]:
             out.append(RecommendationBatch(groups[offset:offset + count]))
         offset += count
     return out
+
+
+# ----------------------------------------------------------------------
+# Slab frames (shared-memory ring slots)
+# ----------------------------------------------------------------------
+
+#: Frame kinds.  0 is deliberately invalid: a zeroed slot can never be
+#: mistaken for a committed frame.
+FRAME_PICKLE = 1  #: marker: the real payload follows on the mp queue
+FRAME_EVENT_BATCH = 2  #: request: one columnar EventBatch (+ now)
+FRAME_GROUPED = 3  #: reply: a partition's grouped batch answer
+FRAME_LOST = 4  #: reply: the partition lost the batch (all replicas down)
+FRAME_REC_BATCH = 5  #: request: one RecommendationBatch group table (+ now)
+FRAME_NOTIFICATIONS = 6  #: reply: delivered notifications + funnel stats
+
+#: Every dtype a frame column may carry; a column's descriptor stores its
+#: index here.  Order is wire format — append only.
+_FRAME_DTYPES = (np.int64, np.float64, np.uint8, np.uint16, np.uint64)
+_FRAME_DTYPE_CODES = {np.dtype(d): i for i, d in enumerate(_FRAME_DTYPES)}
+
+_FRAME_HEADER_BYTES = 32
+_COL_DESC_BYTES = 16
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _pack_strings(strings) -> bytes:
+    """Interned-string table as one blob (no string may be empty)."""
+    return "\x00".join(strings).encode("utf-8")
+
+
+def _unpack_strings(blob: bytes) -> list[str]:
+    if not blob:
+        return []
+    return blob.decode("utf-8").split("\x00")
+
+
+def write_frame(
+    mem: np.ndarray,
+    kind: int,
+    cols: tuple = (),
+    blobs: tuple = (),
+    now: float | None = None,
+    latency: float = 0.0,
+    aux: int = 0,
+) -> int | None:
+    """Encode one frame into *mem* (a ``uint8`` slot view).
+
+    Returns the frame's byte length, or **None when the frame does not
+    fit** — the caller then falls back to the pickle wire (a
+    ``FRAME_PICKLE`` marker always fits: it is header-only).  Nothing is
+    written on overflow.
+    """
+    ncols, nblobs = len(cols), len(blobs)
+    tables = _FRAME_HEADER_BYTES + _COL_DESC_BYTES * ncols + 8 * nblobs
+    offset = tables
+    for blob in blobs:
+        offset += len(blob)
+    offset = _align8(offset)
+    col_offsets = []
+    for col in cols:
+        col_offsets.append(offset)
+        offset = _align8(offset + col.nbytes)
+    if offset > len(mem):
+        return None
+    mem[0] = kind
+    mem[1] = ncols
+    mem[2] = nblobs
+    mem[3] = 0 if now is None else 1
+    mem[8:16].view(np.float64)[0] = 0.0 if now is None else now
+    mem[16:24].view(np.float64)[0] = latency
+    mem[24:32].view(np.int64)[0] = aux
+    for i, col in enumerate(cols):
+        base = _FRAME_HEADER_BYTES + _COL_DESC_BYTES * i
+        mem[base] = _FRAME_DTYPE_CODES[col.dtype]
+        mem[base + 8:base + 16].view(np.int64)[0] = len(col)
+    lengths_base = _FRAME_HEADER_BYTES + _COL_DESC_BYTES * ncols
+    blob_offset = tables
+    for j, blob in enumerate(blobs):
+        mem[lengths_base + 8 * j:lengths_base + 8 * (j + 1)].view(
+            np.int64
+        )[0] = len(blob)
+        if blob:
+            mem[blob_offset:blob_offset + len(blob)] = np.frombuffer(
+                blob, np.uint8
+            )
+        blob_offset += len(blob)
+    for col, col_offset in zip(cols, col_offsets):
+        if len(col):
+            mem[col_offset:col_offset + col.nbytes].view(col.dtype)[:] = col
+    return offset
+
+
+def read_frame(
+    mem: np.ndarray, copy: bool = False
+) -> tuple[int, list[np.ndarray], list[bytes], float | None, float, int]:
+    """Decode one frame: ``(kind, cols, blobs, now, latency, aux)``.
+
+    With ``copy=False`` the columns are views **into the slot** — they
+    (and everything built zero-copy on top) die when the ring slot is
+    released.  ``copy=True`` does one bulk memcpy of the frame first, so
+    the returned columns own their storage.
+    """
+    if copy:
+        mem = mem.copy()
+    kind = int(mem[0])
+    ncols = int(mem[1])
+    nblobs = int(mem[2])
+    now = float(mem[8:16].view(np.float64)[0]) if mem[3] & 1 else None
+    latency = float(mem[16:24].view(np.float64)[0])
+    aux = int(mem[24:32].view(np.int64)[0])
+    descriptors = []
+    for i in range(ncols):
+        base = _FRAME_HEADER_BYTES + _COL_DESC_BYTES * i
+        descriptors.append(
+            (
+                _FRAME_DTYPES[int(mem[base])],
+                int(mem[base + 8:base + 16].view(np.int64)[0]),
+            )
+        )
+    lengths_base = _FRAME_HEADER_BYTES + _COL_DESC_BYTES * ncols
+    offset = lengths_base + 8 * nblobs
+    blobs = []
+    for j in range(nblobs):
+        blob_len = int(
+            mem[lengths_base + 8 * j:lengths_base + 8 * (j + 1)].view(
+                np.int64
+            )[0]
+        )
+        blobs.append(mem[offset:offset + blob_len].tobytes())
+        offset += blob_len
+    offset = _align8(offset)
+    cols = []
+    for dtype, length in descriptors:
+        nbytes = length * np.dtype(dtype).itemsize
+        cols.append(mem[offset:offset + nbytes].view(dtype))
+        offset = _align8(offset + nbytes)
+    return kind, cols, blobs, now, latency, aux
+
+
+# --- typed frames over the generic codec -------------------------------
+
+
+def frame_event_batch(
+    mem: np.ndarray, payload: EventBatchWire, now: float | None
+) -> int | None:
+    """An encoded event batch as a request frame (None on overflow)."""
+    return write_frame(mem, FRAME_EVENT_BATCH, cols=payload, now=now)
+
+
+def event_batch_from_frame(cols: list[np.ndarray]) -> EventBatch:
+    """Re-wrap frame columns as an :class:`EventBatch` (no copy)."""
+    return decode_event_batch(tuple(cols))
+
+
+def frame_grouped(mem: np.ndarray, payload: tuple, latency: float) -> int | None:
+    """An :func:`encode_grouped` reply as a frame (None on overflow)."""
+    counts, table = payload
+    (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        motif_names,
+        via_sizes,
+        via_values,
+    ) = table
+    return write_frame(
+        mem,
+        FRAME_GROUPED,
+        cols=(
+            counts,
+            sizes,
+            recipients,
+            candidates,
+            created_at,
+            action_codes,
+            motif_codes,
+            via_sizes,
+            via_values,
+        ),
+        blobs=(_pack_strings(motif_names),),
+        latency=latency,
+    )
+
+
+def grouped_payload_from_frame(
+    cols: list[np.ndarray], blobs: list[bytes]
+) -> tuple:
+    """Invert :func:`frame_grouped` back to an :func:`encode_grouped` tuple."""
+    (
+        counts,
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        via_sizes,
+        via_values,
+    ) = cols
+    table = (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        _unpack_strings(blobs[0]),
+        via_sizes,
+        via_values,
+    )
+    return (counts, table)
+
+
+def frame_recommendation_batch(
+    mem: np.ndarray, payload: GroupTableWire, now: float
+) -> int | None:
+    """An encoded recommendation batch as a request frame."""
+    (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        motif_names,
+        via_sizes,
+        via_values,
+    ) = payload
+    return write_frame(
+        mem,
+        FRAME_REC_BATCH,
+        cols=(
+            sizes,
+            recipients,
+            candidates,
+            created_at,
+            action_codes,
+            motif_codes,
+            via_sizes,
+            via_values,
+        ),
+        blobs=(_pack_strings(motif_names),),
+        now=now,
+    )
+
+
+def recommendation_batch_from_frame(
+    cols: list[np.ndarray], blobs: list[bytes]
+) -> RecommendationBatch:
+    """Invert :func:`frame_recommendation_batch`."""
+    (
+        sizes,
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        via_sizes,
+        via_values,
+    ) = cols
+    return decode_recommendation_batch(
+        (
+            sizes,
+            recipients,
+            candidates,
+            created_at,
+            action_codes,
+            motif_codes,
+            _unpack_strings(blobs[0]),
+            via_sizes,
+            via_values,
+        )
+    )
+
+
+def frame_notifications(
+    mem: np.ndarray,
+    notifications: list,
+    stats: tuple[dict[str, int], int],
+    delivered_at: float,
+) -> int | None:
+    """Delivered push notifications + piggybacked funnel stats as a frame.
+
+    Every notification in one ``offer_batch`` reply shares its delivery
+    time (the funnel's ``now``), so ``delivered_at`` rides in the header
+    rather than a column.  ``stats`` is the shard's
+    ``(funnel stages, delivered_total)`` pair; the stage table travels as
+    an interned key blob plus an ``int64`` count column, and
+    ``delivered_total`` as the header's ``aux``.
+    """
+    stages, delivered_total = stats
+    n = len(notifications)
+    recipients = np.fromiter(
+        (p.recommendation.recipient for p in notifications), np.int64, n
+    )
+    candidates = np.fromiter(
+        (p.recommendation.candidate for p in notifications), np.int64, n
+    )
+    created_at = np.fromiter(
+        (p.recommendation.created_at for p in notifications), np.float64, n
+    )
+    action_codes = np.fromiter(
+        (ACTION_CODES[p.recommendation.action] for p in notifications),
+        np.uint8,
+        n,
+    )
+    motif_names: list[str] = []
+    motif_index: dict[str, int] = {}
+    motif_codes = np.empty(n, np.uint16)
+    via_sizes = np.empty(n, np.int64)
+    via_parts: list[tuple] = []
+    for i, notification in enumerate(notifications):
+        rec = notification.recommendation
+        code = motif_index.get(rec.motif)
+        if code is None:
+            code = motif_index[rec.motif] = len(motif_names)
+            motif_names.append(rec.motif)
+        motif_codes[i] = code
+        via_sizes[i] = len(rec.via)
+        if rec.via:
+            via_parts.append(rec.via)
+    via_values = (
+        np.fromiter(
+            (v for via in via_parts for v in via),
+            np.int64,
+            int(via_sizes.sum()),
+        )
+        if via_parts
+        else _EMPTY_INT64
+    )
+    stage_counts = np.fromiter(stages.values(), np.int64, len(stages))
+    return write_frame(
+        mem,
+        FRAME_NOTIFICATIONS,
+        cols=(
+            recipients,
+            candidates,
+            created_at,
+            action_codes,
+            motif_codes,
+            via_sizes,
+            via_values,
+            stage_counts,
+        ),
+        blobs=(
+            _pack_strings(motif_names),
+            _pack_strings(list(stages.keys())),
+        ),
+        now=delivered_at,
+        aux=delivered_total,
+    )
+
+
+def notifications_from_frame(
+    cols: list[np.ndarray],
+    blobs: list[bytes],
+    delivered_at: float,
+    delivered_total: int,
+) -> tuple[list, tuple[dict[str, int], int]]:
+    """Invert :func:`frame_notifications`: boxed survivors + shard stats."""
+    from repro.core.recommendation import Recommendation
+    from repro.delivery.notifier import PushNotification
+
+    (
+        recipients,
+        candidates,
+        created_at,
+        action_codes,
+        motif_codes,
+        via_sizes,
+        via_values,
+        stage_counts,
+    ) = cols
+    motif_names = _unpack_strings(blobs[0])
+    stage_keys = _unpack_strings(blobs[1])
+    notifications = []
+    via_offset = 0
+    via_list = via_values.tolist()
+    for recipient, candidate, created, action_code, motif_code, via_size in zip(
+        recipients.tolist(),
+        candidates.tolist(),
+        created_at.tolist(),
+        action_codes.tolist(),
+        motif_codes.tolist(),
+        via_sizes.tolist(),
+    ):
+        notifications.append(
+            PushNotification(
+                Recommendation(
+                    recipient=recipient,
+                    candidate=candidate,
+                    created_at=created,
+                    motif=motif_names[motif_code],
+                    action=ACTIONS[action_code],
+                    via=tuple(via_list[via_offset:via_offset + via_size]),
+                ),
+                delivered_at=delivered_at,
+            )
+        )
+        via_offset += via_size
+    stats = (dict(zip(stage_keys, stage_counts.tolist())), delivered_total)
+    return notifications, stats

@@ -17,8 +17,9 @@ The buffer is *columnar*: offers accumulate as flat numpy columns
 :class:`~repro.core.recommendation.RecommendationGroup` on the batched
 path, so a viral trigger's whole audience lands as one array reference —
 and :meth:`~TopKPerUserBuffer.flush` computes every user's top-k with a
-handful of vectorized passes (lexsort over recipient-grouped segments),
-boxing only the flushed winners.  Semantics are identical to the
+handful of vectorized passes (lexsort over recipient-grouped segments,
+with a per-segment argpartition pre-cut once the buffer outgrows
+:data:`PRECUT_THRESHOLD`), boxing only the flushed winners.  Semantics are identical to the
 per-candidate reference path (``tests/test_delivery_scoring.py`` enforces
 winners, tie-breaking, and flush order with Hypothesis).
 
@@ -46,6 +47,13 @@ from repro.util.validation import require_positive
 #: A buffered run of individually-offered (already boxed) candidates, or
 #: one columnar detection group — the two chunk shapes the buffer holds.
 _Chunk = RecommendationGroup | list
+
+#: Buffers below this many deduped rows flush with the pure ranking
+#: lexsort; at or above it each recipient segment is first cut down to
+#: its top-k score range with an O(n) introselect, so the O(n log n)
+#: sort only sees potential winners (crossover measured by the E17c
+#: record in docs/BENCHMARKS.md).
+PRECUT_THRESHOLD = 4096
 
 
 def decayed_scores(
@@ -101,12 +109,24 @@ class TopKPerUserBuffer:
     :meth:`flush`, vectorized over the accumulated columns.
     """
 
-    def __init__(self, k: int = 2, half_life: float = 1_800.0) -> None:
-        """Create a buffer releasing at most *k* candidates per user."""
+    def __init__(
+        self,
+        k: int = 2,
+        half_life: float = 1_800.0,
+        precut_threshold: int = PRECUT_THRESHOLD,
+    ) -> None:
+        """Create a buffer releasing at most *k* candidates per user.
+
+        *precut_threshold* is the deduped-row count at which flush
+        switches from the pure ranking lexsort to the per-recipient
+        argpartition pre-cut (see :data:`PRECUT_THRESHOLD`).
+        """
         require_positive(k, "k")
         require_positive(half_life, "half_life")
+        require_positive(precut_threshold, "precut_threshold")
         self.k = k
         self.half_life = half_life
+        self.precut_threshold = precut_threshold
         #: Offer-ordered chunks: RecommendationGroup | list[Recommendation].
         self._chunks: list[_Chunk] = []
         self._buffered = 0
@@ -214,6 +234,35 @@ class TopKPerUserBuffer:
             starts,
         )
 
+    def _precut(
+        self, recipients: np.ndarray, scores: np.ndarray
+    ) -> np.ndarray | None:
+        """Indices surviving the per-recipient argpartition pre-cut.
+
+        ``recipients`` arrives recipient-sorted (from :meth:`_kept_rows`),
+        so each recipient's rows form one contiguous segment.  Segments
+        larger than *k* are cut to the rows scoring at least the
+        segment's k-th best — *including* every boundary tie, so the
+        ranking lexsort's (-score, candidate) tie-break still sees every
+        row that could place in the top k and returns exactly the uncut
+        sort's winners.  Returns ``None`` below :attr:`precut_threshold`,
+        where one lexsort is cheaper than the extra pass.
+        """
+        if len(recipients) < self.precut_threshold:
+            return None
+        seg_first = np.r_[True, recipients[1:] != recipients[:-1]]
+        bounds = np.r_[np.flatnonzero(seg_first), len(recipients)]
+        keep = np.ones(len(recipients), dtype=bool)
+        k = self.k
+        for start, stop in zip(bounds[:-1].tolist(), bounds[1:].tolist()):
+            size = stop - start
+            if size <= k:
+                continue
+            segment = scores[start:stop]
+            kth_best = np.partition(segment, size - k)[size - k]
+            keep[start:stop] = segment >= kth_best
+        return np.flatnonzero(keep)
+
     def pending(self) -> int:
         """Distinct (recipient, candidate) pairs currently buffered."""
         if not self._buffered:
@@ -236,6 +285,12 @@ class TopKPerUserBuffer:
             self._kept_rows()
         )
         scores = decayed_scores(kept_witnesses, kept_created, now, self.half_life)
+        survivors = self._precut(kept_recipients, scores)
+        if survivors is not None:
+            kept = kept[survivors]
+            kept_recipients = kept_recipients[survivors]
+            kept_candidates = kept_candidates[survivors]
+            scores = scores[survivors]
         ranking = np.lexsort((kept_candidates, -scores, kept_recipients))
         ranked_recipients = kept_recipients[ranking]
         run_first = np.r_[True, ranked_recipients[1:] != ranked_recipients[:-1]]

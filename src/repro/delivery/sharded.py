@@ -17,7 +17,7 @@ per-stage funnel counts are identical; only the delivery interleaving
 across shards differs (shard-major instead of batch order).
 ``tests/test_delivery_sharded.py`` enforces that contract.
 
-Two transports, mirroring the cluster side:
+Three transports, mirroring the cluster side:
 
 * ``transport="inprocess"`` — shards run sequentially in this process
   (useful for state isolation and as the semantic oracle);
@@ -25,7 +25,12 @@ Two transports, mirroring the cluster side:
   columnar wire format (:mod:`repro.core.wire`); the fan-out is submitted
   to every shard before any result is gathered, so shards genuinely run
   concurrently.  Only surviving notifications cross back (the paper's
-  millions, never the billions).
+  millions, never the billions);
+* ``transport="shm"`` — the same shard workers fed over zero-copy
+  shared-memory ring buffers (:mod:`repro.cluster.shm`): recommendation
+  batches go out — and surviving notifications plus piggybacked funnel
+  stats come back — as slab frames instead of pickles, with automatic
+  pickle fallback when a frame overflows a ring slot.
 """
 
 from __future__ import annotations
@@ -35,14 +40,30 @@ from typing import Callable
 
 import numpy as np
 
+from repro.cluster.shm import (
+    DEFAULT_SLOT_BYTES,
+    DEFAULT_SLOTS,
+    RingPair,
+    TornFrameError,
+    shm_available,
+    sweep_segments,
+)
 from repro.core.recommendation import (
     EMPTY_RECOMMENDATION_BATCH,
     Recommendation,
     RecommendationBatch,
 )
 from repro.core.wire import (
+    FRAME_PICKLE,
+    FRAME_REC_BATCH,
     decode_recommendation_batch,
     encode_recommendation_batch,
+    frame_notifications,
+    frame_recommendation_batch,
+    notifications_from_frame,
+    read_frame,
+    recommendation_batch_from_frame,
+    write_frame,
 )
 from repro.delivery.notifier import PushNotification
 from repro.delivery.pipeline import DeliveryPipeline
@@ -50,6 +71,7 @@ from repro.util.hashing import splitmix64, splitmix64_array
 from repro.util.procpool import (
     WorkerHandle,
     default_start_method,
+    poll_queue,
     receive_reply,
     spawn_worker,
     stop_workers,
@@ -57,7 +79,7 @@ from repro.util.procpool import (
 from repro.util.validation import require, require_positive
 
 #: Delivery transports (the cluster-side names, same meaning).
-DELIVERY_TRANSPORTS = ("inprocess", "process")
+DELIVERY_TRANSPORTS = ("inprocess", "process", "shm")
 
 #: Builds one shard's funnel; receives the shard index.
 PipelineFactory = Callable[[int], DeliveryPipeline]
@@ -129,6 +151,80 @@ def _delivery_worker_main(pipeline, requests, replies) -> None:
             return
 
 
+def _shm_delivery_worker_main(state, requests, replies) -> None:
+    """One shm delivery shard worker: slab frames in both directions.
+
+    Recommendation batches arrive as ``FRAME_REC_BATCH`` frames (decoded
+    with one bulk copy — funnel stages may retain batch columns, so the
+    slot can't be lent out zero-copy the way partition ingest can);
+    surviving notifications plus piggybacked funnel stats go back as
+    ``FRAME_NOTIFICATIONS`` frames.  Either direction falls back to the
+    pickle wire behind a marker when a frame overflows its slot.
+    """
+    pipeline, spec = state
+    wire = RingPair.attach(spec)
+    parent_alive = multiprocessing.parent_process().is_alive
+
+    def stats() -> tuple[dict[str, int], int]:
+        return (dict(pipeline.funnel.stages), pipeline.notifier.delivered_total)
+
+    def reply_batch(batch: RecommendationBatch, now: float) -> bool:
+        delivered = pipeline.offer_batch(batch, now)
+        reply_mem = wire.reply.acquire_slot(is_peer_alive=parent_alive)
+        if reply_mem is None:
+            return False
+        nbytes = frame_notifications(reply_mem, delivered, stats(), now)
+        if nbytes is None:  # slot overflow: pickle fallback
+            replies.put(("ok", delivered, stats()))
+            nbytes = write_frame(reply_mem, FRAME_PICKLE)
+        wire.reply.commit_slot(nbytes)
+        return True
+
+    def reply_pickle(payload: tuple) -> bool:
+        replies.put(payload)
+        reply_mem = wire.reply.acquire_slot(is_peer_alive=parent_alive)
+        if reply_mem is None:
+            return False
+        wire.reply.commit_slot(write_frame(reply_mem, FRAME_PICKLE))
+        return True
+
+    try:
+        while True:
+            mem = wire.request.acquire_frame(is_peer_alive=parent_alive)
+            if mem is None:
+                return
+            kind, cols, blobs, now, _latency, _aux = read_frame(mem, copy=True)
+            del mem
+            wire.request.release_frame()
+            if kind == FRAME_REC_BATCH:
+                if not reply_batch(
+                    recommendation_batch_from_frame(cols, blobs), now
+                ):
+                    return
+                continue
+            message = poll_queue(requests, parent_alive)
+            if message is None:
+                return
+            mkind = message[0]
+            if mkind == "batch":  # request-side slot overflow
+                if not reply_batch(
+                    decode_recommendation_batch(message[1]), message[2]
+                ):
+                    return
+            elif mkind == "offer":
+                if not reply_pickle(
+                    ("ok", pipeline.offer(message[1], message[2]), stats())
+                ):
+                    return
+            elif mkind == "stats":
+                if not reply_pickle(("ok", stats())):
+                    return
+            elif mkind == "stop":
+                return
+    finally:
+        wire.close()
+
+
 class ShardedDeliveryPipeline:
     """Recipient-hash-sharded funnel, drop-in where a pipeline is consumed.
 
@@ -139,12 +235,17 @@ class ShardedDeliveryPipeline:
     Args:
         num_shards: independent funnel shards (>= 1).
         pipeline_factory: builds shard *i*'s funnel (a fresh production
-            trio per shard when omitted).  Under ``transport="process"``
+            trio per shard when omitted).  Under the worker transports
             with the ``spawn`` start method the factory's product must be
             picklable; under ``fork`` (the platform default where
             available) anything goes.
-        transport: ``"inprocess"`` (default) or ``"process"``.
+        transport: ``"inprocess"`` (default), ``"process"``, or
+            ``"shm"`` (worker shards fed over zero-copy shared-memory
+            rings; needs a working ``/dev/shm``).
         start_method: multiprocessing start method override.
+        shm_slots: ring slots per direction per shard (``"shm"`` only).
+        shm_slot_bytes: payload bytes per ring slot (``"shm"`` only);
+            frames that overflow fall back to the pickle wire.
     """
 
     def __init__(
@@ -153,12 +254,20 @@ class ShardedDeliveryPipeline:
         pipeline_factory: PipelineFactory | None = None,
         transport: str = "inprocess",
         start_method: str | None = None,
+        shm_slots: int = DEFAULT_SLOTS,
+        shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
     ) -> None:
         require_positive(num_shards, "num_shards")
         require(
             transport in DELIVERY_TRANSPORTS,
             f"transport must be one of {DELIVERY_TRANSPORTS}, got {transport!r}",
         )
+        if transport == "shm":
+            require(
+                shm_available(),
+                "shared memory is unavailable on this host (no /dev/shm?); "
+                "use transport='process' instead",
+            )
         factory = pipeline_factory or _default_pipeline_factory
         self.num_shards = num_shards
         self.transport = transport
@@ -170,6 +279,9 @@ class ShardedDeliveryPipeline:
         #: accumulated history in the aggregates instead of erasing it.
         self._stats_cache: dict[int, tuple[dict[str, int], int]] = {}
         self._closed = False
+        #: Owned shm segment names, swept again at close as the backstop
+        #: for workers that died without their wire being destroyed.
+        self._segment_names: list[str] = []
         if transport == "inprocess":
             self._pipelines: list[DeliveryPipeline] | None = [
                 factory(shard) for shard in range(num_shards)
@@ -185,15 +297,31 @@ class ShardedDeliveryPipeline:
             # spawn_worker hands the shard's funnel over in a one-shot
             # holder cleared right after start(): the parent must not
             # retain N funnels' worth of state it never reads.
-            self._workers.append(
-                spawn_worker(
+            if transport == "shm":
+                wire = RingPair.create(shm_slots, shm_slot_bytes)
+                spec = wire.spec
+                self._segment_names += [spec.request_name, spec.reply_name]
+                try:
+                    worker = spawn_worker(
+                        context,
+                        shard,
+                        _shm_delivery_worker_main,
+                        (factory(shard), wire.spec),
+                        name=f"repro-delivery-{shard}",
+                    )
+                except Exception:
+                    wire.destroy()
+                    raise
+                worker.wire = wire
+            else:
+                worker = spawn_worker(
                     context,
                     shard,
                     _delivery_worker_main,
                     factory(shard),
                     name=f"repro-delivery-{shard}",
                 )
-            )
+            self._workers.append(worker)
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -202,6 +330,84 @@ class ShardedDeliveryPipeline:
     def shard_of(self, recipient: int) -> int:
         """The shard owning *recipient* (stable splitmix64 hash)."""
         return splitmix64(recipient) % self.num_shards
+
+    # ------------------------------------------------------------------
+    # Wire plumbing (queue vs. shm ring, chosen per worker)
+    # ------------------------------------------------------------------
+
+    def _post_message(self, worker: WorkerHandle, message: tuple) -> bool:
+        """Send a control tuple (offer/stats) down a worker's wire."""
+        if worker.wire is None:
+            worker.requests.put(message)
+            return True
+        if worker.wire.post_control(
+            worker.requests,
+            message,
+            is_peer_alive=worker.process.is_alive,
+            timeout=None,
+        ):
+            return True
+        worker.dead = True
+        return False
+
+    def _post_batch(self, worker: WorkerHandle, payload, now: float) -> bool:
+        """Send an encoded recommendation batch (frame when it fits)."""
+        if worker.wire is None:
+            worker.requests.put(("batch", payload, now))
+            return True
+        wire = worker.wire
+        mem = wire.request.acquire_slot(is_peer_alive=worker.process.is_alive)
+        if mem is None:
+            worker.dead = True
+            return False
+        nbytes = frame_recommendation_batch(mem, payload, now)
+        if nbytes is not None:
+            wire.request.commit_slot(nbytes)
+            wire.frames_shm += 1
+            return True
+        wire.frames_fallback += 1  # batch too large for a slot
+        worker.requests.put(("batch", payload, now))
+        wire.request.commit_slot(write_frame(mem, FRAME_PICKLE))
+        return True
+
+    def _receive(self, worker: WorkerHandle) -> tuple | None:
+        """One reply tuple from a worker, or None once it is known dead."""
+        if worker.wire is None:
+            return receive_reply(worker)
+        wire = worker.wire
+        try:
+            mem = wire.reply.acquire_frame(
+                is_peer_alive=worker.process.is_alive
+            )
+        except TornFrameError:  # died mid-commit: the frame is garbage
+            worker.dead = True
+            return None
+        if mem is None:
+            worker.dead = True
+            return None
+        kind, cols, blobs, now, _latency, aux = read_frame(mem, copy=True)
+        wire.reply.release_frame()
+        if kind == FRAME_PICKLE:
+            return receive_reply(worker)
+        wire.frames_shm += 1
+        delivered, stats = notifications_from_frame(cols, blobs, now, aux)
+        return ("ok", delivered, stats)
+
+    def wire_stats(self) -> dict[str, float] | None:
+        """Frame/fallback counters summed over shards (shm only)."""
+        if self.transport != "shm":
+            return None
+        frames = sum(w.wire.frames_shm for w in self._workers)
+        fallbacks = sum(w.wire.frames_fallback for w in self._workers)
+        total = frames + fallbacks
+        return {
+            "frames_shm": float(frames),
+            "frames_fallback": float(fallbacks),
+            "control_pickle": float(
+                sum(w.wire.control_pickle for w in self._workers)
+            ),
+            "fallback_rate": (fallbacks / total) if total else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Funnel surface (what coalescer / topology call)
@@ -213,11 +419,10 @@ class ShardedDeliveryPipeline:
         if self._pipelines is not None:
             return self._pipelines[shard].offer(rec, now)
         worker = self._workers[shard]
-        if worker.dead:
+        if worker.dead or not self._post_message(worker, ("offer", rec, now)):
             self.notifications_lost_shards += 1
             return None
-        worker.requests.put(("offer", rec, now))
-        raw = receive_reply(worker)
+        raw = self._receive(worker)
         if raw is None:
             self.notifications_lost_shards += 1
             return None
@@ -259,13 +464,15 @@ class ShardedDeliveryPipeline:
                 worker.dead = True
                 self.notifications_lost_shards += len(shard_batch)
                 continue
-            worker.requests.put(
-                ("batch", encode_recommendation_batch(shard_batch), now)
-            )
+            if not self._post_batch(
+                worker, encode_recommendation_batch(shard_batch), now
+            ):
+                self.notifications_lost_shards += len(shard_batch)
+                continue
             submitted.append((worker, len(shard_batch)))
         delivered = []
         for worker, shard_candidates in submitted:
-            raw = receive_reply(worker)
+            raw = self._receive(worker)
             if raw is None:
                 # The loss ledger counts *candidates* in every path, so a
                 # mid-batch death charges the whole submitted slice.
@@ -311,8 +518,9 @@ class ShardedDeliveryPipeline:
                 # last reply's cached stats.
                 worker.dead = True
                 continue
-            worker.requests.put(("stats",))
-            raw = receive_reply(worker)
+            if not self._post_message(worker, ("stats",)):
+                continue
+            raw = self._receive(worker)
             if raw is not None:
                 self._stats_cache[worker.key] = raw[1]
         return list(self._stats_cache.values())
@@ -322,11 +530,16 @@ class ShardedDeliveryPipeline:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Stop, join, and reap shard workers (idempotent)."""
+        """Stop, join, and reap shard workers (idempotent).
+
+        ``stop_workers`` destroys each shard's rings after its join; the
+        explicit sweep backstops segments whose worker never spawned.
+        """
         if self._closed:
             return
         self._closed = True
         stop_workers(self._workers)
+        sweep_segments(self._segment_names)
 
     def __enter__(self) -> "ShardedDeliveryPipeline":
         return self

@@ -9,7 +9,11 @@ Polling goes through the cluster transport's ``health`` control message,
 so the same monitor watches in-process partitions *and* worker-hosted
 ones — for the latter it additionally surfaces worker liveness and the
 per-partition request-queue backlog (the admission controller's overload
-signal under real parallelism).
+signal under real parallelism).  Transports that expose ``wire_stats()``
+(the shared-memory transport) additionally feed slab-occupancy and
+pickle-fallback-rate gauges: a rising fallback rate means ring slots are
+undersized for the workload's bursts, and slab occupancy is the shm
+flavor of the backlog signal.
 """
 
 from __future__ import annotations
@@ -139,7 +143,21 @@ class ClusterMonitor:
                     backlog=snapshot.backlog,
                 )
             )
+        self._publish_wire_stats()
         return report
+
+    def _publish_wire_stats(self) -> None:
+        """Publish shm wire gauges when the transport exposes them."""
+        wire_stats = getattr(self.cluster.broker.transport, "wire_stats", None)
+        if not callable(wire_stats):
+            return
+        stats = wire_stats()
+        self.registry.gauge("shm_frames_shm").set(stats["frames_shm"])
+        self.registry.gauge("shm_frames_fallback").set(stats["frames_fallback"])
+        self.registry.gauge("shm_control_pickle").set(stats["control_pickle"])
+        self.registry.gauge("shm_fallback_rate").set(stats["fallback_rate"])
+        self.registry.gauge("shm_slab_slots").set(stats["slab_slots"])
+        self.registry.gauge("shm_slab_occupancy").set(stats["slab_occupancy"])
 
     def alerts(self) -> list[str]:
         """Human-readable alerts an operator would page on."""

@@ -51,7 +51,7 @@ def default_start_method() -> str:
 class WorkerHandle:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("key", "process", "requests", "replies", "dead")
+    __slots__ = ("key", "process", "requests", "replies", "dead", "wire")
 
     def __init__(self, key, process, requests, replies) -> None:
         #: Caller-chosen identity (partition id, shard index, ...).
@@ -61,6 +61,13 @@ class WorkerHandle:
         self.replies = replies
         #: Set once the worker is known dead; never unset (no retries).
         self.dead = False
+        #: Optional shared-memory ring pair (:class:`repro.cluster.shm
+        #: .RingPair`).  When set, the ring is the worker's sole message
+        #: *ordering* channel: a stop must travel as a ring marker (a
+        #: queue-only stop would never be seen), and ``stop_workers``
+        #: destroys the segments after the join — dead-worker slab
+        #: reclamation, so a crashed worker never leaks ``/dev/shm``.
+        self.wire = None
 
 
 def _worker_bootstrap(target, holder, requests, replies) -> None:
@@ -96,6 +103,31 @@ def spawn_worker(
     return WorkerHandle(key, process, requests, replies)
 
 
+def poll_queue(q, is_peer_alive: Callable[[], bool]) -> tuple | None:
+    """One message from *q*, or None once the peer is known dead.
+
+    The generic form of :func:`receive_reply`: polls with a short
+    timeout, checks peer liveness between polls, and performs one final
+    non-blocking drain to cover a message buffered (or mid-flush on the
+    feeder thread) before the peer died.  Workers use it to collect a
+    queue payload a ring marker announced — the marker may commit before
+    the queue feeder flushes, so an unconditional blocking ``get`` could
+    hang forever on a dead parent.
+    """
+    while True:
+        try:
+            return q.get(timeout=GATHER_POLL_SECONDS)
+        except queue_module.Empty:
+            if not is_peer_alive():
+                try:  # message may have been buffered before the death
+                    return q.get_nowait()
+                except Exception:  # Empty, or a truncated frame
+                    return None
+        except Exception:
+            # Half-written frame (peer terminated mid-put).
+            return None
+
+
 def receive_reply(worker: WorkerHandle) -> tuple | None:
     """One reply from *worker*, or None once it is known dead.
 
@@ -106,30 +138,28 @@ def receive_reply(worker: WorkerHandle) -> tuple | None:
     frame on the pipe, which surfaces as a deserialization error out of
     ``get`` and is treated exactly like no reply at all.
     """
-    while True:
-        try:
-            return worker.replies.get(timeout=GATHER_POLL_SECONDS)
-        except queue_module.Empty:
-            if not worker.process.is_alive():
-                try:  # reply may have been buffered before the death
-                    return worker.replies.get_nowait()
-                except Exception:  # Empty, or a truncated frame
-                    worker.dead = True
-                    return None
-        except Exception:
-            # Half-written frame (worker terminated mid-put): the worker
-            # is lost, not the parent.
-            worker.dead = True
-            return None
+    reply = poll_queue(worker.replies, worker.process.is_alive)
+    if reply is None:
+        worker.dead = True
+    return reply
 
 
 def stop_workers(workers: list[WorkerHandle]) -> None:
-    """Stop, join, and reap *workers*: graceful first, then forceful."""
+    """Stop, join, and reap *workers*: graceful first, then forceful.
+
+    Workers with a shared-memory wire get their stop as a ring marker
+    (the ring orders all their messages) and have their segments
+    destroyed after the join — including workers that died mid-batch, so
+    abnormal exits reclaim the slabs too.
+    """
     for worker in workers:
         if worker.dead or not worker.process.is_alive():
             continue
         try:
-            worker.requests.put(("stop",))
+            if worker.wire is not None:
+                worker.wire.post_control(worker.requests, ("stop",))
+            else:
+                worker.requests.put(("stop",))
         except (ValueError, OSError):  # queue already torn down
             pass
     for worker in workers:
@@ -137,5 +167,7 @@ def stop_workers(workers: list[WorkerHandle]) -> None:
         if worker.process.is_alive():
             worker.process.terminate()
             worker.process.join(timeout=JOIN_TIMEOUT_SECONDS)
+        if worker.wire is not None:
+            worker.wire.destroy()
         worker.requests.close()
         worker.replies.close()

@@ -268,3 +268,43 @@ class TestColumnarFlushEquivalence:
                 via=tuple(range(int(witnesses[i]))),
             )
             assert witness_score(boxed, now, half_life) == vector[i]
+
+
+class TestArgpartitionPrecut:
+    """The large-buffer argpartition pre-cut must be invisible in output."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        batches=st.lists(
+            st.lists(group_strategy(), min_size=0, max_size=4),
+            min_size=1,
+            max_size=4,
+        ),
+        k=st.integers(1, 3),
+        now=st.floats(0.0, 10_000.0, allow_nan=False),
+    )
+    def test_precut_flush_matches_pure_lexsort(self, batches, k, now):
+        plain = TopKPerUserBuffer(k=k, precut_threshold=10**9)
+        precut = TopKPerUserBuffer(k=k, precut_threshold=1)
+        for groups in batches:
+            plain.offer_batch(RecommendationBatch(groups))
+            precut.offer_batch(RecommendationBatch(groups))
+        assert [identity(r) for r in precut.flush(now)] == [
+            identity(r) for r in plain.flush(now)
+        ]
+
+    def test_precut_keeps_boundary_score_ties(self):
+        # 6 candidates for one user, 4 tied at the cut score: the pre-cut
+        # must keep every tied row so the candidate-id tie-break decides.
+        buffer = TopKPerUserBuffer(k=2, precut_threshold=1)
+        groups = [
+            RecommendationGroup([1], candidate=c, created_at=0.0, via=(9,))
+            for c in (15, 11, 13, 14, 12, 10)
+        ]
+        buffer.offer_batch(RecommendationBatch(groups))
+        released = buffer.flush(now=0.0)
+        assert [r.candidate for r in released] == [10, 11]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            TopKPerUserBuffer(k=2, precut_threshold=0)

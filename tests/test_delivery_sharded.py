@@ -17,6 +17,7 @@ from repro.core.recommendation import (
     RecommendationBatch,
     RecommendationGroup,
 )
+from repro.cluster import shm_available
 from repro.delivery import (
     DedupFilter,
     DeliveryPipeline,
@@ -26,6 +27,13 @@ from repro.delivery import (
     split_batch_by_shard,
 )
 from repro.util.hashing import splitmix64
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable on this host"
+)
+
+#: Worker-hosted shard transports under fault-tolerance tests.
+WORKER_TRANSPORTS = ["process", pytest.param("shm", marks=needs_shm)]
 
 
 def _production_trio(_shard: int) -> DeliveryPipeline:
@@ -87,7 +95,10 @@ class TestSplitBatchByShard:
                 assert g.created_at == 1.0
 
 
-@pytest.mark.parametrize("transport", ["inprocess", "process"])
+@pytest.mark.parametrize(
+    "transport",
+    ["inprocess", "process", pytest.param("shm", marks=needs_shm)],
+)
 @pytest.mark.parametrize("num_shards", [1, 3, 8])
 class TestShardedEquivalence:
     def test_multiset_and_funnel_match_unsharded(self, transport, num_shards):
@@ -122,11 +133,12 @@ class TestShardedScalarOffers:
         assert sharded.offer(rec, now=10.0) is None
         assert sharded.funnel_totals()["dropped:dedup"] == 1
 
-    def test_process_transport_scalar_offer(self):
+    @pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+    def test_worker_transport_scalar_offer(self, transport):
         with ShardedDeliveryPipeline(
             2,
             pipeline_factory=lambda _s: DeliveryPipeline(filters=[DedupFilter()]),
-            transport="process",
+            transport=transport,
         ) as sharded:
             rec = Recommendation(recipient=5, candidate=9, created_at=0.0)
             delivered = sharded.offer(rec, now=0.0)
@@ -145,11 +157,12 @@ class TestShardedScalarOffers:
 
 
 class TestShardedFaultTolerance:
-    def test_dead_shard_worker_loses_only_its_recipients(self):
+    @pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+    def test_dead_shard_worker_loses_only_its_recipients(self, transport):
         sharded = ShardedDeliveryPipeline(
             2,
             pipeline_factory=lambda _s: DeliveryPipeline(filters=[]),
-            transport="process",
+            transport=transport,
         )
         try:
             victim = sharded._workers[0]
@@ -166,11 +179,12 @@ class TestShardedFaultTolerance:
         finally:
             sharded.close()
 
-    def test_dead_shard_history_stays_in_aggregates(self):
+    @pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+    def test_dead_shard_history_stays_in_aggregates(self, transport):
         sharded = ShardedDeliveryPipeline(
             2,
             pipeline_factory=lambda _s: DeliveryPipeline(filters=[]),
-            transport="process",
+            transport=transport,
         )
         try:
             batch = _random_batches(seed=6, windows=1)[0]
@@ -186,8 +200,9 @@ class TestShardedFaultTolerance:
         finally:
             sharded.close()
 
-    def test_close_is_idempotent(self):
-        sharded = ShardedDeliveryPipeline(2, transport="process")
+    @pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
+    def test_close_is_idempotent(self, transport):
+        sharded = ShardedDeliveryPipeline(2, transport=transport)
         sharded.close()
         sharded.close()
 
@@ -196,3 +211,52 @@ class TestShardedFaultTolerance:
             ShardedDeliveryPipeline(0)
         with pytest.raises(ValueError):
             ShardedDeliveryPipeline(2, transport="smoke-signals")
+
+
+@needs_shm
+class TestShardedShmWire:
+    """shm-shard specifics: overflow fallback, telemetry, reclamation."""
+
+    def test_slot_overflow_falls_back_to_pickle(self):
+        reference = _production_trio(0)
+        sharded = ShardedDeliveryPipeline(
+            3,
+            pipeline_factory=_production_trio,
+            transport="shm",
+            # 256-byte slots: recommendation/notification frames overflow
+            # and ride the pickle lane — same multiset, counted fallback.
+            shm_slot_bytes=256,
+        )
+        try:
+            expected, got = [], []
+            for w, batch in enumerate(_random_batches(seed=7)):
+                now = 1_000.0 * w + 43_200.0
+                expected.extend(reference.offer_batch(batch, now))
+                got.extend(sharded.offer_batch(batch, now))
+            assert _pairs(got) == _pairs(expected)
+            stats = sharded.wire_stats()
+            assert stats["frames_fallback"] > 0
+            assert stats["fallback_rate"] > 0.0
+        finally:
+            sharded.close()
+
+    def test_wire_stats_and_segment_reclamation(self):
+        import os
+
+        sharded = ShardedDeliveryPipeline(
+            2, pipeline_factory=_production_trio, transport="shm"
+        )
+        names = list(sharded._segment_names)
+        assert names and all(
+            os.path.exists(f"/dev/shm/{name}") for name in names
+        )
+        batch = _random_batches(seed=8, windows=1)[0]
+        sharded.offer_batch(batch, now=43_200.0)
+        stats = sharded.wire_stats()
+        assert stats["frames_shm"] > 0
+        assert stats["frames_fallback"] == 0
+        sharded.close()
+        leaked = [
+            name for name in names if os.path.exists(f"/dev/shm/{name}")
+        ]
+        assert leaked == []

@@ -16,7 +16,9 @@ from repro.cluster import (
     Cluster,
     ClusterConfig,
     InProcessTransport,
+    SharedMemoryTransport,
     WorkerProcessTransport,
+    shm_available,
 )
 from repro.core import DetectionParams
 from repro.core.batch import EventBatch
@@ -28,6 +30,14 @@ from repro.gen import (
 )
 
 PARAMS = DetectionParams(k=2, tau=600.0)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable on this host"
+)
+
+#: Both worker-hosted transports must satisfy the same contract; shm
+#: cases skip cleanly on hosts without /dev/shm.
+WORKER_TRANSPORTS = ["process", pytest.param("shm", marks=needs_shm)]
 
 
 def _multiset(recommendations):
@@ -59,27 +69,28 @@ def reference(workload):
     return _multiset(cluster.process_stream(events, batch_size=64))
 
 
+@pytest.mark.parametrize("transport", WORKER_TRANSPORTS)
 class TestCrossTransportEquivalence:
     def test_worker_transport_matches_inprocess_batched(
-        self, workload, reference
+        self, workload, reference, transport
     ):
         snapshot, events = workload
         with Cluster.build(
             snapshot,
             PARAMS,
-            ClusterConfig(num_partitions=3, transport="process"),
+            ClusterConfig(num_partitions=3, transport=transport),
         ) as cluster:
             got = _multiset(cluster.process_stream(events, batch_size=64))
         assert got == reference
 
     def test_worker_transport_matches_with_pipelining(
-        self, workload, reference
+        self, workload, reference, transport
     ):
         snapshot, events = workload
         with Cluster.build(
             snapshot,
             PARAMS,
-            ClusterConfig(num_partitions=3, transport="process"),
+            ClusterConfig(num_partitions=3, transport=transport),
         ) as cluster:
             got = _multiset(
                 cluster.process_stream(events, batch_size=64, pipeline_depth=4)
@@ -87,7 +98,7 @@ class TestCrossTransportEquivalence:
         assert got == reference
 
     def test_worker_transport_matches_per_event_lane(
-        self, workload, reference
+        self, workload, reference, transport
     ):
         snapshot, events = workload
         short = events[:200]
@@ -98,12 +109,14 @@ class TestCrossTransportEquivalence:
         with Cluster.build(
             snapshot,
             PARAMS,
-            ClusterConfig(num_partitions=2, transport="process"),
+            ClusterConfig(num_partitions=2, transport=transport),
         ) as cluster:
             got = _multiset(cluster.process_stream(short))
         assert got == expected
 
-    def test_worker_transport_matches_with_replication(self, workload):
+    def test_worker_transport_matches_with_replication(
+        self, workload, transport
+    ):
         snapshot, events = workload
         short = events[:300]
         inproc = Cluster.build(
@@ -116,7 +129,7 @@ class TestCrossTransportEquivalence:
             snapshot,
             PARAMS,
             ClusterConfig(
-                num_partitions=2, replication_factor=2, transport="process"
+                num_partitions=2, replication_factor=2, transport=transport
             ),
         ) as cluster:
             got = _multiset(cluster.process_stream(short, batch_size=32))
@@ -124,8 +137,8 @@ class TestCrossTransportEquivalence:
 
 
 class TestTransportControlMessages:
-    @pytest.fixture
-    def clusters(self, workload):
+    @pytest.fixture(params=WORKER_TRANSPORTS)
+    def clusters(self, request, workload):
         snapshot, events = workload
         inproc = Cluster.build(
             snapshot, PARAMS, ClusterConfig(num_partitions=2)
@@ -133,7 +146,7 @@ class TestTransportControlMessages:
         proc = Cluster.build(
             snapshot,
             PARAMS,
-            ClusterConfig(num_partitions=2, transport="process"),
+            ClusterConfig(num_partitions=2, transport=request.param),
         )
         yield inproc, proc, events
         proc.close()
@@ -203,6 +216,93 @@ class TestTransportControlMessages:
     def test_config_rejects_unknown_transport(self):
         with pytest.raises(ValueError, match="transport"):
             ClusterConfig(num_partitions=2, transport="carrier-pigeon")
+
+
+@needs_shm
+class TestSharedMemoryWire:
+    """shm-transport specifics: fallback, death reclamation, stats."""
+
+    def test_slot_overflow_falls_back_to_pickle(self, workload, reference):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            # 256-byte slots: no event-batch frame fits, so every batch
+            # rides the pickle-fallback lane — same answers, counted.
+            ClusterConfig(
+                num_partitions=3, transport="shm", shm_slot_bytes=256
+            ),
+        ) as cluster:
+            got = _multiset(cluster.process_stream(events, batch_size=64))
+            stats = cluster.transport.wire_stats()
+        assert got == reference
+        assert stats["frames_fallback"] > 0
+        assert stats["fallback_rate"] > 0.0
+
+    def test_wire_stats_count_shm_frames(self, workload):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="shm"),
+        ) as cluster:
+            cluster.process_stream(events[:300], batch_size=32)
+            stats = cluster.transport.wire_stats()
+        assert isinstance(cluster.transport, SharedMemoryTransport)
+        assert stats["frames_shm"] > 0
+        assert stats["frames_fallback"] == 0
+        assert stats["fallback_rate"] == 0.0
+        assert stats["slab_occupancy"] == 0  # every submit was gathered
+
+    def test_worker_death_mid_pipeline_reclaims_segments(self, workload):
+        import os
+
+        snapshot, events = workload
+        cluster = Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=3, transport="shm"),
+        )
+        transport = cluster.transport
+        names = list(transport._segment_names)
+        assert names and all(
+            os.path.exists(f"/dev/shm/{name}") for name in names
+        )
+        cluster.broker.submit_batch(EventBatch.from_events(events[:20]))
+        cluster.broker.submit_batch(EventBatch.from_events(events[20:40]))
+        victim = transport._workers[0]
+        victim.process.terminate()
+        victim.process.join(timeout=5.0)
+        cluster.broker.gather_batch()
+        cluster.broker.gather_batch()
+        # The victim is charged only what it missed; survivors keep serving.
+        assert cluster.broker.stats.partitions_lost_events in (0, 20, 40)
+        grouped, _ = cluster.broker.process_batch(
+            EventBatch.from_events(events[40:50])
+        )
+        assert len(grouped) == 10
+        assert transport.workers_alive() == 2
+        cluster.close()
+        leaked = [
+            name for name in names if os.path.exists(f"/dev/shm/{name}")
+        ]
+        assert leaked == []
+
+    def test_pipelining_bounded_by_ring_capacity(self, workload):
+        snapshot, events = workload
+        with Cluster.build(
+            snapshot,
+            PARAMS,
+            ClusterConfig(num_partitions=2, transport="shm", shm_slots=2),
+        ) as cluster:
+            transport = cluster.transport
+            batch = EventBatch.from_events(events[:5])
+            transport.submit_batch(batch)
+            transport.submit_batch(batch)
+            with pytest.raises(ValueError, match="ring capacity"):
+                transport.submit_batch(batch)
+            transport.gather_batch()
+            transport.gather_batch()
 
 
 class TestPipelinedSubmitGather:
