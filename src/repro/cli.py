@@ -43,6 +43,7 @@ from repro.graph import (
     build_follower_snapshot,
 )
 from repro.motif import MOTIF_CATALOG, DeclarativeDetector, parse_motif
+from repro.ops import ControllerConfig, derive_promote_threshold
 from repro.streaming import StreamingTopology
 from repro.util.validation import require_positive
 
@@ -150,6 +151,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=2,
         help="per-user candidates released per coalescing window under "
         "--ranked",
+    )
+    simulate.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable the adaptive control plane: a controller ticking in "
+        "virtual time retunes --batch-size/--max-batch-wait and the "
+        "delivery window from the live backlog signal (the static knob "
+        "values above become its starting point only), derives the ring "
+        "promote threshold from recorded bench crossovers, and escalates "
+        "to admission shedding past --slo-p99",
+    )
+    simulate.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        help="end-to-end p99 SLO in virtual seconds for --adaptive; past "
+        "it (with the escalation ladder saturated) the controller sheds "
+        "via admission control; omit to never shed",
+    )
+    simulate.add_argument(
+        "--controller-interval",
+        type=float,
+        default=0.5,
+        help="virtual seconds between adaptive-controller ticks",
     )
     _add_backend_args(simulate)
 
@@ -298,6 +323,12 @@ def _delivery_shard_pipeline(_shard: int) -> DeliveryPipeline:
 def _cmd_simulate(args: argparse.Namespace, out) -> int:
     snapshot = GraphSnapshot.load(args.graph)
     events = _load_stream(args.stream)
+    promote_threshold = None
+    if args.adaptive:
+        # Deployment-time derivation: place the ring promotion point at
+        # the recorded list/ring cost crossover when the bench trajectory
+        # is available (falls back to the module default otherwise).
+        promote_threshold = derive_promote_threshold()
     cluster = Cluster.build(
         snapshot,
         DetectionParams(k=args.k, tau=args.tau),
@@ -306,6 +337,7 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
             s_backend=args.s_backend,
             d_backend=args.d_backend,
             transport=args.transport,
+            promote_threshold=promote_threshold,
         ),
     )
     require_positive(args.delivery_shards, "--delivery-shards")
@@ -317,6 +349,16 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         )
     else:
         delivery = _delivery_shard_pipeline(0)
+    controller_config = None
+    if args.adaptive:
+        controller_config = ControllerConfig(
+            interval=args.controller_interval,
+            slo_p99=args.slo_p99,
+        )
+    elif args.slo_p99 is not None:
+        print("error: --slo-p99 requires --adaptive", file=sys.stderr)
+        cluster.close()
+        return 2
     topology = StreamingTopology(
         cluster,
         delivery=delivery,
@@ -326,6 +368,7 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         delivery_batch_size=args.delivery_batch_size,
         delivery_max_wait=args.delivery_max_wait,
         ranked_k=args.ranked_k if args.ranked else None,
+        controller_config=controller_config,
     )
     try:
         result = topology.run(events)
@@ -344,6 +387,10 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
             file=out,
         )
         print(f"queue share      : {result.queue_share():.1%}", file=out)
+    if topology.controller is not None:
+        print(f"control plane    : {topology.controller.describe()}", file=out)
+        if promote_threshold is not None:
+            print(f"promote threshold: {promote_threshold} (derived)", file=out)
     return 0
 
 

@@ -74,6 +74,12 @@ class ClusterConfig:
             transport (default 8; also bounds the usable pipeline depth).
         shm_slot_bytes: payload bytes per ring slot (default 1 MiB);
             frames that overflow a slot fall back to the pickle wire.
+        promote_threshold: per-target D entry count at which the ring
+            backend promotes a boxed list to columnar ring storage
+            (module default when ``None``).  Deployments derive this from
+            the recorded list/ring cost crossover via
+            :func:`repro.ops.controller.derive_promote_threshold` instead
+            of trusting the hard-coded value.
     """
 
     num_partitions: int = PRODUCTION_PARTITIONS
@@ -87,12 +93,15 @@ class ClusterConfig:
     worker_start_method: str | None = None
     shm_slots: int = 8
     shm_slot_bytes: int = 1 << 20
+    promote_threshold: int | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_partitions, "num_partitions")
         require_positive(self.replication_factor, "replication_factor")
         require_positive(self.shm_slots, "shm_slots")
         require_positive(self.shm_slot_bytes, "shm_slot_bytes")
+        if self.promote_threshold is not None:
+            require_positive(self.promote_threshold, "promote_threshold")
         require(
             self.transport in TRANSPORTS,
             f"transport must be one of {TRANSPORTS}, got {self.transport!r}",
@@ -167,10 +176,14 @@ class Cluster:
                 detectors = None
                 # Every replica owns a private full D copy in the
                 # configured backend (the paper's D-replication design).
+                dynamic_kwargs = {}
+                if config.promote_threshold is not None:
+                    dynamic_kwargs["promote_threshold"] = config.promote_threshold
                 dynamic_index = DynamicEdgeIndex(
                     retention=params.tau,
                     max_edges_per_target=config.max_edges_per_target,
                     backend=config.d_backend,
+                    **dynamic_kwargs,
                 )
                 if detector_factory is not None:
                     detectors = detector_factory(shard, dynamic_index)

@@ -353,7 +353,10 @@ class InProcessTransport:
         return removed
 
     def backlog(self) -> int:
-        return 0
+        # Submitted-but-ungathered replies: the synchronous analogue of
+        # the worker transports' request-queue depth, so backlog-driven
+        # control behaves uniformly across all three transports.
+        return len(self._pending_batches) + len(self._pending_events)
 
     def close(self) -> None:  # nothing to release
         return None

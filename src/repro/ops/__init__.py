@@ -11,12 +11,21 @@ this package provides the machinery:
 * :mod:`~repro.ops.monitor` — fleet health snapshots over a cluster
   (per-replica event counts, D sizes, channel failures, staleness);
 * :mod:`~repro.ops.admission` — token-bucket admission control with
-  shed-or-sample policies for ingest overload.
+  shed-or-sample policies for ingest overload;
+* :mod:`~repro.ops.controller` — the adaptive control plane closing the
+  backlog loop over the micro-batching knobs and the shed posture.
 """
 
 from repro.ops.metrics import Counter, Gauge, LatencyHistogram, MetricsRegistry
 from repro.ops.monitor import ClusterMonitor, PartitionHealth
 from repro.ops.admission import AdmissionController, AdmissionPolicy, TokenBucket
+from repro.ops.controller import (
+    AdaptiveController,
+    ControlMode,
+    ControllerConfig,
+    LoadSignal,
+    derive_promote_threshold,
+)
 
 __all__ = [
     "Counter",
@@ -28,4 +37,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
     "TokenBucket",
+    "AdaptiveController",
+    "ControlMode",
+    "ControllerConfig",
+    "LoadSignal",
+    "derive_promote_threshold",
 ]

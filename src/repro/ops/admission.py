@@ -106,6 +106,27 @@ class AdmissionController:
         self.backlog_limit = backlog_limit
         self.registry = registry or MetricsRegistry()
         self._overflow_seen = 0
+        self._pressure_shed = False
+
+    def set_pressure_shed(self, active: bool) -> None:
+        """Engage or release controller-driven shedding.
+
+        The adaptive control plane flips this when its escalation ladder
+        saturates and the latency SLO is breached; while active, every
+        offered event takes the shedding path regardless of the token
+        bucket (``SAMPLE`` still admits 1-in-N, keeping a statistical
+        trace flowing so the latency signal that triggers *recovery*
+        never goes dark).
+        """
+        self._pressure_shed = bool(active)
+        self.registry.gauge("admission_pressure_shed").set(
+            1.0 if self._pressure_shed else 0.0
+        )
+
+    @property
+    def pressure_shed(self) -> bool:
+        """Whether controller-driven shedding is currently engaged."""
+        return self._pressure_shed
 
     def admit(self, now: float, backlog: int = 0) -> bool:
         """Decide one event's fate at time *now*.
@@ -117,7 +138,9 @@ class AdmissionController:
         over_backlog = (
             self.backlog_limit is not None and backlog > self.backlog_limit
         )
-        if over_backlog:
+        if self._pressure_shed:
+            self.registry.counter("admission_pressure_overflow").increment()
+        elif over_backlog:
             # Overflow by observed backlog; the shedding policy below still
             # applies (SAMPLE keeps its statistical trace of the overload).
             self.registry.counter("admission_backlog_overflow").increment()

@@ -143,6 +143,12 @@ class ClusterMonitor:
                     backlog=snapshot.backlog,
                 )
             )
+        # The aggregate backlog is published unconditionally — admission
+        # or no admission — so the adaptive control plane and dashboards
+        # see the same overload signal on every transport.
+        self.registry.gauge("transport_backlog").set(
+            float(self.cluster.broker.transport.backlog())
+        )
         self._publish_wire_stats()
         return report
 

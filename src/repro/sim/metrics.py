@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
-from repro.util.stats import PercentileTracker
+from repro.util.stats import PercentileTracker, percentile
 from repro.util.validation import require
 
 
@@ -14,11 +15,21 @@ class LatencyBreakdown:
     Stages are registered lazily on first use, so the pipeline code simply
     calls ``record("queue:firehose", delay)`` and the breakdown takes shape
     from whatever stages actually ran.
+
+    Alongside the whole-run reservoir, a small bounded window of the most
+    recent totals feeds the adaptive controller: each tick *drains* the
+    window (:meth:`drain_recent_totals`), so the SLO decision always sees
+    only latencies observed since the last tick — stale breach samples
+    can never pin the controller in shed mode after the flow recovers.
     """
+
+    #: Upper bound on per-tick totals retained for the recent window.
+    RECENT_WINDOW = 4096
 
     def __init__(self) -> None:
         self.total = PercentileTracker()
         self._stages: dict[str, PercentileTracker] = {}
+        self._recent_totals: deque[float] = deque(maxlen=self.RECENT_WINDOW)
 
     def record(self, stage: str, seconds: float) -> None:
         """Add one observation for *stage*."""
@@ -31,6 +42,24 @@ class LatencyBreakdown:
     def record_total(self, seconds: float) -> None:
         """Add one end-to-end observation."""
         self.total.add(seconds)
+        self._recent_totals.append(seconds)
+
+    def drain_recent_totals(self) -> list[float]:
+        """Take (and clear) the end-to-end totals since the last drain."""
+        drained = list(self._recent_totals)
+        self._recent_totals.clear()
+        return drained
+
+    def recent_p99(self) -> float | None:
+        """p99 of the totals since the last drain — drains the window.
+
+        Returns ``None`` when nothing was delivered in the window; a
+        silent pipeline carries no latency evidence either way.
+        """
+        drained = self.drain_recent_totals()
+        if not drained:
+            return None
+        return percentile(sorted(drained), 99.0)
 
     def stages(self) -> list[str]:
         """Registered stage names, insertion-ordered."""

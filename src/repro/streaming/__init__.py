@@ -20,7 +20,11 @@ and reports the per-stage latency breakdown that benchmark E4 prints.
 from repro.streaming.queue import MessageQueue, QueueStats
 from repro.streaming.source import ReplaySource
 from repro.streaming.consumer import DeliveryCoalescer, DetectionConsumer
-from repro.streaming.pipeline import StreamingTopology, TopologyReport
+from repro.streaming.pipeline import (
+    StreamingTopology,
+    TopologyKnobs,
+    TopologyReport,
+)
 
 __all__ = [
     "MessageQueue",
@@ -29,5 +33,6 @@ __all__ = [
     "DeliveryCoalescer",
     "DetectionConsumer",
     "StreamingTopology",
+    "TopologyKnobs",
     "TopologyReport",
 ]

@@ -106,6 +106,56 @@ class DetectionConsumer:
         self.events_consumed = 0
         self.events_shed = 0
         self.candidates_produced = 0
+        #: Detection round-trips issued to the cluster (one per event on
+        #: the per-event path, one per flush when micro-batching) — the
+        #: deterministic cost axis of the overload frontier bench.
+        self.cluster_calls = 0
+        #: Last transport backlog observed (per-event when admission is
+        #: configured, otherwise whenever :meth:`sample_backlog` runs).
+        self.last_backlog = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Current micro-batch size (live-tunable via :meth:`configure`)."""
+        return self._batch_size
+
+    @property
+    def max_wait(self) -> float:
+        """Current flush deadline in virtual seconds."""
+        return self._max_wait
+
+    def configure(
+        self, batch_size: int | None = None, max_wait: float | None = None
+    ) -> None:
+        """Retune the micro-batching knobs on a live consumer.
+
+        The adaptive controller calls this between ticks.  A shrink that
+        leaves the buffer at/over the new threshold flushes immediately,
+        and a shortened ``max_wait`` re-arms the flush timer at the new
+        deadline — so de-escalating to latency mode never strands
+        buffered events behind a stale long timer (the epoch guard makes
+        the superseded timer harmless).
+        """
+        rearm = False
+        if batch_size is not None:
+            require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
+            self._batch_size = batch_size
+        if max_wait is not None:
+            require_non_negative(max_wait, "max_wait")
+            rearm = max_wait < self._max_wait
+            self._max_wait = max_wait
+        if self._buffer and len(self._buffer) >= self._batch_size:
+            self._flush(self._sim.clock.now())
+        elif self._buffer and rearm:
+            epoch = self._flush_epoch
+            self._sim.schedule_after(
+                self._max_wait, lambda: self._flush_if_pending(epoch)
+            )
+
+    def sample_backlog(self) -> int:
+        """Sample (and remember) the transport's real request backlog."""
+        self.last_backlog = self._cluster.broker.transport.backlog()
+        return self.last_backlog
 
     def __call__(
         self, event: EdgeEvent, published_at: float, delivered_at: float
@@ -115,12 +165,9 @@ class DetectionConsumer:
             # The transport's real request-queue depth (0 on synchronous
             # transports) lets a backlog-gated controller shed on what the
             # partition fleet actually failed to drain, not just a model.
-            # Only pay the per-event qsize syscalls when a limit is set.
-            backlog = (
-                self._cluster.broker.transport.backlog()
-                if self._admission.backlog_limit is not None
-                else 0
-            )
+            # Sampled uniformly on every transport so admission, the
+            # monitor, and the adaptive controller all see one signal.
+            backlog = self.sample_backlog()
             if not self._admission.admit(delivered_at, backlog=backlog):
                 self.events_shed += 1
                 return
@@ -141,6 +188,7 @@ class DetectionConsumer:
         )
         detection_seconds = time.perf_counter() - started
 
+        self.cluster_calls += 1
         self.events_consumed += 1
         self.candidates_produced += len(recommendations)
         self._breakdown.record("detection", detection_seconds)
@@ -188,6 +236,7 @@ class DetectionConsumer:
         )
         detection_seconds = time.perf_counter() - started
 
+        self.cluster_calls += 1
         self.events_consumed += len(buffered)
         self._breakdown.record("detection", detection_seconds)
         if rpc_latency:
@@ -284,6 +333,42 @@ class DeliveryCoalescer:
         self._flush_epoch = 0
         self.batches_coalesced = 0
         self.flushes = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Current coalescing threshold (live-tunable via :meth:`configure`)."""
+        return self._batch_size
+
+    @property
+    def max_wait(self) -> float:
+        """Current coalescing window in virtual seconds."""
+        return self._max_wait
+
+    def configure(
+        self, batch_size: int | None = None, max_wait: float | None = None
+    ) -> None:
+        """Retune the coalescing window on a live coalescer.
+
+        Mirror of :meth:`DetectionConsumer.configure`: a shrink that
+        leaves the buffer at/over the new threshold flushes immediately,
+        a shortened ``max_wait`` re-arms the flush timer, and stale
+        timers are defused by the epoch guard.
+        """
+        rearm = False
+        if batch_size is not None:
+            require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
+            self._batch_size = batch_size
+        if max_wait is not None:
+            require_non_negative(max_wait, "max_wait")
+            rearm = max_wait < self._max_wait
+            self._max_wait = max_wait
+        if self._buffer and self._pending_candidates >= self._batch_size:
+            self._flush(self._sim.clock.now())
+        elif self._buffer and rearm:
+            epoch = self._flush_epoch
+            self._sim.schedule_after(
+                self._max_wait, lambda: self._flush_if_pending(epoch)
+            )
 
     def __call__(
         self, batch: CandidateBatch, published_at: float, delivered_at: float

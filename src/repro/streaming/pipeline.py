@@ -38,6 +38,7 @@ from repro.sim.latency import (
     PRODUCTION_HOP_SIGMA,
 )
 from repro.sim.metrics import LatencyBreakdown
+from repro.ops.controller import AdaptiveController, ControllerConfig, LoadSignal
 from repro.streaming.consumer import (
     CandidateBatch,
     DeliveryCoalescer,
@@ -46,6 +47,35 @@ from repro.streaming.consumer import (
 from repro.streaming.queue import MessageQueue
 from repro.streaming.source import ReplaySource
 from repro.util.rng import make_rng
+
+
+class TopologyKnobs:
+    """The actuation surface the adaptive controller drives.
+
+    Thin adapter from the controller's three abstract actuations onto the
+    live topology components; tests substitute a recorder with the same
+    three methods.
+    """
+
+    def __init__(
+        self,
+        consumer: DetectionConsumer,
+        coalescer: DeliveryCoalescer,
+        admission=None,
+    ) -> None:
+        self._consumer = consumer
+        self._coalescer = coalescer
+        self._admission = admission
+
+    def set_detection_knobs(self, batch_size: int, max_wait: float) -> None:
+        self._consumer.configure(batch_size=batch_size, max_wait=max_wait)
+
+    def set_delivery_knobs(self, batch_size: int, max_wait: float) -> None:
+        self._coalescer.configure(batch_size=batch_size, max_wait=max_wait)
+
+    def set_shedding(self, active: bool) -> None:
+        if self._admission is not None:
+            self._admission.set_pressure_shed(active)
 
 
 @dataclass
@@ -89,6 +119,7 @@ class StreamingTopology:
         delivery_batch_size: int = 1,
         delivery_max_wait: float = 0.05,
         ranked_k: int | None = None,
+        controller_config: ControllerConfig | None = None,
     ) -> None:
         """Build the topology.
 
@@ -116,6 +147,19 @@ class StreamingTopology:
                 :class:`~repro.delivery.scoring.TopKPerUserBuffer`
                 releasing at most this many candidates per user per
                 coalescing window into the funnel (``None`` = unranked).
+            controller_config: enable the adaptive control plane — an
+                :class:`~repro.ops.controller.AdaptiveController` ticking
+                every ``interval`` virtual seconds that retunes both
+                micro-batching windows from the live backlog signal and
+                escalates to admission shedding past the SLO.  The
+                controller owns the knobs from construction on, so the
+                static ``batch_size``/``max_wait``/``delivery_*`` args
+                above only name the initial values it immediately
+                replaces with its level-0 posture.  When an SLO is set
+                but no ``admission`` controller was passed, a
+                non-limiting SAMPLE-policy controller is created so the
+                shed rung has an actuator (and keeps a 1-in-N trace
+                flowing while shedding).
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -141,6 +185,20 @@ class StreamingTopology:
             self.sim, "push", hop_models.get("push")
         )
         self.source = ReplaySource(self.sim, self.firehose)
+        if (
+            controller_config is not None
+            and controller_config.slo_p99 is not None
+            and admission is None
+        ):
+            from repro.ops.admission import AdmissionController, AdmissionPolicy
+
+            # Effectively infinite budget: the bucket itself never sheds;
+            # only the controller's pressure-shed rung does.
+            admission = AdmissionController(
+                rate=1e12,
+                burst=1e12,
+                policy=AdmissionPolicy.SAMPLE,
+            )
         self.consumer = DetectionConsumer(
             self.sim,
             cluster,
@@ -171,6 +229,14 @@ class StreamingTopology:
             ),
         )
 
+        self.admission = admission
+        self.controller: AdaptiveController | None = None
+        if controller_config is not None:
+            self.controller = AdaptiveController(
+                TopologyKnobs(self.consumer, self.coalescer, admission),
+                config=controller_config,
+            )
+
         # Wire the stages.
         self.firehose.subscribe(self._forward_to_fanout)
         self.fanout.subscribe(self.consumer)
@@ -194,6 +260,10 @@ class StreamingTopology:
     def run(self, events: list[EdgeEvent]) -> TopologyReport:
         """Replay *events* through the whole path and drain the simulator."""
         self.source.load(events)
+        if self.controller is not None:
+            self.sim.schedule_after(
+                self.controller.config.interval, self._controller_tick
+            )
         self.sim.run()
         return TopologyReport(
             breakdown=self.breakdown,
@@ -206,3 +276,31 @@ class StreamingTopology:
         self, event: EdgeEvent, published_at: float, delivered_at: float
     ) -> None:
         self.breakdown.record("queue:fanout", delivered_at - published_at)
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def load_signal(self) -> LoadSignal:
+        """Sample the pressure signal the controller decides on."""
+        return LoadSignal(
+            transport_backlog=self.consumer.sample_backlog(),
+            queued_events=(
+                self.firehose.in_flight
+                + self.fanout.in_flight
+                + self.push.in_flight
+            ),
+            pending_events=self.consumer.pending_events,
+            pending_candidates=self.coalescer.pending_candidates,
+            recent_p99=self.breakdown.recent_p99(),
+        )
+
+    def _controller_tick(self) -> None:
+        assert self.controller is not None
+        self.controller.tick(self.sim.clock.now(), self.load_signal())
+        # Reschedule only while other work remains, or the tick itself
+        # would keep the heap non-empty and the drain would never finish.
+        if self.sim.pending() > 0:
+            self.sim.schedule_after(
+                self.controller.config.interval, self._controller_tick
+            )

@@ -58,6 +58,17 @@ class MessageQueue(Generic[T]):
         """Register a delivery callback."""
         self._subscribers.append(subscriber)
 
+    @property
+    def in_flight(self) -> int:
+        """Items published but not yet delivered.
+
+        With load-independent hop delays this tracks the arrival rate
+        (~``rate x median delay`` items mid-hop), so a burst shows up
+        here immediately — the queue-stage component of the adaptive
+        controller's pressure signal.
+        """
+        return self.stats.published - self.stats.delivered
+
     def publish(self, item: T) -> float:
         """Enqueue *item* now; returns the sampled propagation delay."""
         published_at = self._sim.clock.now()

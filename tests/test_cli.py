@@ -216,6 +216,26 @@ class TestGenerateAndRun:
         assert code_plain == 0 and code_ranked == 0
         assert 0 < notifications(out_ranked) <= notifications(out_plain)
 
+    def test_simulate_adaptive_control_plane(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--adaptive", "--slo-p99", "60",
+        )
+        assert code == 0
+        assert "control plane" in output
+        assert "mode=" in output  # the controller's posture summary
+        assert "promote threshold:" in output
+
+    def test_simulate_slo_requires_adaptive(self, artifacts):
+        graph, stream = artifacts
+        code, _ = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--slo-p99", "60",
+        )
+        assert code == 2
+
     def test_simulate_rejects_nonpositive_delivery_shards(self, artifacts):
         graph, stream = artifacts
         with pytest.raises(ValueError, match="delivery-shards"):

@@ -127,6 +127,46 @@ class TestAdmissionController:
         assert snap["admission_shed"] == 1
 
 
+class TestPressureShed:
+    def test_forces_shedding_despite_token_budget(self):
+        controller = AdmissionController(rate=1000.0, burst=1000.0)
+        controller.set_pressure_shed(True)
+        admitted = sum(controller.admit(now=0.0) for _ in range(20))
+        assert admitted == 0  # budget is irrelevant while the rung is engaged
+
+    def test_release_restores_admission(self):
+        controller = AdmissionController(rate=1000.0, burst=1000.0)
+        controller.set_pressure_shed(True)
+        assert not controller.admit(now=0.0)
+        controller.set_pressure_shed(False)
+        assert controller.admit(now=1.0)
+        assert not controller.pressure_shed
+
+    def test_sample_policy_keeps_trace_while_shedding(self):
+        # The 1-in-N trace is what keeps the recovery signal alive.
+        controller = AdmissionController(
+            rate=1000.0, burst=1000.0,
+            policy=AdmissionPolicy.SAMPLE, sample_one_in=10,
+        )
+        controller.set_pressure_shed(True)
+        admitted = sum(controller.admit(now=0.0) for _ in range(100))
+        assert admitted == 10
+
+    def test_gauge_and_counter_published(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(
+            rate=1000.0, burst=1000.0, registry=registry
+        )
+        controller.set_pressure_shed(True)
+        controller.admit(0.0)
+        snap = registry.snapshot()
+        assert snap["admission_pressure_shed"] == 1.0
+        assert snap["admission_pressure_overflow"] == 1
+        assert snap["admission_shed"] == 1
+        controller.set_pressure_shed(False)
+        assert registry.snapshot()["admission_pressure_shed"] == 0.0
+
+
 class TestClusterMonitor:
     def build(self, figure1_snapshot, replicas=2):
         return Cluster.build(
@@ -176,6 +216,16 @@ class TestClusterMonitor:
         snap = monitor.registry.snapshot()
         assert snap["replica_available{partition=0,replica=0}"] == 1.0
         assert snap["d_edges{partition=1,replica=1}"] == 1
+
+    def test_transport_backlog_gauge_published_unconditionally(
+        self, figure1_snapshot
+    ):
+        # The adaptive controller and dashboards read one overload signal
+        # on every transport — even the synchronous one, where it is 0.
+        cluster = self.build(figure1_snapshot)
+        monitor = ClusterMonitor(cluster)
+        monitor.poll()
+        assert monitor.registry.snapshot()["transport_backlog"] == 0.0
 
 
 class TestBacklogGatedAdmission:

@@ -42,6 +42,43 @@ class TestLatencyBreakdown:
             LatencyBreakdown().stage("nope")
 
 
+class TestRecentWindow:
+    """The controller's tick-to-tick p99 signal over record_total."""
+
+    def test_empty_window_is_none(self):
+        # None (nothing delivered since the last tick) must be
+        # distinguishable from 0.0 — it never counts as an SLO breach.
+        breakdown = LatencyBreakdown()
+        assert breakdown.recent_p99() is None
+
+    def test_p99_over_samples_since_last_drain(self):
+        breakdown = LatencyBreakdown()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            breakdown.record_total(value)
+        assert breakdown.recent_p99() == pytest.approx(4.0, rel=0.05)
+
+    def test_drain_resets_the_window(self):
+        breakdown = LatencyBreakdown()
+        breakdown.record_total(10.0)
+        assert breakdown.recent_p99() is not None
+        assert breakdown.recent_p99() is None  # window consumed
+        breakdown.record_total(2.0)
+        assert breakdown.recent_p99() == pytest.approx(2.0)
+
+    def test_window_is_bounded(self):
+        breakdown = LatencyBreakdown()
+        for _ in range(LatencyBreakdown.RECENT_WINDOW * 2):
+            breakdown.record_total(1.0)
+        assert len(breakdown.drain_recent_totals()) == LatencyBreakdown.RECENT_WINDOW
+
+    def test_total_percentiles_unaffected_by_drain(self):
+        breakdown = LatencyBreakdown()
+        for value in (1.0, 2.0, 3.0):
+            breakdown.record_total(value)
+        breakdown.recent_p99()
+        assert breakdown.total.percentile(50) == 2.0
+
+
 class TestFunnelCounter:
     def test_counts_and_rows(self):
         funnel = FunnelCounter()

@@ -164,3 +164,89 @@ class TestMicroBatching:
             consumer(EdgeEvent(float(i), B1, C2), 0.0, 0.0)
         assert consumer.events_shed == 9
         assert consumer.pending_events == 1
+
+
+class TestLiveReconfigure:
+    """The adaptive controller's actuation path: configure() on a live rig."""
+
+    def test_knob_properties_reflect_configure(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        consumer.configure(batch_size=16, max_wait=1.5)
+        assert consumer.batch_size == 16
+        assert consumer.max_wait == 1.5
+
+    def test_shrink_below_buffer_flushes_immediately(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=100, max_wait=50.0
+        )
+        for i in range(3):
+            consumer(EdgeEvent(float(i), B1, C2), float(i), float(i))
+        assert consumer.pending_events == 3
+        consumer.configure(batch_size=2)
+        # De-escalation must not strand the buffer behind the old timer.
+        assert consumer.pending_events == 0
+        assert consumer.events_consumed == 3
+        assert consumer.cluster_calls == 1
+
+    def test_shortened_max_wait_rearms_flush_timer(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=100, max_wait=50.0
+        )
+
+        def deliver_then_retune():
+            consumer(EdgeEvent(0.0, B1, C2), 0.0, sim.clock.now())
+            consumer.configure(max_wait=2.0)
+
+        sim.schedule_at(0.0, deliver_then_retune)
+        sim.run()
+        # The new 2 s deadline flushed; without the re-arm the buffer
+        # would have waited the stale 50 s (the superseded timer still
+        # fires, harmlessly, thanks to the epoch guard).
+        assert consumer.pending_events == 0
+        assert consumer.events_consumed == 1
+        assert breakdown.stage("batching").percentile(50) == pytest.approx(2.0)
+
+    def test_growing_knobs_leaves_buffer_waiting(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, batch_size=4, max_wait=5.0
+        )
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        consumer.configure(batch_size=8, max_wait=10.0)
+        assert consumer.pending_events == 1  # no spurious flush on escalate
+
+    def test_configure_validates(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        with pytest.raises(ValueError):
+            consumer.configure(batch_size=0)
+        with pytest.raises(ValueError):
+            consumer.configure(max_wait=-1.0)
+
+    def test_cluster_calls_counts_round_trips(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        consumer(EdgeEvent(1.0, B2, C2), 1.0, 1.0)
+        assert consumer.cluster_calls == 2  # per-event path: one per event
+
+    def test_backlog_sampled_per_event_with_any_admission(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        # No backlog_limit: the sample must still happen (the monitor and
+        # the adaptive controller read the same signal).
+        admission = AdmissionController(rate=1000.0, burst=1000.0)
+        consumer = DetectionConsumer(
+            sim, cluster, output, breakdown, admission=admission
+        )
+        consumer.last_backlog = -1
+        consumer(EdgeEvent(0.0, B1, C2), 0.0, 0.0)
+        assert consumer.last_backlog == 0  # synchronous transport: drained
+
+    def test_sample_backlog_reads_transport(self, rig):
+        sim, cluster, output, breakdown, batches = rig
+        consumer = DetectionConsumer(sim, cluster, output, breakdown)
+        assert consumer.sample_backlog() == 0
+        assert consumer.last_backlog == 0
