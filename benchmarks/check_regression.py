@@ -38,6 +38,8 @@ LOWER_IS_BETTER = (
     "_vs_packed_ratio",  # columnar-vs-reference footprint: smaller wins
     "wire_overhead",  # wall over in-process wall at the same P: smaller wins
     "frontier_",  # E20 adaptive-over-static ratios: smaller = more dominant
+    "degradation",  # E21 live-over-idle read p99: smaller = less perturbed
+    "bytes_per",  # E21 serving footprint per materialized user
     "_ms",
     "_us",
     "_seconds",
@@ -48,7 +50,10 @@ LOWER_IS_BETTER = (
 )
 
 #: Metrics that are machine-independent (comparable across hosts).
-RELATIVE_MARKERS = ("speedup", "slowdown", "_ratio")
+#: ``bytes_per`` qualifies because the serving cache's windows are a
+#: deterministic function of the bench seed: every host materializes the
+#: same users into the same capacity.
+RELATIVE_MARKERS = ("speedup", "slowdown", "_ratio", "bytes_per")
 
 
 def metric_direction(name: str) -> int:

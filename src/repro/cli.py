@@ -8,7 +8,10 @@ Commands:
 * ``run`` — replay a stream file through an engine built from a snapshot
   file, printing detection statistics and top candidates;
 * ``simulate`` — run the end-to-end queue topology and print the latency
-  breakdown (the paper's 7 s / 15 s experiment);
+  breakdown (the paper's 7 s / 15 s experiment); ``--query-qps`` adds
+  pull-side point-query load against a live serving cache;
+* ``serve`` — materialize a stream into the serving cache and answer
+  ``GET <user>`` point queries over a TCP front-end;
 * ``explain`` — compile a catalog motif (or a motif text file) and print
   its query plan;
 * ``analyze`` — structural fingerprint of a snapshot file.
@@ -19,6 +22,7 @@ Every command is deterministic given its ``--seed``.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import csv
 import sys
 from collections import Counter as CollectionsCounter
@@ -34,7 +38,9 @@ from repro.gen import (
     TwitterGraphConfig,
     generate_event_stream,
     generate_follow_graph,
+    generate_follow_graph_chunked,
 )
+from repro.serving import ServingFrontend, ShardedServingCache
 from repro.graph import (
     D_BACKENDS,
     S_BACKENDS,
@@ -63,6 +69,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     gen_graph.add_argument("--users", type=int, default=10_000)
     gen_graph.add_argument("--mean-followings", type=float, default=20.0)
     gen_graph.add_argument("--seed", type=int, default=0)
+    gen_graph.add_argument(
+        "--chunked",
+        action="store_true",
+        help="vectorized chunked generation (no boxed edge list) — the "
+        "path that scales to multi-million-user graphs; statistically "
+        "the same family as the default path but a different RNG stream",
+    )
 
     gen_stream = commands.add_parser("generate-stream", help="write an event stream CSV")
     gen_stream.add_argument("output", type=Path, help="output .csv path")
@@ -176,7 +189,56 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="virtual seconds between adaptive-controller ticks",
     )
+    simulate.add_argument(
+        "--query-qps",
+        type=float,
+        default=None,
+        help="mixed workload: serve this many zipf point queries per "
+        "virtual second off a live serving cache (fed by the delivery "
+        "flush tap) while the stream ingests; read latency is reported "
+        "from the serving:read stage",
+    )
+    simulate.add_argument(
+        "--serving-shards",
+        type=int,
+        default=1,
+        help="serving-cache shards (splitmix64 by user, the delivery "
+        "keying); only meaningful with --query-qps",
+    )
     _add_backend_args(simulate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="materialize a stream into the serving cache, then answer "
+        "point queries over a TCP front-end",
+    )
+    serve.add_argument("graph", type=Path)
+    serve.add_argument("stream", type=Path)
+    serve.add_argument("--k", type=int, default=3)
+    serve.add_argument("--tau", type=float, default=1_800.0)
+    serve.add_argument("--partitions", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--topk", type=int, default=2, help="materialized entries per user")
+    serve.add_argument(
+        "--serving-shards",
+        type=int,
+        default=1,
+        help="serving-cache shards (splitmix64 by user)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to bind (0 = ephemeral, printed once bound)",
+    )
+    serve.add_argument(
+        "--smoke-queries",
+        type=int,
+        default=None,
+        help="self-test mode: issue this many zipf GETs over loopback, "
+        "print the stats line, and exit instead of serving forever",
+    )
 
     explain = commands.add_parser("explain", help="print a motif's compiled plan")
     explain.add_argument(
@@ -236,7 +298,10 @@ def _cmd_generate_graph(args: argparse.Namespace, out) -> int:
         mean_followings=args.mean_followings,
         seed=args.seed,
     )
-    snapshot = generate_follow_graph(config)
+    if args.chunked:
+        snapshot = generate_follow_graph_chunked(config)
+    else:
+        snapshot = generate_follow_graph(config)
     snapshot.save(args.output)
     print(
         f"wrote {snapshot.num_users} users / {snapshot.num_edges} edges "
@@ -359,6 +424,13 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         print("error: --slo-p99 requires --adaptive", file=sys.stderr)
         cluster.close()
         return 2
+    serving = None
+    if args.query_qps is not None:
+        require_positive(args.query_qps, "--query-qps")
+        serving = ShardedServingCache(
+            num_shards=args.serving_shards,
+            k=args.ranked_k if args.ranked else 2,
+        )
     topology = StreamingTopology(
         cluster,
         delivery=delivery,
@@ -369,6 +441,9 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         delivery_max_wait=args.delivery_max_wait,
         ranked_k=args.ranked_k if args.ranked else None,
         controller_config=controller_config,
+        serving=serving,
+        query_qps=args.query_qps,
+        query_users=snapshot.num_users if serving is not None else None,
     )
     try:
         result = topology.run(events)
@@ -391,7 +466,104 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         print(f"control plane    : {topology.controller.describe()}", file=out)
         if promote_threshold is not None:
             print(f"promote threshold: {promote_threshold} (derived)", file=out)
+    if topology.query_load is not None:
+        read = summary.get("serving:read", {})
+        print(
+            f"serving reads    : {topology.query_load.queries_issued} queries, "
+            f"hit rate {topology.query_load.hit_rate:.1%}, "
+            f"p50={read.get('p50', 0.0) * 1e6:.0f}us "
+            f"p99={read.get('p99', 0.0) * 1e6:.0f}us (wall clock)",
+            file=out,
+        )
+        print(
+            f"serving cache    : {serving.users_cached} users materialized, "
+            f"{serving.bytes_per_user():.0f} bytes/user",
+            file=out,
+        )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    """Materialize a stream into the serving cache, then answer queries.
+
+    The write path is the same ranked topology ``simulate`` runs (the
+    serving cache taps the delivery flush); once the stream has been
+    folded in, the asyncio front-end answers ``GET <user> [k]`` point
+    lookups.  ``--smoke-queries N`` runs a loopback self-test instead of
+    serving forever — the CI smoke mode.
+    """
+    snapshot = GraphSnapshot.load(args.graph)
+    events = _load_stream(args.stream)
+    require_positive(args.serving_shards, "--serving-shards")
+    cache = ShardedServingCache(num_shards=args.serving_shards, k=args.topk)
+    cluster = Cluster.build(
+        snapshot,
+        DetectionParams(k=args.k, tau=args.tau),
+        ClusterConfig(num_partitions=args.partitions),
+    )
+    topology = StreamingTopology(
+        cluster,
+        delivery=_delivery_shard_pipeline(0),
+        seed=args.seed,
+        batch_size=16,
+        delivery_batch_size=64,
+        ranked_k=args.topk,
+        serving=cache,
+    )
+    try:
+        topology.run(events)
+    finally:
+        cluster.close()
+    print(
+        f"materialized {cache.users_cached} users "
+        f"({cache.bytes_per_user():.0f} bytes/user) from {len(events)} events",
+        file=out,
+    )
+    try:
+        return asyncio.run(_serve_frontend(cache, snapshot.num_users, args, out))
+    except KeyboardInterrupt:
+        return 0
+
+
+async def _serve_frontend(
+    cache: ShardedServingCache, num_users: int, args: argparse.Namespace, out
+) -> int:
+    """Bind the TCP front-end; self-test (``--smoke-queries``) or serve."""
+    import json
+
+    frontend = ServingFrontend(cache)
+    host, port = await frontend.start(args.host, args.port)
+    print(f"serving on {host}:{port}", file=out)
+    try:
+        if args.smoke_queries is None:
+            await asyncio.Event().wait()  # serve until interrupted
+            return 0
+        from repro.gen.zipf import ZipfSampler
+        from repro.util.rng import make_rng
+
+        sampler = ZipfSampler(num_users, 1.1, make_rng(args.seed, "serve-smoke"))
+        reader, writer = await asyncio.open_connection(host, port)
+        hits = 0
+        for _ in range(args.smoke_queries):
+            writer.write(f"GET {sampler.sample()}\n".encode())
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            hits += bool(reply.get("recommendations"))
+        writer.write(b"STATS\n")
+        await writer.drain()
+        stats = json.loads(await reader.readline())
+        writer.write(b"QUIT\n")
+        await writer.drain()
+        writer.close()
+        await writer.wait_closed()
+        print(
+            f"smoke: {args.smoke_queries} loopback queries, {hits} hits, "
+            f"server saw {stats['queries_served']:.0f}",
+            file=out,
+        )
+        return 0
+    finally:
+        await frontend.stop()
 
 
 def _cmd_explain(args: argparse.Namespace, out) -> int:
@@ -439,6 +611,7 @@ _COMMANDS = {
     "generate-stream": _cmd_generate_stream,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,
 }

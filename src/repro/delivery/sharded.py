@@ -246,6 +246,11 @@ class ShardedDeliveryPipeline:
         shm_slots: ring slots per direction per shard (``"shm"`` only).
         shm_slot_bytes: payload bytes per ring slot (``"shm"`` only);
             frames that overflow fall back to the pickle wire.
+        serving_tap: called with ``(delivered, now)`` after every gather
+            of shard replies — the pull-side serving tier's write path
+            when the cache is fed post-funnel (delivered pushes rather
+            than ranked winners).  Runs in the parent, so a sharded
+            serving cache tapped here still has one writer per shard.
     """
 
     def __init__(
@@ -256,6 +261,8 @@ class ShardedDeliveryPipeline:
         start_method: str | None = None,
         shm_slots: int = DEFAULT_SLOTS,
         shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
+        serving_tap: Callable[[list[PushNotification], float], None]
+        | None = None,
     ) -> None:
         require_positive(num_shards, "num_shards")
         require(
@@ -271,6 +278,7 @@ class ShardedDeliveryPipeline:
         factory = pipeline_factory or _default_pipeline_factory
         self.num_shards = num_shards
         self.transport = transport
+        self.serving_tap = serving_tap
         #: Raw candidates lost to dead shard workers — counted in
         #: candidates on every loss path (observability, never silent).
         self.notifications_lost_shards = 0
@@ -417,7 +425,10 @@ class ShardedDeliveryPipeline:
         """Route one candidate to its recipient's shard."""
         shard = self.shard_of(rec.recipient)
         if self._pipelines is not None:
-            return self._pipelines[shard].offer(rec, now)
+            notification = self._pipelines[shard].offer(rec, now)
+            if notification is not None and self.serving_tap is not None:
+                self.serving_tap([notification], now)
+            return notification
         worker = self._workers[shard]
         if worker.dead or not self._post_message(worker, ("offer", rec, now)):
             self.notifications_lost_shards += 1
@@ -427,6 +438,8 @@ class ShardedDeliveryPipeline:
             self.notifications_lost_shards += 1
             return None
         self._stats_cache[worker.key] = raw[2]
+        if raw[1] is not None and self.serving_tap is not None:
+            self.serving_tap([raw[1]], now)
         return raw[1]
 
     def offer_all(
@@ -455,6 +468,8 @@ class ShardedDeliveryPipeline:
             for pipeline, shard_batch in zip(self._pipelines, shards):
                 if len(shard_batch):
                     delivered.extend(pipeline.offer_batch(shard_batch, now))
+            if delivered and self.serving_tap is not None:
+                self.serving_tap(delivered, now)
             return delivered
         submitted: list[tuple[WorkerHandle, int]] = []
         for worker, shard_batch in zip(self._workers, shards):
@@ -480,6 +495,8 @@ class ShardedDeliveryPipeline:
                 continue
             self._stats_cache[worker.key] = raw[2]
             delivered.extend(raw[1])
+        if delivered and self.serving_tap is not None:
+            self.serving_tap(delivered, now)
         return delivered
 
     # ------------------------------------------------------------------

@@ -16,7 +16,11 @@ laptop-scale equivalents:
 """
 
 from repro.gen.zipf import ZipfSampler, power_law_out_degrees
-from repro.gen.graph_gen import TwitterGraphConfig, generate_follow_graph
+from repro.gen.graph_gen import (
+    TwitterGraphConfig,
+    generate_follow_graph,
+    generate_follow_graph_chunked,
+)
 from repro.gen.stream_gen import (
     BurstSpec,
     StreamConfig,
@@ -31,6 +35,7 @@ __all__ = [
     "power_law_out_degrees",
     "TwitterGraphConfig",
     "generate_follow_graph",
+    "generate_follow_graph_chunked",
     "BurstSpec",
     "StreamConfig",
     "diurnal_rate_factor",

@@ -96,6 +96,35 @@ class CsrGraph:
         np.cumsum(counts, out=indptr[1:])
         return cls(indptr, dst)
 
+    @classmethod
+    def from_arrays(
+        cls, src: np.ndarray, dst: np.ndarray, num_nodes: int | None = None
+    ) -> "CsrGraph":
+        """Build from aligned ``int64`` edge columns; duplicates collapsed.
+
+        The columnar twin of :meth:`from_edges` — same lexsort + dedup +
+        bincount construction on arrays the caller already holds, so the
+        chunked graph generator never boxes an edge list.
+        """
+        require(len(src) == len(dst), "src and dst must be aligned")
+        if len(src) == 0:
+            size = num_nodes if num_nodes is not None else 0
+            return cls(np.zeros(size + 1, dtype=np.int64), np.empty(0, np.int64))
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        inferred = int(max(src.max(), dst.max())) + 1
+        size = inferred if num_nodes is None else num_nodes
+        require(size >= inferred, f"num_nodes={size} too small for ids up to {inferred - 1}")
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        keep = np.ones(len(src), dtype=bool)
+        keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        src, dst = src[keep], dst[keep]
+        counts = np.bincount(src, minlength=size)
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

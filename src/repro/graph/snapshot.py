@@ -58,6 +58,21 @@ class GraphSnapshot:
         """Build a snapshot from ``(A, B)`` follow pairs."""
         return cls(CsrGraph.from_edges(edges, num_nodes), edge_weights)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_nodes: int | None = None,
+    ) -> "GraphSnapshot":
+        """Build a snapshot from aligned edge columns (no boxed pairs).
+
+        The chunked generator's entry point; weights are not supported on
+        this path (the multi-million-user graphs it exists for never
+        score edges).
+        """
+        return cls(CsrGraph.from_arrays(src, dst, num_nodes))
+
     def save(self, path: str | Path) -> None:
         """Persist to an ``.npz`` file (CSR arrays + packed weights)."""
         path = Path(path)

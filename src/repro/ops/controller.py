@@ -104,6 +104,13 @@ class LoadSignal:
         watermark exactly while a post-burst partial batch waits out its
         flush timer — deadlocking the de-escalation that would release
         it.  Self-inflicted buffering is observability, not pressure.
+
+        Serving-tier read traffic is likewise invisible here *by
+        construction*: point queries read the serving cache lock-free
+        (no queue, no transport round-trip, no consumer buffering), so
+        none of these inputs can move when query load is added — the
+        write path's control loop must not react to the read path.
+        ``tests/test_controller.py`` pins that equivalence end to end.
         """
         return self.transport_backlog + self.queued_events
 

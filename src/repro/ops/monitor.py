@@ -19,9 +19,13 @@ flavor of the backlog signal.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.cluster import Cluster
 from repro.ops.metrics import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.serving.cache import ServingCache
 
 
 @dataclass(frozen=True)
@@ -76,11 +80,25 @@ class PartitionHealth:
 
 
 class ClusterMonitor:
-    """Polls a cluster and publishes per-replica metrics."""
+    """Polls a cluster and publishes per-replica metrics.
 
-    def __init__(self, cluster: Cluster, registry: MetricsRegistry | None = None) -> None:
+    An optional *serving* cache (the pull tier's
+    :class:`~repro.serving.cache.ServingCache` or its sharded wrapper)
+    adds the read side's gauges to every poll: ``serving_hit_rate``,
+    ``serving_cache_users``, and ``serving_bytes_per_user`` — the three
+    numbers that say whether the materialized top-k is keeping up with
+    the query population and what each cached user costs in RAM.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        registry: MetricsRegistry | None = None,
+        serving: "ServingCache | None" = None,
+    ) -> None:
         self.cluster = cluster
         self.registry = registry or MetricsRegistry()
+        self.serving = serving
         #: Replica count last seen per partition, so a dead worker's
         #: per-replica gauges can be zeroed instead of freezing at their
         #: last healthy values (a frozen replica_available=1 on a dead
@@ -150,7 +168,21 @@ class ClusterMonitor:
             float(self.cluster.broker.transport.backlog())
         )
         self._publish_wire_stats()
+        self._publish_serving_stats()
         return report
+
+    def _publish_serving_stats(self) -> None:
+        """Publish the pull tier's gauges when a serving cache is wired."""
+        serving = self.serving
+        if serving is None:
+            return
+        self.registry.gauge("serving_hit_rate").set(serving.hit_rate)
+        self.registry.gauge("serving_cache_users").set(
+            float(serving.users_cached)
+        )
+        self.registry.gauge("serving_bytes_per_user").set(
+            serving.bytes_per_user()
+        )
 
     def _publish_wire_stats(self) -> None:
         """Publish shm wire gauges when the transport exposes them."""

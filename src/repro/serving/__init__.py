@@ -1,0 +1,22 @@
+"""The pull-side serving tier: point queries over materialized top-k state.
+
+:mod:`repro.serving.cache` holds the columnar per-user store (seqlock
+reads against a single writer per shard); :mod:`repro.serving.frontend`
+puts a query surface on top (an asyncio TCP front-end plus the simulated
+query-load generator the mixed-workload runs use).
+"""
+
+from repro.serving.cache import (
+    ServedRecommendation,
+    ServingCache,
+    ShardedServingCache,
+)
+from repro.serving.frontend import QueryLoadGenerator, ServingFrontend
+
+__all__ = [
+    "QueryLoadGenerator",
+    "ServedRecommendation",
+    "ServingCache",
+    "ServingFrontend",
+    "ShardedServingCache",
+]

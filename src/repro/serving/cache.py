@@ -1,0 +1,542 @@
+"""The pull-side read cache: per-user materialized top-k recommendations.
+
+The push tier ends in notifications; the paper's product also answers
+"show me my recommendations now" for any of millions of users.  This
+module materializes exactly the state that query needs — each user's
+current top-k recommendations by corroboration x freshness — as flat
+numpy columns fed incrementally by the ranked delivery flush, so a point
+lookup never touches the detection cluster.
+
+Layout: an open-addressing user table (:class:`~repro.delivery.pairtable
+.Int64KeyTable`, keyed by the bare user id through the same splitmix64
+probe the funnel's pair tables use) whose value columns are fixed-``k``
+slot matrices::
+
+    keys       uint64[capacity]          user id
+    candidate  int64 [capacity, k]       recommended account ids
+    score      float64[capacity, k]      corroboration x freshness at
+                                         the entry's last refresh
+    created_at float64[capacity, k]      triggering-edge times
+    count      int64 [capacity]          live entries in this user's row
+    stamp      uint64[capacity]          per-slot seqlock stamp
+
+No per-user Python objects exist anywhere: a flush window's winners merge
+in as one vectorized pass (gather existing rows, dedup (user, candidate)
+with latest-offer-wins, re-rank per user, scatter the top-k back), and a
+read copies at most ``k`` scalars out of the matrices.
+
+**Concurrency contract** — single writer, lock-free readers, mirroring
+the seqlock discipline of :mod:`repro.cluster.shm`:
+
+* the writer brackets every *value* publish with a per-slot ``stamp``
+  increment pair (odd while the row is mid-write, even once published);
+* *structural* changes — inserting new users, growing/rebuilding the
+  table — are bracketed by the table-wide :attr:`ServingCache.version`
+  counter instead (odd while slots may move);
+* a reader samples ``version``, probes, samples the slot ``stamp``,
+  copies the row, then re-checks both stamps — any mismatch or odd value
+  means a concurrent write and the read retries.  Steady-state updates
+  to *other* users never perturb a reader (their slot stamps are
+  untouched and ``version`` only moves on structural changes).
+
+``tests/test_serving_cache.py`` enforces both the merge semantics
+(Hypothesis equivalence against a dict-of-dicts fold of the same flush
+batches) and the torn-read contract (a writer thread hammering updates
+while readers assert every observed row is internally consistent).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from repro.core.recommendation import Recommendation, RecommendationBatch
+from repro.delivery.notifier import PushNotification
+from repro.delivery.pairtable import Int64KeyTable
+from repro.delivery.scoring import decayed_scores
+from repro.util.hashing import splitmix64, splitmix64_array
+from repro.util.validation import require_positive
+
+__all__ = ["ServedRecommendation", "ServingCache", "ShardedServingCache"]
+
+#: Consistent-read attempts before declaring the writer wedged.  Each
+#: retry yields the GIL, so even a pathological writer storm resolves in
+#: a handful of laps; hitting the cap means the writer died mid-write.
+_READ_RETRIES = 1_000
+
+
+class ServedRecommendation(NamedTuple):
+    """One entry of a user's materialized top-k row."""
+
+    candidate: int
+    #: Corroboration x freshness score as of the entry's last refresh
+    #: (scores are *not* re-decayed at read time; the write path refreshes
+    #: them every flush window, which bounds staleness by the window).
+    score: float
+    created_at: float
+
+
+class ServingCache:
+    """Columnar per-user top-k store: one writer, lock-free point reads.
+
+    Args:
+        k: materialized entries per user (the largest ``k`` a point query
+            can ask for).
+        half_life: freshness half-life used when scoring boxed offers.
+        capacity: initial user-table slot count (power of two; grows).
+
+    Merge semantics (what :meth:`update_columns` folds in, and what the
+    dict-of-dicts reference in the tests replays): within one update,
+    later rows replace earlier rows of the same (user, candidate); the
+    update's rows then merge with the user's existing entries — same
+    candidate replaces in place, new candidates compete — and the user
+    keeps the top ``k`` by (score desc, candidate asc).  Entries pushed
+    below the cut are forgotten (no resurrection on later decay).
+    """
+
+    def __init__(
+        self, k: int = 2, half_life: float = 1_800.0, capacity: int = 1024
+    ) -> None:
+        require_positive(k, "k")
+        require_positive(half_life, "half_life")
+        self.k = k
+        self.half_life = half_life
+        self._table = Int64KeyTable(
+            {
+                "candidate": (np.int64, k),
+                "score": (np.float64, k),
+                "created_at": (np.float64, k),
+                "count": (np.int64, 0),
+                "stamp": (np.uint64, 0),
+            },
+            capacity=capacity,
+        )
+        #: Table-wide structural seqlock (odd while slots may move).  A
+        #: one-element array, not a plain int, so readers and the writer
+        #: share one memory location under the threading model.
+        self._version = np.zeros(1, dtype=np.uint64)
+        self.hits = 0
+        self.misses = 0
+        self.updates = 0
+        self.rows_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Write path (single writer)
+    # ------------------------------------------------------------------
+
+    def update_columns(
+        self,
+        recipients: np.ndarray,
+        candidates: np.ndarray,
+        scores: np.ndarray,
+        created_at: np.ndarray,
+    ) -> None:
+        """Merge one flush window's winners into the materialized rows.
+
+        All four columns are positionally aligned.  One vectorized pass:
+        existing entries for the touched users are gathered, deduped
+        against the new rows ((user, candidate) latest-wins), re-ranked,
+        and the top-k scattered back under the seqlock stamps.
+        """
+        n = len(recipients)
+        if n == 0:
+            return
+        self.updates += 1
+        self.rows_ingested += n
+        users = np.unique(recipients)
+        slots = self._upsert_users(users)
+        table = self._table
+        counts = table.columns["count"][slots]
+
+        # Gather the touched users' existing entries as flat rows.
+        total = int(counts.sum())
+        row_of = np.repeat(slots, counts)
+        seg_starts = np.cumsum(counts) - counts
+        col_of = np.arange(total) - np.repeat(seg_starts, counts)
+        all_users = np.concatenate([np.repeat(users, counts), recipients])
+        all_cand = np.concatenate(
+            [table.columns["candidate"][row_of, col_of], candidates]
+        )
+        all_score = np.concatenate(
+            [table.columns["score"][row_of, col_of], scores]
+        )
+        all_created = np.concatenate(
+            [table.columns["created_at"][row_of, col_of], created_at]
+        )
+
+        # Dedup (user, candidate), keeping the latest occurrence — new
+        # rows sit after existing rows, so a re-offered candidate's fresh
+        # score replaces the stale entry.
+        position = np.arange(len(all_users))
+        order = np.lexsort((-position, all_cand, all_users))
+        sorted_users = all_users[order]
+        sorted_cand = all_cand[order]
+        first = np.r_[
+            True,
+            (sorted_users[1:] != sorted_users[:-1])
+            | (sorted_cand[1:] != sorted_cand[:-1]),
+        ]
+        kept = order[first]
+        kept_users = sorted_users[first]
+        kept_cand = sorted_cand[first]
+        kept_score = all_score[kept]
+        kept_created = all_created[kept]
+
+        # Per-user top-k by (score desc, candidate asc) — the exact
+        # ranking TopKPerUserBuffer.flush releases winners in.
+        ranking = np.lexsort((kept_cand, -kept_score, kept_users))
+        ranked_users = kept_users[ranking]
+        run_first = np.r_[True, ranked_users[1:] != ranked_users[:-1]]
+        run_starts = np.flatnonzero(run_first)
+        run_ids = np.cumsum(run_first) - 1
+        rank_in_run = np.arange(len(ranking)) - run_starts[run_ids]
+        win = rank_in_run < self.k
+        win_users = ranked_users[win]
+        win_cand = kept_cand[ranking[win]]
+        win_score = kept_score[ranking[win]]
+        win_created = kept_created[ranking[win]]
+        win_rank = rank_in_run[win]
+        user_index = np.searchsorted(users, win_users)
+        win_slots = slots[user_index]
+        new_counts = np.bincount(user_index, minlength=len(users))
+
+        # Publish under the per-slot seqlock: stamps go odd, every value
+        # lands, stamps go even.  A reader of any touched user retries
+        # across this window; untouched users never notice.
+        stamp = table.columns["stamp"]
+        stamp[slots] += 1
+        table.columns["count"][slots] = new_counts
+        table.columns["candidate"][win_slots, win_rank] = win_cand
+        table.columns["score"][win_slots, win_rank] = win_score
+        table.columns["created_at"][win_slots, win_rank] = win_created
+        stamp[slots] += 1
+
+    def _upsert_users(self, users: np.ndarray) -> np.ndarray:
+        """Slots for sorted distinct *users*, inserting the missing ones.
+
+        Structural work (growing the table, inserting keys) runs inside
+        the table-wide version seqlock — slots may move, so readers must
+        not trust a probe that straddles it.
+        """
+        table = self._table
+        keys = users.astype(np.uint64)
+        slots = table.lookup(keys)
+        missing = slots < 0
+        need = int(missing.sum())
+        if need:
+            version = self._version
+            version[0] += 1  # odd: slots may move / appear
+            if table.reserve(need):
+                slots = table.lookup(keys)
+                missing = slots < 0
+            slots[missing] = table.insert(keys[missing])
+            version[0] += 1  # even: structure stable again
+        return slots
+
+    # ------------------------------------------------------------------
+    # Ingest adapters (what the delivery-side taps call)
+    # ------------------------------------------------------------------
+
+    def ingest_released(
+        self, released: Iterable[Recommendation], now: float
+    ) -> None:
+        """Merge a ranked flush's released winners, scored as of *now*."""
+        recs = released if isinstance(released, list) else list(released)
+        n = len(recs)
+        if n == 0:
+            return
+        recipients = np.fromiter((r.recipient for r in recs), np.int64, n)
+        candidates = np.fromiter((r.candidate for r in recs), np.int64, n)
+        witnesses = np.fromiter((len(r.via) for r in recs), np.int64, n)
+        created = np.fromiter((r.created_at for r in recs), np.float64, n)
+        self.update_columns(
+            recipients,
+            candidates,
+            decayed_scores(witnesses, created, now, self.half_life),
+            created,
+        )
+
+    def ingest_batch(self, batch: RecommendationBatch, now: float) -> None:
+        """Merge a columnar candidate batch (the unranked tap), unboxed.
+
+        Each group's recipient column is consumed by reference; scores
+        are computed from the group's shared witness count and creation
+        time, so nothing is ever boxed on the way in.
+        """
+        if len(batch) == 0:
+            return
+        recipient_parts: list[np.ndarray] = []
+        candidate_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        created_parts: list[np.ndarray] = []
+        for group in batch.groups:
+            size = len(group)
+            if not size:
+                continue
+            recipient_parts.append(group.recipients)
+            candidate_parts.append(np.full(size, group.candidate, np.int64))
+            score = decayed_scores(
+                np.array([group.num_witnesses], dtype=np.int64),
+                np.array([group.created_at], dtype=np.float64),
+                now,
+                self.half_life,
+            )[0]
+            score_parts.append(np.full(size, score, np.float64))
+            created_parts.append(np.full(size, group.created_at, np.float64))
+        if not recipient_parts:
+            return
+        self.update_columns(
+            np.concatenate(recipient_parts),
+            np.concatenate(candidate_parts),
+            np.concatenate(score_parts),
+            np.concatenate(created_parts),
+        )
+
+    def ingest_notifications(
+        self, notifications: Iterable[PushNotification], now: float
+    ) -> None:
+        """Merge delivered notifications (the sharded-delivery tap)."""
+        self.ingest_released(
+            [n.recommendation for n in notifications], now
+        )
+
+    # ------------------------------------------------------------------
+    # Read path (lock-free against the writer)
+    # ------------------------------------------------------------------
+
+    def get_recommendations(
+        self, user: int, k: int | None = None
+    ) -> list[ServedRecommendation]:
+        """The user's current top-(at most *k*) recommendations.
+
+        Lock-free seqlock read: never blocks the writer, never returns a
+        torn row.  An empty list is a miss (user not materialized) —
+        misses and hits feed :attr:`hit_rate`.
+        """
+        limit = self.k if k is None else min(k, self.k)
+        table = self._table
+        version = self._version
+        for attempt in range(_READ_RETRIES):
+            if attempt:
+                time.sleep(0)  # yield so the in-flight writer can finish
+            v1 = int(version[0])
+            if v1 & 1:
+                continue
+            slot = table.find(int(user))
+            if slot < 0:
+                if int(version[0]) != v1:
+                    continue  # probe raced a rebuild/insert: retry
+                self.misses += 1
+                return []
+            stamp = table.columns["stamp"]
+            s1 = int(stamp[slot])
+            if s1 & 1:
+                continue
+            count = min(int(table.columns["count"][slot]), limit)
+            candidates = table.columns["candidate"][slot, :count].tolist()
+            scores = table.columns["score"][slot, :count].tolist()
+            created = table.columns["created_at"][slot, :count].tolist()
+            if int(stamp[slot]) != s1 or int(version[0]) != v1:
+                continue
+            if count == 0:
+                self.misses += 1
+                return []
+            self.hits += 1
+            return [
+                ServedRecommendation(c, s, t)
+                for c, s, t in zip(candidates, scores, created)
+            ]
+        raise RuntimeError(
+            f"serving read for user {user} did not stabilize after "
+            f"{_READ_RETRIES} attempts (writer died mid-write?)"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (monitor gauges, benches, equality checks)
+    # ------------------------------------------------------------------
+
+    @property
+    def users_cached(self) -> int:
+        """Users with a materialized row."""
+        return len(self._table)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads that found a materialized row."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def nbytes(self) -> int:
+        """Resident bytes across the user table and all slot matrices."""
+        return self._table.nbytes() + self._version.nbytes
+
+    def bytes_per_user(self) -> float:
+        """Resident bytes per materialized user (capacity amortized in)."""
+        return self.nbytes() / max(self.users_cached, 1)
+
+    def dump(self) -> dict[int, list[ServedRecommendation]]:
+        """Full cache contents (tests and multiset-equality checks only)."""
+        table = self._table
+        out: dict[int, list[ServedRecommendation]] = {}
+        for slot in table.filled_slots().tolist():
+            user = int(table.keys_at(np.array([slot]))[0])
+            count = int(table.columns["count"][slot])
+            out[user] = [
+                ServedRecommendation(
+                    int(table.columns["candidate"][slot, i]),
+                    float(table.columns["score"][slot, i]),
+                    float(table.columns["created_at"][slot, i]),
+                )
+                for i in range(count)
+            ]
+        return out
+
+
+class ShardedServingCache:
+    """Recipient-hash-sharded serving caches, one writer per shard.
+
+    Sharding uses ``splitmix64(user) % num_shards`` — the *same* keying
+    as :class:`~repro.delivery.sharded.ShardedDeliveryPipeline` — so when
+    serving shards mirror delivery shards, every user's cache updates
+    originate from exactly one delivery shard's flushes: each shard's
+    cache is single-writer by construction, which is what the per-shard
+    seqlock discipline requires.
+
+    The query surface routes point reads to the owning shard; the ingest
+    surface splits incoming rows by the same hash, so callers can feed it
+    from an unsharded path too (one logical writer is still one writer
+    per shard).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        k: int = 2,
+        half_life: float = 1_800.0,
+        capacity: int = 1024,
+    ) -> None:
+        require_positive(num_shards, "num_shards")
+        self.num_shards = num_shards
+        self.k = k
+        self.shards = [
+            ServingCache(k=k, half_life=half_life, capacity=capacity)
+            for _ in range(num_shards)
+        ]
+
+    def shard_of(self, user: int) -> int:
+        """The shard owning *user* (stable splitmix64 hash)."""
+        return splitmix64(user) % self.num_shards
+
+    # -- query surface --------------------------------------------------
+
+    def get_recommendations(
+        self, user: int, k: int | None = None
+    ) -> list[ServedRecommendation]:
+        """Point lookup, routed to the owning shard."""
+        return self.shards[self.shard_of(user)].get_recommendations(user, k)
+
+    # -- ingest surface -------------------------------------------------
+
+    def update_columns(
+        self,
+        recipients: np.ndarray,
+        candidates: np.ndarray,
+        scores: np.ndarray,
+        created_at: np.ndarray,
+    ) -> None:
+        """Split aligned winner columns by recipient hash and merge."""
+        if self.num_shards == 1:
+            self.shards[0].update_columns(
+                recipients, candidates, scores, created_at
+            )
+            return
+        shard_ids = (
+            splitmix64_array(recipients.astype(np.uint64))
+            % np.uint64(self.num_shards)
+        ).astype(np.int64)
+        for shard in np.unique(shard_ids).tolist():
+            mask = shard_ids == shard
+            self.shards[shard].update_columns(
+                recipients[mask],
+                candidates[mask],
+                scores[mask],
+                created_at[mask],
+            )
+
+    def ingest_released(
+        self, released: Iterable[Recommendation], now: float
+    ) -> None:
+        """Split a ranked flush's winners by shard and merge each."""
+        recs = released if isinstance(released, list) else list(released)
+        if not recs:
+            return
+        if self.num_shards == 1:
+            self.shards[0].ingest_released(recs, now)
+            return
+        per_shard: list[list[Recommendation]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for rec in recs:
+            per_shard[self.shard_of(rec.recipient)].append(rec)
+        for shard, shard_recs in enumerate(per_shard):
+            if shard_recs:
+                self.shards[shard].ingest_released(shard_recs, now)
+
+    def ingest_batch(self, batch: RecommendationBatch, now: float) -> None:
+        """Split a columnar batch by shard and merge each, unboxed."""
+        if self.num_shards == 1:
+            self.shards[0].ingest_batch(batch, now)
+            return
+        from repro.delivery.sharded import split_batch_by_shard
+
+        for shard, shard_batch in enumerate(
+            split_batch_by_shard(batch, self.num_shards)
+        ):
+            if len(shard_batch):
+                self.shards[shard].ingest_batch(shard_batch, now)
+
+    def ingest_notifications(
+        self, notifications: Iterable[PushNotification], now: float
+    ) -> None:
+        """Merge delivered notifications (the sharded-delivery tap)."""
+        self.ingest_released(
+            [n.recommendation for n in notifications], now
+        )
+
+    # -- aggregated stats -----------------------------------------------
+
+    @property
+    def users_cached(self) -> int:
+        """Users materialized across all shards."""
+        return sum(shard.users_cached for shard in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self.shards)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction aggregated over shards."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def nbytes(self) -> int:
+        """Resident bytes summed over shards."""
+        return sum(shard.nbytes() for shard in self.shards)
+
+    def bytes_per_user(self) -> float:
+        """Resident bytes per materialized user, across shards."""
+        return self.nbytes() / max(self.users_cached, 1)
+
+    def dump(self) -> dict[int, list[ServedRecommendation]]:
+        """Merged contents of every shard (tests only)."""
+        out: dict[int, list[ServedRecommendation]] = {}
+        for shard in self.shards:
+            out.update(shard.dump())
+        return out

@@ -36,6 +36,7 @@ from repro.util.validation import require, require_non_negative
 if TYPE_CHECKING:  # avoid ops/scoring imports at runtime for these hooks
     from repro.delivery.scoring import TopKPerUserBuffer
     from repro.ops.admission import AdmissionController
+    from repro.serving.cache import ServingCache
 
 
 @dataclass(frozen=True)
@@ -304,6 +305,13 @@ class DeliveryCoalescer:
     corroboration x freshness) into the funnel — the window doubles as
     the ranking window.  The funnel then sees the already-ranked
     survivors, so its "raw" count measures post-ranking volume.
+
+    A *serving* cache (:class:`~repro.serving.cache.ServingCache` or its
+    sharded wrapper) turns the flush into the pull tier's write path: the
+    exact rows entering the funnel — the ranked window's released winners,
+    or the merged raw batch when unranked — also merge into the per-user
+    materialized top-k that point queries read.  The tap is downstream
+    accounting only; it never changes what the funnel sees.
     """
 
     def __init__(
@@ -315,6 +323,7 @@ class DeliveryCoalescer:
         batch_size: int = 1,
         max_wait: float = 0.05,
         ranker: "TopKPerUserBuffer | None" = None,
+        serving: "ServingCache | None" = None,
     ) -> None:
         require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
         require_non_negative(max_wait, "max_wait")
@@ -325,6 +334,7 @@ class DeliveryCoalescer:
         self._batch_size = batch_size
         self._max_wait = max_wait
         self._ranker = ranker
+        self._serving = serving
         #: Pending (batch, delivered_at) pairs awaiting a flush.
         self._buffer: list[tuple[CandidateBatch, float]] = []
         self._pending_candidates = 0
@@ -434,10 +444,14 @@ class DeliveryCoalescer:
             # only those winners enter the funnel.
             self._ranker.offer_batch(merged)
             released = self._ranker.flush(flushed_at)
+            if self._serving is not None:
+                self._serving.ingest_released(released, flushed_at)
             self._notifications.extend(
                 self._delivery.offer_all(released, flushed_at)
             )
             return
+        if self._serving is not None:
+            self._serving.ingest_batch(merged, flushed_at)
         self._notifications.extend(
             self._delivery.offer_batch(merged, flushed_at)
         )
@@ -496,8 +510,15 @@ class DeliveryCoalescer:
                 for rec in recommendations:
                     self._ranker.offer(rec)
             released = self._ranker.flush(now)
+            if self._serving is not None:
+                self._serving.ingest_released(released, now)
             self._notifications.extend(self._delivery.offer_all(released, now))
             return
+        if self._serving is not None:
+            if isinstance(recommendations, RecommendationBatch):
+                self._serving.ingest_batch(recommendations, now)
+            else:
+                self._serving.ingest_released(list(recommendations), now)
         if isinstance(recommendations, RecommendationBatch):
             # Columnar candidates stay columnar through the funnel; only
             # the final survivors are boxed (inside offer_batch).

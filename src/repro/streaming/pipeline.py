@@ -44,9 +44,16 @@ from repro.streaming.consumer import (
     DeliveryCoalescer,
     DetectionConsumer,
 )
+from repro.serving.frontend import QueryLoadGenerator
 from repro.streaming.queue import MessageQueue
 from repro.streaming.source import ReplaySource
 from repro.util.rng import make_rng
+from repro.util.validation import require
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.serving.cache import ServingCache
 
 
 class TopologyKnobs:
@@ -120,6 +127,10 @@ class StreamingTopology:
         delivery_max_wait: float = 0.05,
         ranked_k: int | None = None,
         controller_config: ControllerConfig | None = None,
+        serving: "ServingCache | None" = None,
+        query_qps: float | None = None,
+        query_users: int | None = None,
+        query_k: int | None = None,
     ) -> None:
         """Build the topology.
 
@@ -160,6 +171,19 @@ class StreamingTopology:
                 non-limiting SAMPLE-policy controller is created so the
                 shed rung has an actuator (and keeps a 1-in-N trace
                 flowing while shedding).
+            serving: enable the pull-side serving tier — a
+                :class:`~repro.serving.cache.ServingCache` (or its sharded
+                wrapper) fed by the delivery coalescer's flush tap, so
+                every flush window's funnel input also materializes into
+                the per-user top-k that point queries read.
+            query_qps: with *serving*, schedule zipf point queries at
+                this rate (per virtual second) for the duration of the
+                replayed stream — the mixed read/write workload.  Read
+                wall-clock latency lands in the ``serving:read``
+                breakdown stage.
+            query_users: user-id space for the query load (required with
+                ``query_qps``).
+            query_k: entries requested per query (default: the cache's k).
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -227,7 +251,28 @@ class StreamingTopology:
             ranker=(
                 TopKPerUserBuffer(k=ranked_k) if ranked_k is not None else None
             ),
+            serving=serving,
         )
+        self.serving = serving
+        self.query_load: QueryLoadGenerator | None = None
+        if query_qps is not None:
+            require(
+                serving is not None,
+                "query_qps needs a serving cache to query",
+            )
+            require(
+                query_users is not None and query_users > 0,
+                "query_qps needs query_users (the id space to draw from)",
+            )
+            self.query_load = QueryLoadGenerator(
+                self.sim,
+                serving,
+                query_users,
+                query_qps,
+                self.breakdown,
+                k=query_k,
+                seed=seed,
+            )
 
         self.admission = admission
         self.controller: AdaptiveController | None = None
@@ -264,6 +309,14 @@ class StreamingTopology:
             self.sim.schedule_after(
                 self.controller.config.interval, self._controller_tick
             )
+        if self.query_load is not None and events:
+            # The query timeline is fixed up front (stream span plus a
+            # drain margin covering the trailing flush windows): were the
+            # queries self-rescheduling-while-pending like the controller
+            # tick, the two event sources would keep each other alive and
+            # the drain would never finish.
+            horizon = max(event.created_at for event in events) + 1.0
+            self.query_load.schedule_until(horizon)
         self.sim.run()
         return TopologyReport(
             breakdown=self.breakdown,

@@ -295,3 +295,77 @@ class TestExplainCommand:
             code, output = run_cli("explain", name)
             assert code == 0
             assert "plan for motif" in output
+
+
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli-serving")
+        graph = tmp / "graph.npz"
+        stream = tmp / "stream.csv"
+        code, out = run_cli(
+            "generate-graph", str(graph), "--users", "800", "--seed", "3",
+            "--chunked",
+        )
+        assert code == 0 and "800 users" in out
+        code, out = run_cli(
+            "generate-stream", str(stream),
+            "--users", "800", "--duration", "200", "--rate", "4",
+            "--bursts", "1", "--burst-actors", "40", "--seed", "3",
+        )
+        assert code == 0 and "events" in out
+        return graph, stream
+
+    def test_generate_graph_chunked_loads_back(self, artifacts):
+        from repro.graph.snapshot import GraphSnapshot
+
+        graph, _ = artifacts
+        snap = GraphSnapshot.load(graph)
+        assert snap.num_users == 800
+        assert snap.num_edges > 800
+
+    def test_simulate_query_qps_reports_serving_stats(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1",
+            "--query-qps", "200", "--serving-shards", "2", "--ranked",
+        )
+        assert code == 0
+        assert "serving reads" in output
+        assert "serving cache" in output
+        assert "hit rate" in output
+
+    def test_simulate_query_load_changes_no_counts(self, artifacts):
+        graph, stream = artifacts
+
+        def counts(output):
+            return [
+                line for line in output.splitlines()
+                if "events ingested" in line or "notifications" in line
+            ]
+
+        code_quiet, out_quiet = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1", "--ranked",
+        )
+        code_queried, out_queried = run_cli(
+            "simulate", str(graph), str(stream),
+            "--k", "2", "--partitions", "2", "--seed", "1", "--ranked",
+            "--query-qps", "100",
+        )
+        assert code_quiet == 0 and code_queried == 0
+        assert counts(out_quiet) == counts(out_queried)
+
+    def test_serve_smoke_queries(self, artifacts):
+        graph, stream = artifacts
+        code, output = run_cli(
+            "serve", str(graph), str(stream),
+            "--partitions", "2", "--serving-shards", "2",
+            "--smoke-queries", "25",
+        )
+        assert code == 0
+        assert "materialized" in output
+        assert "serving on 127.0.0.1:" in output
+        assert "smoke: 25 loopback queries" in output
+        assert "server saw 25" in output

@@ -412,3 +412,77 @@ class TestAdaptiveEquivalence:
         assert controller.mode is ControlMode.LATENCY
         assert static.events_ingested == adaptive.events_ingested
         assert multiset(static) == multiset(adaptive)
+
+
+class TestServingReadsInvisibleToControlPlane:
+    """Point-query load must not perturb the push pipeline or controller.
+
+    ``LoadSignal.pressure`` documents that serving reads are invisible by
+    construction (no queue, no transport round-trip, no buffering); this
+    pins it end to end: the same stream run with and without a live
+    query load must produce identical notifications, identical cluster
+    round-trips, and an identical controller posture history.
+    """
+
+    def run_topology(self, snapshot, events, query_qps):
+        from repro.serving import ServingCache
+
+        cluster = Cluster.build(
+            snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        try:
+            serving = None
+            if query_qps is not None:
+                serving = ServingCache(k=2)
+            topology = StreamingTopology(
+                cluster,
+                delivery=DeliveryPipeline(filters=[]),
+                hop_models={
+                    name: FixedDelay(0.5)
+                    for name in ("firehose", "fanout", "push")
+                },
+                controller_config=ControllerConfig(
+                    backlog_high=10**9, backlog_low=10**8, slo_p99=None
+                ),
+                serving=serving,
+                query_qps=query_qps,
+                query_users=snapshot.num_users if query_qps else None,
+            )
+            report = topology.run(list(events))
+            return report, topology
+        finally:
+            cluster.close()
+
+    def test_query_load_changes_nothing_in_the_push_path(
+        self, equivalence_workload
+    ):
+        snapshot, events = equivalence_workload
+
+        def multiset(report):
+            return sorted(
+                (
+                    n.recommendation.created_at,
+                    n.recipient,
+                    n.recommendation.candidate,
+                )
+                for n in report.notifications
+            )
+
+        quiet, quiet_top = self.run_topology(snapshot, events, query_qps=None)
+        queried, queried_top = self.run_topology(snapshot, events, query_qps=64.0)
+
+        load = queried_top.query_load
+        assert load is not None and load.queries_issued > 0
+        assert queried_top.serving.users_cached > 0
+        # The read side really ran — and the push side never noticed.
+        assert multiset(quiet) == multiset(queried)
+        assert quiet.events_ingested == queried.events_ingested
+        assert (
+            quiet_top.consumer.cluster_calls
+            == queried_top.consumer.cluster_calls
+        )
+        assert (
+            quiet_top.controller.escalations
+            == queried_top.controller.escalations
+        )
+        assert quiet_top.controller.level == queried_top.controller.level

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.gen.graph_gen import TwitterGraphConfig, generate_follow_graph
+from repro.gen.graph_gen import (
+    TwitterGraphConfig,
+    generate_follow_graph,
+    generate_follow_graph_chunked,
+)
 
 
 class TestGenerateFollowGraph:
@@ -66,3 +70,67 @@ class TestGenerateFollowGraph:
             TwitterGraphConfig(num_users=10, mean_followings=20.0)
         with pytest.raises(ValueError):
             TwitterGraphConfig(max_followings=0)
+
+
+class TestChunkedGeneration:
+    def test_basic_shape_and_invariants(self):
+        config = TwitterGraphConfig(num_users=5_000, seed=11)
+        snap = generate_follow_graph_chunked(config, chunk_users=1_024)
+        assert snap.num_users == 5_000
+        assert snap.num_edges > 5_000
+        assert all(a != b for a, b in snap.follow_edges())
+        # The boxed path's invariant holds: nobody follows zero accounts.
+        assert int(snap.graph.out_degrees().min()) >= 1
+
+    def test_deterministic(self):
+        config = TwitterGraphConfig(num_users=3_000, seed=5)
+        a = generate_follow_graph_chunked(config, chunk_users=512)
+        b = generate_follow_graph_chunked(config, chunk_users=512)
+        assert sorted(a.follow_edges()) == sorted(b.follow_edges())
+
+    def test_mean_out_degree_near_config(self):
+        config = TwitterGraphConfig(num_users=4_000, mean_followings=12.0, seed=6)
+        snap = generate_follow_graph_chunked(config)
+        assert snap.num_edges / snap.num_users == pytest.approx(12.0, rel=0.35)
+
+    def test_popularity_skew_matches_boxed_path(self):
+        snap = generate_follow_graph_chunked(
+            TwitterGraphConfig(num_users=4_000, popularity_exponent=1.0, seed=4)
+        )
+        in_degrees = snap.graph.transposed().out_degrees()
+        top = int(np.sum(in_degrees[:100]))
+        bottom = int(np.sum(in_degrees[-100:]))
+        assert top > 10 * max(bottom, 1)
+
+    def test_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            generate_follow_graph_chunked(
+                TwitterGraphConfig(num_users=100, with_weights=True)
+            )
+
+    def test_chunk_users_validated(self):
+        with pytest.raises(ValueError):
+            generate_follow_graph_chunked(
+                TwitterGraphConfig(num_users=100), chunk_users=0
+            )
+
+    def test_peak_memory_stays_columnar_at_scale(self):
+        """200k users build without ever boxing an edge list.
+
+        The boxed path would allocate ~1.4M ``(int, int)`` tuples plus a
+        Python list (>= 150 MB of small objects) before CSR construction
+        even starts; the chunked path's peak must stay near the final
+        arrays plus one chunk's working set.
+        """
+        import tracemalloc
+
+        config = TwitterGraphConfig(num_users=200_000, mean_followings=7.0, seed=2)
+        tracemalloc.start()
+        try:
+            snap = generate_follow_graph_chunked(config, chunk_users=50_000)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert snap.num_users == 200_000
+        assert snap.num_edges > 1_000_000
+        assert peak < 120 * 1024 * 1024, f"peak {peak / 1e6:.0f} MB"

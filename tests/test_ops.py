@@ -304,3 +304,37 @@ class TestMonitorOverWorkerTransport:
             assert any("WORKER DEAD" in a for a in alerts)
         finally:
             cluster.close()
+
+
+class TestServingGauges:
+    def test_serving_gauges_published_when_wired(self, figure1_snapshot):
+        import numpy as np
+
+        from repro.serving import ServingCache
+
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        cache = ServingCache(k=2)
+        cache.update_columns(
+            np.array([1, 2], dtype=np.int64),
+            np.array([10, 20], dtype=np.int64),
+            np.array([1.0, 2.0]),
+            np.array([0.0, 0.0]),
+        )
+        cache.get_recommendations(1)       # hit
+        cache.get_recommendations(999)     # miss
+        monitor = ClusterMonitor(cluster, serving=cache)
+        monitor.poll()
+        snap = monitor.registry.snapshot()
+        assert snap["serving_hit_rate"] == 0.5
+        assert snap["serving_cache_users"] == 2.0
+        assert snap["serving_bytes_per_user"] > 0
+
+    def test_serving_gauges_absent_without_cache(self, figure1_snapshot):
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        monitor = ClusterMonitor(cluster)
+        monitor.poll()
+        assert "serving_hit_rate" not in monitor.registry.snapshot()

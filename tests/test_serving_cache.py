@@ -1,0 +1,425 @@
+"""Unit + property + concurrency tests for the serving-tier read cache.
+
+Three layers of guarantee:
+
+* unit tests pin the merge semantics (replace-in-place, latest-wins
+  dedup, top-k cut, growth) and the ingest adapters the delivery taps
+  call;
+* a Hypothesis property replays arbitrary update sequences against a
+  dict-of-dicts reference fold and demands identical final contents;
+* a threaded writer/reader test enforces the seqlock contract — every
+  observed row is internally consistent (no torn reads) while the
+  writer inserts, updates, and grows the table under the readers.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ActionType, EdgeEvent, Recommendation
+from repro.core.recommendation import RecommendationBatch, RecommendationGroup
+from repro.delivery.scoring import decayed_scores
+from repro.serving import ServedRecommendation, ServingCache, ShardedServingCache
+
+
+def update(cache, rows):
+    """Apply ``[(user, candidate, score, created_at), ...]`` as one merge."""
+    cache.update_columns(
+        np.array([r[0] for r in rows], dtype=np.int64),
+        np.array([r[1] for r in rows], dtype=np.int64),
+        np.array([r[2] for r in rows], dtype=np.float64),
+        np.array([r[3] for r in rows], dtype=np.float64),
+    )
+
+
+class TestMergeSemantics:
+    def test_single_update_ranks_by_score_then_candidate(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 1.0, 0.0), (1, 11, 3.0, 0.0), (1, 12, 2.0, 0.0)])
+        assert cache.get_recommendations(1) == [
+            ServedRecommendation(11, 3.0, 0.0),
+            ServedRecommendation(12, 2.0, 0.0),
+        ]
+
+    def test_score_tie_breaks_by_candidate_ascending(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 12, 1.0, 0.0), (1, 10, 1.0, 0.0), (1, 11, 1.0, 0.0)])
+        assert [r.candidate for r in cache.get_recommendations(1)] == [10, 11]
+
+    def test_same_candidate_replaces_in_place(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 3.0, 0.0), (1, 11, 2.0, 0.0)])
+        update(cache, [(1, 10, 1.0, 5.0)])  # refresh demotes candidate 10
+        assert cache.get_recommendations(1) == [
+            ServedRecommendation(11, 2.0, 0.0),
+            ServedRecommendation(10, 1.0, 5.0),
+        ]
+
+    def test_duplicate_rows_in_one_update_latest_wins(self):
+        cache = ServingCache(k=2)
+        # Positional order decides, not score: the later row replaces the
+        # earlier one even though it scores lower.
+        update(cache, [(1, 10, 9.0, 0.0), (1, 10, 1.0, 1.0)])
+        assert cache.get_recommendations(1) == [ServedRecommendation(10, 1.0, 1.0)]
+
+    def test_entries_below_cut_are_forgotten(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 1.0, 0.0), (1, 11, 2.0, 0.0)])
+        update(cache, [(1, 12, 5.0, 1.0), (1, 13, 4.0, 1.0)])
+        assert [r.candidate for r in cache.get_recommendations(1)] == [12, 13]
+        # Candidate 11 fell off; demoting the newcomers cannot revive it.
+        update(cache, [(1, 12, 0.5, 2.0), (1, 13, 0.4, 2.0)])
+        assert [r.candidate for r in cache.get_recommendations(1)] == [12, 13]
+
+    def test_untouched_users_unchanged(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 1.0, 0.0), (2, 20, 2.0, 0.0)])
+        update(cache, [(2, 21, 3.0, 1.0)])
+        assert cache.get_recommendations(1) == [ServedRecommendation(10, 1.0, 0.0)]
+        assert [r.candidate for r in cache.get_recommendations(2)] == [21, 20]
+
+    def test_read_k_caps_row_length(self):
+        cache = ServingCache(k=3)
+        update(cache, [(1, 10, 3.0, 0.0), (1, 11, 2.0, 0.0), (1, 12, 1.0, 0.0)])
+        assert len(cache.get_recommendations(1, k=2)) == 2
+        assert len(cache.get_recommendations(1, k=99)) == 3
+
+    def test_miss_and_hit_rate(self):
+        cache = ServingCache(k=2)
+        assert cache.get_recommendations(5) == []
+        update(cache, [(5, 10, 1.0, 0.0)])
+        assert cache.get_recommendations(5) != []
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_empty_update_is_a_no_op(self):
+        cache = ServingCache(k=2)
+        cache.update_columns(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.float64), np.empty(0, np.float64),
+        )
+        assert cache.users_cached == 0 and cache.updates == 0
+
+    def test_growth_past_initial_capacity(self):
+        cache = ServingCache(k=2, capacity=8)
+        update(cache, [(u, u + 1000, float(u), 0.0) for u in range(500)])
+        assert cache.users_cached == 500
+        for u in (0, 250, 499):
+            assert cache.get_recommendations(u) == [
+                ServedRecommendation(u + 1000, float(u), 0.0)
+            ]
+
+    def test_dump_round_trips_contents(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 1.0, 0.0), (2, 20, 2.0, 3.0)])
+        assert cache.dump() == {
+            1: [ServedRecommendation(10, 1.0, 0.0)],
+            2: [ServedRecommendation(20, 2.0, 3.0)],
+        }
+
+    def test_bytes_per_user_positive_and_bounded(self):
+        cache = ServingCache(k=2, capacity=64)
+        update(cache, [(u, 1, 1.0, 0.0) for u in range(30)])
+        assert cache.nbytes() > 0
+        assert cache.bytes_per_user() == pytest.approx(cache.nbytes() / 30)
+
+
+class TestIngestAdapters:
+    def test_ingest_released_scores_by_witnesses_and_freshness(self):
+        cache = ServingCache(k=2, half_life=100.0)
+        recs = [
+            Recommendation(recipient=1, candidate=7, created_at=0.0, via=(3, 4)),
+            Recommendation(recipient=1, candidate=8, created_at=0.0, via=(3,)),
+        ]
+        cache.ingest_released(recs, now=100.0)
+        expected = decayed_scores(
+            np.array([2, 1], dtype=np.int64),
+            np.array([0.0, 0.0]),
+            100.0,
+            100.0,
+        )
+        served = cache.get_recommendations(1)
+        assert [r.candidate for r in served] == [7, 8]
+        assert [r.score for r in served] == pytest.approx(expected.tolist())
+
+    def test_ingest_batch_matches_released_equivalent(self):
+        via = (31, 32, 33)
+        recipients = np.array([1, 2, 5], dtype=np.int64)
+        batch = RecommendationBatch(
+            [RecommendationGroup(recipients, candidate=9, created_at=2.0, via=via)]
+        )
+        boxed = [
+            Recommendation(recipient=int(r), candidate=9, created_at=2.0, via=via)
+            for r in recipients
+        ]
+        columnar, reference = ServingCache(k=2), ServingCache(k=2)
+        columnar.ingest_batch(batch, now=10.0)
+        reference.ingest_released(boxed, now=10.0)
+        assert columnar.dump() == reference.dump()
+
+    def test_ingest_notifications_unwraps_recommendations(self):
+        from repro.delivery.notifier import PushNotification
+
+        cache = ServingCache(k=2)
+        rec = Recommendation(recipient=4, candidate=6, created_at=1.0, via=(2,))
+        cache.ingest_notifications(
+            [PushNotification(recommendation=rec, delivered_at=2.0)], now=2.0
+        )
+        assert [r.candidate for r in cache.get_recommendations(4)] == [6]
+
+
+class TestShardedServingCache:
+    def test_routing_matches_unsharded_contents(self):
+        rows = [(u, u % 7, float(u % 5), float(u % 3)) for u in range(200)]
+        flat, sharded = ServingCache(k=2), ShardedServingCache(num_shards=4, k=2)
+        update(flat, rows)
+        update(sharded, rows)
+        assert sharded.dump() == flat.dump()
+        for u in range(200):
+            assert sharded.get_recommendations(u) == flat.get_recommendations(u)
+
+    def test_each_user_lives_on_exactly_one_shard(self):
+        sharded = ShardedServingCache(num_shards=3, k=2)
+        update(sharded, [(u, 1, 1.0, 0.0) for u in range(100)])
+        assert sum(s.users_cached for s in sharded.shards) == 100
+        assert sharded.users_cached == 100
+
+    def test_aggregate_stats_sum_over_shards(self):
+        sharded = ShardedServingCache(num_shards=2, k=2)
+        update(sharded, [(1, 10, 1.0, 0.0)])
+        sharded.get_recommendations(1)
+        sharded.get_recommendations(999_999)
+        assert sharded.hits == 1 and sharded.misses == 1
+        assert sharded.hit_rate == 0.5
+        assert sharded.nbytes() == sum(s.nbytes() for s in sharded.shards)
+
+    def test_ingest_released_splits_by_recipient_hash(self):
+        sharded = ShardedServingCache(num_shards=4, k=2)
+        recs = [
+            Recommendation(recipient=u, candidate=3, created_at=0.0, via=(9,))
+            for u in range(50)
+        ]
+        sharded.ingest_released(recs, now=1.0)
+        flat = ServingCache(k=2)
+        flat.ingest_released(recs, now=1.0)
+        assert sharded.dump() == flat.dump()
+
+    def test_shard_count_validated(self):
+        with pytest.raises(ValueError):
+            ShardedServingCache(num_shards=0)
+
+
+# ----------------------------------------------------------------------
+# Property: update_columns == a dict-of-dicts reference fold
+# ----------------------------------------------------------------------
+
+ROW = st.tuples(
+    st.integers(0, 7),                       # user
+    st.integers(0, 7),                       # candidate
+    st.integers(0, 10).map(float),           # score (integral: no fp ties)
+    st.integers(0, 10).map(float),           # created_at
+)
+
+
+def reference_fold(updates, k):
+    """The spec: per update, merge touched users and keep their top-k."""
+    state: dict[int, dict[int, tuple[float, float]]] = {}
+    for rows in updates:
+        touched: dict[int, dict[int, tuple[float, float]]] = {}
+        for user, candidate, score, created in rows:
+            merged = touched.setdefault(user, dict(state.get(user, {})))
+            merged[candidate] = (score, created)  # later rows replace earlier
+        for user, merged in touched.items():
+            ranked = sorted(merged.items(), key=lambda kv: (-kv[1][0], kv[0]))
+            state[user] = dict(ranked[:k])
+    return {
+        user: [
+            ServedRecommendation(c, s, t)
+            for c, (s, t) in sorted(entries.items(), key=lambda kv: (-kv[1][0], kv[0]))
+        ]
+        for user, entries in state.items()
+        if entries
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(updates=st.lists(st.lists(ROW, min_size=1, max_size=12), max_size=8))
+def test_update_columns_matches_reference_fold(updates):
+    cache = ServingCache(k=2, capacity=8)
+    for rows in updates:
+        update(cache, rows)
+    assert cache.dump() == reference_fold(updates, k=2)
+
+
+# ----------------------------------------------------------------------
+# Concurrency: no torn reads while the writer merges and grows
+# ----------------------------------------------------------------------
+
+class TestSeqlockUnderConcurrency:
+    #: Sentinel invariant every write maintains: any consistent row obeys
+    #: score == candidate * 0.5 and created_at == candidate * 2.0, so a
+    #: torn read (candidate from one publish, score from another) is
+    #: detectable from the returned values alone.
+    SCORE_FACTOR = 0.5
+    CREATED_FACTOR = 2.0
+
+    def test_readers_never_observe_torn_rows(self):
+        num_users = 400
+        cache = ServingCache(k=2, capacity=16)  # small: grows under load
+        stop = threading.Event()
+        writer_error: list[BaseException] = []
+
+        def writer():
+            rng = np.random.default_rng(7)
+            round_no = 0
+            try:
+                while not stop.is_set():
+                    users = rng.integers(0, num_users, size=64)
+                    candidates = (users * 3 + round_no) % 1000
+                    update_rows = (
+                        users.astype(np.int64),
+                        candidates.astype(np.int64),
+                        candidates * self.SCORE_FACTOR,
+                        candidates * self.CREATED_FACTOR,
+                    )
+                    cache.update_columns(*update_rows)
+                    round_no += 1
+            except BaseException as error:
+                writer_error.append(error)
+
+        thread = threading.Thread(target=writer, name="serving-writer")
+        thread.start()
+        try:
+            rng = np.random.default_rng(11)
+            for _ in range(4_000):
+                user = int(rng.integers(0, num_users))
+                for rec in cache.get_recommendations(user):
+                    assert rec.score == rec.candidate * self.SCORE_FACTOR
+                    assert rec.created_at == rec.candidate * self.CREATED_FACTOR
+        finally:
+            stop.set()
+            thread.join()
+        assert not writer_error, f"writer failed: {writer_error[0]!r}"
+        assert cache.users_cached > 0
+
+    def test_wedged_writer_raises_instead_of_spinning_forever(self):
+        cache = ServingCache(k=2)
+        cache._version[0] = 1  # simulate a writer that died mid-rebuild
+        with pytest.raises(RuntimeError, match="did not stabilize"):
+            cache.get_recommendations(1)
+
+
+# ----------------------------------------------------------------------
+# The delivery-side taps feed the cache
+# ----------------------------------------------------------------------
+
+class TestDeliveryTaps:
+    def _candidate_batch(self, recipients, candidate, created_at=0.0):
+        from repro.streaming.consumer import CandidateBatch
+
+        origin = EdgeEvent(created_at, 100, candidate, ActionType.FOLLOW)
+        recommendations = RecommendationBatch(
+            [
+                RecommendationGroup(
+                    np.array(recipients, dtype=np.int64),
+                    candidate=candidate,
+                    created_at=created_at,
+                    via=(50,),
+                )
+            ]
+        )
+        return CandidateBatch(origin, recommendations, detection_seconds=0.0)
+
+    def test_coalescer_inline_tap_mirrors_notifications(self):
+        from repro.delivery import DeliveryPipeline, PushNotifier
+        from repro.sim.des import DiscreteEventSimulator
+        from repro.sim.metrics import LatencyBreakdown
+        from repro.streaming.consumer import DeliveryCoalescer
+
+        cache = ServingCache(k=2)
+        notifications = []
+        coalescer = DeliveryCoalescer(
+            DiscreteEventSimulator(),
+            DeliveryPipeline(filters=[], notifier=PushNotifier()),
+            LatencyBreakdown(),
+            notifications,
+            batch_size=1,
+            serving=cache,
+        )
+        coalescer(self._candidate_batch([1, 2], candidate=9), 0.0, 1.0)
+        assert {n.recipient for n in notifications} == {1, 2}
+        dump = cache.dump()
+        assert {u: [r.candidate for r in row] for u, row in dump.items()} == {
+            1: [9], 2: [9],
+        }
+        assert all(row[0].created_at == 0.0 for row in dump.values())
+
+    def test_coalescer_flush_tap_mirrors_notifications(self):
+        from repro.delivery import DeliveryPipeline, PushNotifier
+        from repro.sim.des import DiscreteEventSimulator
+        from repro.sim.metrics import LatencyBreakdown
+        from repro.streaming.consumer import DeliveryCoalescer
+
+        cache = ServingCache(k=2)
+        sim = DiscreteEventSimulator()
+        notifications = []
+        coalescer = DeliveryCoalescer(
+            sim,
+            DeliveryPipeline(filters=[], notifier=PushNotifier()),
+            LatencyBreakdown(),
+            notifications,
+            batch_size=3,
+            serving=cache,
+        )
+        coalescer(self._candidate_batch([1, 2], candidate=7), 0.0, 1.0)
+        assert cache.users_cached == 0  # nothing flushed yet
+        coalescer(self._candidate_batch([5], candidate=8), 0.0, 2.0)
+        assert coalescer.pending_batches == 0
+        assert {(n.recipient, n.recommendation.candidate) for n in notifications} == {
+            (1, 7), (2, 7), (5, 8),
+        }
+        dump = cache.dump()
+        assert {u: [r.candidate for r in row] for u, row in dump.items()} == {
+            1: [7], 2: [7], 5: [8],
+        }
+
+    def test_sharded_delivery_tap_feeds_shard_mirrored_cache(self):
+        from repro.delivery import DeliveryPipeline, PushNotifier
+        from repro.delivery.sharded import ShardedDeliveryPipeline
+
+        num_shards = 2
+        cache = ShardedServingCache(num_shards=num_shards, k=2)
+        pipeline = ShardedDeliveryPipeline(
+            num_shards=num_shards,
+            pipeline_factory=lambda shard: DeliveryPipeline(
+                filters=[], notifier=PushNotifier()
+            ),
+            serving_tap=cache.ingest_notifications,
+        )
+        try:
+            batch = RecommendationBatch(
+                [
+                    RecommendationGroup(
+                        np.arange(40, dtype=np.int64),
+                        candidate=3,
+                        created_at=0.0,
+                        via=(9,),
+                    )
+                ]
+            )
+            delivered = pipeline.offer_batch(batch, now=1.0)
+            assert len(delivered) == 40
+            assert cache.users_cached == 40
+            one = pipeline.offer(
+                Recommendation(recipient=77, candidate=4, created_at=1.0, via=(9,)),
+                now=2.0,
+            )
+            assert one is not None
+            assert [r.candidate for r in cache.get_recommendations(77)] == [4]
+        finally:
+            pipeline.close()

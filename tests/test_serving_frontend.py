@@ -1,0 +1,166 @@
+"""Tests for the serving query surfaces: TCP front-end + DES query load."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import QueryLoadGenerator, ServingCache, ServingFrontend
+from repro.serving.frontend import READ_STAGE
+from repro.sim.des import DiscreteEventSimulator
+from repro.sim.metrics import LatencyBreakdown
+
+
+def seeded_cache(k=2):
+    cache = ServingCache(k=k)
+    cache.update_columns(
+        np.array([1, 1, 2], dtype=np.int64),
+        np.array([10, 11, 20], dtype=np.int64),
+        np.array([3.0, 2.0, 1.0]),
+        np.array([0.0, 0.0, 5.0]),
+    )
+    return cache
+
+
+class TestDispatch:
+    def test_get_returns_user_row_as_json(self):
+        frontend = ServingFrontend(seeded_cache())
+        reply = json.loads(frontend._dispatch("GET 1"))
+        assert reply == {
+            "user": 1,
+            "recommendations": [[10, 3.0, 0.0], [11, 2.0, 0.0]],
+        }
+
+    def test_get_with_k_truncates(self):
+        frontend = ServingFrontend(seeded_cache())
+        reply = json.loads(frontend._dispatch("GET 1 1"))
+        assert reply["recommendations"] == [[10, 3.0, 0.0]]
+
+    def test_get_miss_returns_empty_row(self):
+        frontend = ServingFrontend(seeded_cache())
+        reply = json.loads(frontend._dispatch("GET 999"))
+        assert reply == {"user": 999, "recommendations": []}
+
+    def test_get_counts_queries_and_verbs_are_case_insensitive(self):
+        frontend = ServingFrontend(seeded_cache())
+        frontend._dispatch("get 1")
+        frontend._dispatch("GET 2")
+        assert frontend.queries_served == 2
+
+    def test_stats_reports_cache_gauges(self):
+        frontend = ServingFrontend(seeded_cache())
+        frontend._dispatch("GET 1")
+        stats = json.loads(frontend._dispatch("STATS"))
+        assert stats["users_cached"] == 2.0
+        assert stats["hit_rate"] == 1.0
+        assert stats["queries_served"] == 1.0
+        assert stats["bytes_per_user"] > 0
+
+    def test_quit_closes_connection(self):
+        frontend = ServingFrontend(seeded_cache())
+        assert frontend._dispatch("QUIT") is None
+
+    def test_bad_get_arguments_keep_connection_open(self):
+        frontend = ServingFrontend(seeded_cache())
+        assert "error" in json.loads(frontend._dispatch("GET abc"))
+        assert "error" in json.loads(frontend._dispatch("GET"))
+        assert "error" in json.loads(frontend._dispatch("FROB 1"))
+        assert "error" in json.loads(frontend._dispatch(""))
+
+
+class TestTcpRoundTrip:
+    def test_protocol_over_a_real_socket(self):
+        frontend = ServingFrontend(seeded_cache())
+
+        async def scenario():
+            host, port = await frontend.start(port=0)
+            assert port > 0
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"GET 1\nSTATS\nQUIT\n")
+                await writer.drain()
+                get_reply = json.loads(await reader.readline())
+                stats_reply = json.loads(await reader.readline())
+                assert await reader.readline() == b""  # QUIT closed it
+                writer.close()
+                await writer.wait_closed()
+                return get_reply, stats_reply
+            finally:
+                await frontend.stop()
+
+        get_reply, stats_reply = asyncio.run(scenario())
+        assert get_reply["user"] == 1
+        assert [rec[0] for rec in get_reply["recommendations"]] == [10, 11]
+        assert stats_reply["queries_served"] == 1.0
+
+    def test_stop_is_idempotent(self):
+        frontend = ServingFrontend(seeded_cache())
+
+        async def scenario():
+            await frontend.start(port=0)
+            await frontend.stop()
+            await frontend.stop()
+
+        asyncio.run(scenario())
+
+    def test_async_get_counts_queries(self):
+        frontend = ServingFrontend(seeded_cache())
+        served = asyncio.run(frontend.get_recommendations(1))
+        assert [rec.candidate for rec in served] == [10, 11]
+        assert frontend.queries_served == 1
+
+
+class TestQueryLoadGenerator:
+    def make_rig(self, qps=10.0, num_users=50, k=None):
+        sim = DiscreteEventSimulator()
+        breakdown = LatencyBreakdown()
+        cache = seeded_cache()
+        load = QueryLoadGenerator(
+            sim, cache, num_users, qps, breakdown, k=k, seed=3
+        )
+        return sim, breakdown, cache, load
+
+    def test_schedules_fixed_timeline_up_to_horizon(self):
+        # qps=4 -> an exact binary interval (0.25s), so the timeline's
+        # endpoint lands on the horizon without float drift.
+        sim, _, _, load = self.make_rig(qps=4.0)
+        count = load.schedule_until(2.0)
+        assert count == 8  # 0.25s .. 2.0s inclusive
+        assert sim.pending() == 8
+        sim.run()
+        assert load.queries_issued == 8
+        assert sim.pending() == 0  # fixed horizon: nothing re-armed
+
+    def test_reads_recorded_into_breakdown_stage(self):
+        sim, breakdown, _, load = self.make_rig(qps=4.0)
+        load.schedule_until(1.0)
+        sim.run()
+        assert READ_STAGE in breakdown.stages()
+        assert len(breakdown.stage(READ_STAGE)) == load.queries_issued
+
+    def test_hit_rate_tracks_materialized_users(self):
+        # Only users 1 and 2 are materialized out of 50: with zipf skew
+        # some queries hit, some miss, and the ledger adds up.
+        sim, _, cache, load = self.make_rig(qps=64.0)
+        load.schedule_until(4.0)
+        sim.run()
+        assert load.queries_issued == 256
+        assert load.queries_hit == cache.hits
+        assert 0.0 < load.hit_rate < 1.0
+
+    def test_empty_horizon_schedules_nothing(self):
+        sim, _, _, load = self.make_rig(qps=1.0)
+        assert load.schedule_until(0.5) == 0
+        assert load.hit_rate == 0.0
+
+    def test_validation(self):
+        sim = DiscreteEventSimulator()
+        breakdown = LatencyBreakdown()
+        cache = seeded_cache()
+        with pytest.raises(ValueError):
+            QueryLoadGenerator(sim, cache, 0, 1.0, breakdown)
+        with pytest.raises(ValueError):
+            QueryLoadGenerator(sim, cache, 10, 0.0, breakdown)
