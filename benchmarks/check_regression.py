@@ -39,7 +39,9 @@ LOWER_IS_BETTER = (
     "wire_overhead",  # wall over in-process wall at the same P: smaller wins
     "frontier_",  # E20 adaptive-over-static ratios: smaller = more dominant
     "degradation",  # E21 live-over-idle read p99: smaller = less perturbed
-    "bytes_per",  # E21 serving footprint per materialized user
+    "bytes_per",  # E21 serving footprint / E22 WAL bytes per event
+    "wal_overhead",  # E22 logged-over-unlogged ingest wall: smaller wins
+    "snapshot_delta",  # E22 incremental-over-full snapshot bytes
     "_ms",
     "_us",
     "_seconds",

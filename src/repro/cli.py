@@ -9,7 +9,12 @@ Commands:
   file, printing detection statistics and top candidates;
 * ``simulate`` — run the end-to-end queue topology and print the latency
   breakdown (the paper's 7 s / 15 s experiment); ``--query-qps`` adds
-  pull-side point-query load against a live serving cache;
+  pull-side point-query load against a live serving cache; ``--wal-dir``
+  enables the durable state tier (write-ahead event log plus, with
+  ``--snapshot-interval``, incremental snapshots);
+* ``recover`` — rebuild a crashed ``simulate --wal-dir`` deployment from
+  its durability root (latest snapshot + WAL tail replay) and optionally
+  verify the delivered multiset against an uninterrupted reference run;
 * ``serve`` — materialize a stream into the serving cache and answer
   ``GET <user>`` point queries over a TCP front-end;
 * ``explain`` — compile a catalog motif (or a motif text file) and print
@@ -50,7 +55,15 @@ from repro.graph import (
 )
 from repro.motif import MOTIF_CATALOG, DeclarativeDetector, parse_motif
 from repro.ops import ControllerConfig, derive_promote_threshold
+from repro.durability import DurabilityManager, prepare_root
+from repro.durability import recover as durability_recover
+from repro.sim.latency import (
+    FixedDelay,
+    LogNormalDelay,
+    PRODUCTION_HOP_SIGMA,
+)
 from repro.streaming import StreamingTopology
+from repro.util.rng import make_rng
 from repro.util.validation import require_positive
 
 
@@ -205,7 +218,98 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="serving-cache shards (splitmix64 by user, the delivery "
         "keying); only meaningful with --query-qps",
     )
+    simulate.add_argument(
+        "--wal-dir",
+        type=Path,
+        default=None,
+        help="enable the durable state tier: write the static graph + "
+        "run config into this durability root and append every ingested "
+        "event batch to a segmented write-ahead log under it (see the "
+        "recover command)",
+    )
+    simulate.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        help="with --wal-dir, take an incremental state snapshot every "
+        "this many virtual seconds (at quiescent points); omit for WAL "
+        "only",
+    )
+    simulate.add_argument(
+        "--wal-fsync-every",
+        type=int,
+        default=64,
+        help="fsync the WAL every N appended records (the power-loss "
+        "exposure window; flushes to the OS are more frequent)",
+    )
+    simulate.add_argument(
+        "--wal-throttle",
+        type=float,
+        default=0.0,
+        help="wall-clock seconds to sleep per WAL append — a crash-"
+        "testing aid that widens the window in which a SIGKILL lands "
+        "mid-run",
+    )
+    simulate.add_argument(
+        "--no-wal-gc",
+        action="store_true",
+        help="keep WAL segments that snapshots already cover (needed to "
+        "recover --ignore-snapshots from sequence zero)",
+    )
+    simulate.add_argument(
+        "--dump-delivered",
+        type=Path,
+        default=None,
+        help="write every delivered notification as CSV (recipient, "
+        "candidate, created_at, delivered_at) — the reference artifact "
+        "the recover command verifies against",
+    )
+    simulate.add_argument(
+        "--hop-median",
+        type=float,
+        default=None,
+        help="override the calibrated lognormal queue-hop median "
+        "(virtual seconds) for all three hops; 0 = deterministic "
+        "zero-delay hops (exact crash-recovery equivalence)",
+    )
+    simulate.add_argument(
+        "--hop-sigma",
+        type=float,
+        default=None,
+        help="override the lognormal queue-hop sigma (with --hop-median)",
+    )
     _add_backend_args(simulate)
+
+    recover = commands.add_parser(
+        "recover",
+        help="rebuild a crashed simulate --wal-dir deployment from its "
+        "durability root",
+    )
+    recover.add_argument(
+        "root", type=Path, help="the --wal-dir of the crashed run"
+    )
+    recover.add_argument(
+        "--ignore-snapshots",
+        action="store_true",
+        help="cold-start: replay the full surviving WAL instead of "
+        "warm-starting from the latest snapshot",
+    )
+    recover.add_argument(
+        "--dump-delivered",
+        type=Path,
+        default=None,
+        help="write the recovered delivered ledger as CSV (same schema "
+        "as simulate --dump-delivered)",
+    )
+    recover.add_argument(
+        "--verify-prefix",
+        type=Path,
+        default=None,
+        help="delivered CSV from an uninterrupted reference run; checks "
+        "that the recovered (recipient, candidate, created_at) multiset "
+        "equals the reference restricted to the events the WAL retained "
+        "(exit 1 on mismatch; exact under --hop-median 0)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -385,6 +489,36 @@ def _delivery_shard_pipeline(_shard: int) -> DeliveryPipeline:
     return DeliveryPipeline(filters=[DedupFilter()])
 
 
+def _write_delivered(path: Path, rows) -> None:
+    """Delivered-ledger CSV; ``repr`` floats round-trip bit-exactly."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["recipient", "candidate", "created_at", "delivered_at"])
+        for recipient, candidate, created_at, delivered_at in rows:
+            writer.writerow(
+                [recipient, candidate, repr(created_at), repr(delivered_at)]
+            )
+
+
+def _hop_model_overrides(args: argparse.Namespace):
+    """Explicit hop models when --hop-median is given (None = calibrated)."""
+    if args.hop_median is None:
+        return None
+    names = ("firehose", "fanout", "push")
+    if args.hop_median <= 0:
+        # Deterministic zero-delay hops: the DES delivers ties FIFO, so
+        # the whole topology becomes order-deterministic — the regime in
+        # which crash recovery reproduces delivery bit for bit.
+        return {name: FixedDelay(0.0) for name in names}
+    sigma = args.hop_sigma if args.hop_sigma is not None else PRODUCTION_HOP_SIGMA
+    return {
+        name: LogNormalDelay(
+            args.hop_median, sigma, make_rng(args.seed, "hop", name)
+        )
+        for name in names
+    }
+
+
 def _cmd_simulate(args: argparse.Namespace, out) -> int:
     snapshot = GraphSnapshot.load(args.graph)
     events = _load_stream(args.stream)
@@ -431,9 +565,36 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
             num_shards=args.serving_shards,
             k=args.ranked_k if args.ranked else 2,
         )
+    durability = None
+    if args.snapshot_interval is not None and args.wal_dir is None:
+        print("error: --snapshot-interval requires --wal-dir", file=sys.stderr)
+        cluster.close()
+        return 2
+    if args.wal_dir is not None:
+        root = prepare_root(
+            args.wal_dir,
+            snapshot,
+            {
+                "k": args.k,
+                "tau": args.tau,
+                "num_partitions": args.partitions,
+                "s_backend": args.s_backend,
+                "d_backend": args.d_backend,
+                "transport": args.transport,
+                "batch_size": args.batch_size,
+                "seed": args.seed,
+            },
+        )
+        durability = DurabilityManager(
+            root,
+            fsync_every=args.wal_fsync_every,
+            throttle_seconds=args.wal_throttle,
+            gc_segments=not args.no_wal_gc,
+        )
     topology = StreamingTopology(
         cluster,
         delivery=delivery,
+        hop_models=_hop_model_overrides(args),
         seed=args.seed,
         batch_size=args.batch_size,
         max_wait=args.max_batch_wait,
@@ -444,6 +605,8 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         serving=serving,
         query_qps=args.query_qps,
         query_users=snapshot.num_users if serving is not None else None,
+        durability=durability,
+        snapshot_interval=args.snapshot_interval,
     )
     try:
         result = topology.run(events)
@@ -451,6 +614,8 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         cluster.close()
         if isinstance(delivery, ShardedDeliveryPipeline):
             delivery.close()
+        if durability is not None:
+            durability.close()
     summary = result.breakdown.summary()
     total = summary.get("total", {})
     print(f"events ingested  : {result.events_ingested}", file=out)
@@ -480,7 +645,115 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
             f"{serving.bytes_per_user():.0f} bytes/user",
             file=out,
         )
+    if durability is not None:
+        stats = durability.stats()
+        print(
+            f"durability       : {int(stats['wal_records'])} WAL records "
+            f"({int(stats['wal_bytes'])} bytes), "
+            f"{int(stats['snapshot_count'])} snapshots, "
+            f"lag {int(stats['snapshot_lag_records'])} records",
+            file=out,
+        )
+    if args.dump_delivered is not None:
+        _write_delivered(
+            args.dump_delivered,
+            (
+                (
+                    n.recommendation.recipient,
+                    n.recommendation.candidate,
+                    n.recommendation.created_at,
+                    n.delivered_at,
+                )
+                for n in result.notifications
+            ),
+        )
+        print(
+            f"wrote {len(result.notifications)} delivered rows to "
+            f"{args.dump_delivered}",
+            file=out,
+        )
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace, out) -> int:
+    result = durability_recover(
+        args.root, use_snapshot=not args.ignore_snapshots
+    )
+    try:
+        origin = result.snapshot_id or "WAL start"
+        print(
+            f"recovered from   : {origin} "
+            f"(WAL seq >= {result.wal_start_seq})",
+            file=out,
+        )
+        print(
+            f"replayed         : {result.replayed_records} records / "
+            f"{result.replayed_events} events",
+            file=out,
+        )
+        print(f"delivered ledger : {len(result.delivered)} rows", file=out)
+        if args.dump_delivered is not None:
+            _write_delivered(args.dump_delivered, result.delivered)
+            print(
+                f"wrote {len(result.delivered)} delivered rows to "
+                f"{args.dump_delivered}",
+                file=out,
+            )
+        if args.verify_prefix is not None:
+            return _verify_prefix(args.verify_prefix, result, out)
+        return 0
+    finally:
+        result.close()
+
+
+def _verify_prefix(reference: Path, result, out) -> int:
+    """Delivered-multiset equivalence against an uninterrupted run.
+
+    The recovered state covers exactly the events the WAL retained (a
+    crash legitimately loses the un-flushed tail), so the reference
+    ledger is first restricted to rows created by those events; within
+    that prefix the (recipient, candidate, created_at) multisets must
+    match exactly.  Timestamps compare as ``repr`` strings — bit-exact,
+    no tolerance.
+    """
+    universe = {repr(float(t)) for t in result.event_timestamps}
+    ref: CollectionsCounter = CollectionsCounter()
+    dropped = 0
+    with open(reference, newline="") as handle:
+        for row in csv.DictReader(handle):
+            key = (
+                int(row["recipient"]),
+                int(row["candidate"]),
+                row["created_at"],
+            )
+            if row["created_at"] in universe:
+                ref[key] += 1
+            else:
+                dropped += 1
+    got: CollectionsCounter = CollectionsCounter(
+        (recipient, candidate, repr(created_at))
+        for recipient, candidate, created_at, _delivered_at in result.delivered
+    )
+    print(
+        f"verify           : reference rows in recovered prefix: "
+        f"{sum(ref.values())} (beyond the WAL tail: {dropped})",
+        file=out,
+    )
+    if got == ref:
+        print("verify           : PASS - delivered multisets equal", file=out)
+        return 0
+    missing = ref - got
+    extra = got - ref
+    print(
+        f"verify           : FAIL - {sum(missing.values())} missing, "
+        f"{sum(extra.values())} unexpected",
+        file=sys.stderr,
+    )
+    for key, count in list(missing.items())[:5]:
+        print(f"  missing {count}x {key}", file=sys.stderr)
+    for key, count in list(extra.items())[:5]:
+        print(f"  unexpected {count}x {key}", file=sys.stderr)
+    return 1
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
@@ -611,6 +884,7 @@ _COMMANDS = {
     "generate-stream": _cmd_generate_stream,
     "run": _cmd_run,
     "simulate": _cmd_simulate,
+    "recover": _cmd_recover,
     "serve": _cmd_serve,
     "explain": _cmd_explain,
     "analyze": _cmd_analyze,

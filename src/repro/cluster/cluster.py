@@ -329,26 +329,47 @@ class Cluster:
         self,
         snapshot: GraphSnapshot,
         influencer_limit: int | None = None,
-    ) -> None:
+    ) -> int:
         """Roll a new offline snapshot onto every partition replica.
 
         The paper: "the A -> B edges are computed offline and loaded into
         the system periodically".  Shards are rebuilt with the same
         partitioner (ownership is stable), then each replica swaps its S
         reference atomically; the event stream keeps flowing throughout
-        and D is untouched.  In-process transports only (worker-hosted
-        partitions would receive the reload as a control message — not
-        implemented; rebuild the cluster instead).
+        and D is untouched.  Worker-hosted partitions (process/shm
+        transports) receive their shard as a per-partition
+        ``reload_static`` control message — the live fleet hot-reloads
+        without a restart.  Returns the number of partitions reloaded
+        (dead workers are skipped, like any other control message).
         """
-        for p, replica_set in enumerate(self.replica_sets):
-            shard = build_follower_snapshot(
+        shards = {}
+        for p in range(self.broker.transport.num_partitions):
+            shards[p] = build_follower_snapshot(
                 snapshot,
                 influencer_limit=influencer_limit,
                 include_source=lambda a, p=p: self.partitioner.partition_of(a) == p,
                 backend=self.config.s_backend,
             )
-            for replica in replica_set.replicas:
-                replica.reload_static(shard)
+        return self.broker.transport.reload_static(shards)
+
+    def checkpoint_dynamic(self) -> "dict | None":
+        """One reachable replica's complete D as checkpoint arrays.
+
+        The durability tier's snapshot capture: every replica holds the
+        full D, so any available copy represents the fleet.  None when no
+        replica is reachable (snapshot again later).
+        """
+        return self.broker.transport.checkpoint()
+
+    def load_dynamic(self, arrays: dict) -> int:
+        """Restore checkpoint arrays into every replica's D fleet-wide.
+
+        Recovery's warm-start: used together with
+        :meth:`reload_snapshot`, it rebuilds a crashed deployment's
+        detection state without replaying the full retention window.
+        Returns the per-replica edge count restored.
+        """
+        return self.broker.transport.load_dynamic(arrays)
 
     def memory_report(self) -> dict[str, int]:
         """Aggregate S and D footprints across the fleet.

@@ -55,6 +55,10 @@ from repro.cluster.shm import (
     sweep_segments,
 )
 from repro.core.batch import EventBatch
+from repro.core.checkpoint import (
+    dynamic_index_arrays,
+    restore_dynamic_arrays,
+)
 from repro.core.events import EdgeEvent
 from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.core.wire import (
@@ -83,7 +87,10 @@ from repro.util.procpool import (
 from repro.util.validation import require
 
 if TYPE_CHECKING:  # circular at runtime: replica imports nothing from here
+    import numpy as np
+
     from repro.cluster.replica import ReplicaSet
+    from repro.graph.static_index import StaticFollowerIndex
 
 __all__ = [
     "TRANSPORTS",
@@ -207,6 +214,25 @@ class PartitionTransport(Protocol):
 
     def prune(self, now: float) -> int:
         """Evict expired D entries on every replica; total removed."""
+        ...
+
+    def checkpoint(self) -> "dict[str, np.ndarray] | None":
+        """One reachable replica's complete D as checkpoint arrays.
+
+        Every replica holds the full D (the paper's replication design),
+        so any available copy is the fleet's.  None when no replica is
+        reachable.
+        """
+        ...
+
+    def load_dynamic(self, arrays: "dict[str, np.ndarray]") -> int:
+        """Restore checkpoint arrays into every replica's D; edge count."""
+        ...
+
+    def reload_static(
+        self, shards: "dict[int, StaticFollowerIndex]"
+    ) -> int:
+        """Hot-swap per-partition S shards in place; partitions reloaded."""
         ...
 
     def backlog(self) -> int:
@@ -352,6 +378,35 @@ class InProcessTransport:
                 removed += replica.prune(now)
         return removed
 
+    def checkpoint(self) -> "dict | None":
+        for replica_set in self.replica_sets:
+            for replica, channel in zip(
+                replica_set.replicas, replica_set.channels
+            ):
+                if channel.available:
+                    return dynamic_index_arrays(replica.engine.dynamic_index)
+        return None
+
+    def load_dynamic(self, arrays: dict) -> int:
+        edges = 0
+        for replica_set in self.replica_sets:
+            for replica in replica_set.replicas:
+                edges = restore_dynamic_arrays(
+                    replica.engine.dynamic_index, arrays
+                )
+        return edges
+
+    def reload_static(self, shards: dict) -> int:
+        reloaded = 0
+        for replica_set in self.replica_sets:
+            shard = shards.get(replica_set.partition_id)
+            if shard is None:
+                continue
+            for replica in replica_set.replicas:
+                replica.reload_static(shard)
+            reloaded += 1
+        return reloaded
+
     def backlog(self) -> int:
         # Submitted-but-ungathered replies: the synchronous analogue of
         # the worker transports' request-queue depth, so backlog-driven
@@ -397,6 +452,32 @@ def _control_reply(replica_set, message: tuple) -> tuple | None:
             replica.prune(message[1]) for replica in replica_set.replicas
         )
         return ("ok", removed, 0.0)
+    if kind == "checkpoint":
+        # Every replica holds the complete D, so any available one's copy
+        # is the fleet's (the durability tier's snapshot capture).
+        for replica, channel in zip(
+            replica_set.replicas, replica_set.channels
+        ):
+            if channel.available:
+                return (
+                    "ok",
+                    dynamic_index_arrays(replica.engine.dynamic_index),
+                    0.0,
+                )
+        return ("lost", None, 0.0)
+    if kind == "load_dynamic":
+        edges = 0
+        for replica in replica_set.replicas:
+            edges = restore_dynamic_arrays(
+                replica.engine.dynamic_index, message[1]
+            )
+        return ("ok", edges, 0.0)
+    if kind == "reload_static":
+        # In-place S hot reload: the replica swaps its shard reference
+        # atomically; D and in-flight detection state are untouched.
+        for replica in replica_set.replicas:
+            replica.reload_static(message[1])
+        return ("ok", len(replica_set.replicas), 0.0)
     return None  # stop
 
 
@@ -591,6 +672,27 @@ class WorkerProcessTransport:
             submitted[worker.key] = self._post(worker, message)
         self._outstanding.append((kind, submitted))
 
+    def _submit_each(self, kind: str, messages: dict[int, tuple]) -> None:
+        """Fan out *per-partition* payloads (unlike :meth:`_submit`,
+        which sends one identical message to every worker).
+
+        Workers absent from *messages* are skipped — their gather slot
+        reports None, same as a dead worker's.
+        """
+        require(not self._closed, "transport is closed")
+        submitted: dict[int, bool] = {}
+        for worker in self._workers:
+            message = messages.get(worker.key)
+            if message is None:
+                submitted[worker.key] = False
+                continue
+            if worker.dead or not worker.process.is_alive():
+                worker.dead = True
+                submitted[worker.key] = False
+                continue
+            submitted[worker.key] = self._post(worker, message)
+        self._outstanding.append((kind, submitted))
+
     def _post(self, worker: WorkerHandle, message: tuple) -> bool:
         """Deliver one message to a live worker; False if it died instead."""
         worker.requests.put(message)
@@ -696,6 +798,60 @@ class WorkerProcessTransport:
             if raw is not None:
                 removed += raw[1]
         return removed
+
+    def checkpoint(self) -> "dict | None":
+        """One live worker's complete D (every partition holds it all).
+
+        Routed to a single worker via :meth:`_submit_each` — fanning the
+        capture to the whole fleet would serialize P identical copies of
+        D over the wire for no information gain.
+        """
+        require(
+            len(self._outstanding) == 0,
+            "control messages require no outstanding batches",
+        )
+        target = next(
+            (
+                worker.key
+                for worker in self._workers
+                if not worker.dead and worker.process.is_alive()
+            ),
+            None,
+        )
+        if target is None:
+            return None
+        self._submit_each("checkpoint", {target: ("checkpoint",)})
+        for _partition_id, raw in self._gather("checkpoint"):
+            if raw is not None and raw[0] == "ok":
+                return raw[1]
+        return None
+
+    def load_dynamic(self, arrays: dict) -> int:
+        edges = 0
+        for _partition_id, raw in self._control(("load_dynamic", arrays)):
+            if raw is not None and raw[0] == "ok":
+                # Every partition restores the same full D copy; any
+                # single reply carries the fleet-wide edge count.
+                edges = max(edges, raw[1])
+        return edges
+
+    def reload_static(self, shards: dict) -> int:
+        require(
+            len(self._outstanding) == 0,
+            "control messages require no outstanding batches",
+        )
+        self._submit_each(
+            "reload_static",
+            {
+                partition_id: ("reload_static", shard)
+                for partition_id, shard in shards.items()
+            },
+        )
+        reloaded = 0
+        for _partition_id, raw in self._gather("reload_static"):
+            if raw is not None and raw[0] == "ok":
+                reloaded += 1
+        return reloaded
 
     def _queue_depth(self, worker: WorkerHandle) -> int:
         try:

@@ -27,13 +27,14 @@ _ACTION_TO_CODE: dict[object, int] = {
 _CODE_TO_ACTION = {code: action for action, code in _ACTION_TO_CODE.items()}
 
 
-def save_dynamic_index(index: DynamicEdgeIndex, path: str | Path) -> int:
-    """Write every stored edge of *index* to *path* (.npz).
+def dynamic_index_arrays(index: DynamicEdgeIndex) -> dict[str, np.ndarray]:
+    """Every stored edge of *index* as flat parallel columns.
 
-    Returns the number of edges written.  Configuration (retention, caps,
-    storage backend) is saved alongside so a restore reproduces the same
-    index — :meth:`DynamicEdgeIndex.entries` serves the stored tuples
-    identically whether a target lives in a deque or a columnar ring.
+    The in-memory twin of :func:`save_dynamic_index`'s edge payload —
+    the cluster's ``checkpoint`` control message and the durability
+    tier's snapshot store both ship these arrays instead of a file.
+    Per-target arrival order is preserved, which is the only ordering
+    the ring/deque stores depend on.
     """
     targets: list[int] = []
     timestamps: list[float] = []
@@ -45,18 +46,58 @@ def save_dynamic_index(index: DynamicEdgeIndex, path: str | Path) -> int:
             timestamps.append(timestamp)
             sources.append(b)
             actions.append(_ACTION_TO_CODE.get(action, 0))
+    return {
+        "targets": np.asarray(targets, dtype=np.int64),
+        "timestamps": np.asarray(timestamps, dtype=np.float64),
+        "sources": np.asarray(sources, dtype=np.int64),
+        "actions": np.asarray(actions, dtype=np.int8),
+    }
+
+
+def restore_dynamic_arrays(
+    index: DynamicEdgeIndex, arrays: dict[str, np.ndarray]
+) -> int:
+    """Re-insert :func:`dynamic_index_arrays` edges into a live *index*.
+
+    Insertion follows array order (per-target arrival order), so window
+    and cap pruning semantics carry over exactly.  Returns the number of
+    edges inserted.
+    """
+    targets = arrays["targets"]
+    timestamps = arrays["timestamps"]
+    sources = arrays["sources"]
+    actions = arrays["actions"]
+    for i in range(len(targets)):
+        code = int(actions[i])
+        if code not in _CODE_TO_ACTION:
+            raise ValueError(f"unknown action code {code} in checkpoint arrays")
+        index.insert(
+            int(sources[i]),
+            int(targets[i]),
+            float(timestamps[i]),
+            action=_CODE_TO_ACTION[code],
+        )
+    return len(targets)
+
+
+def save_dynamic_index(index: DynamicEdgeIndex, path: str | Path) -> int:
+    """Write every stored edge of *index* to *path* (.npz).
+
+    Returns the number of edges written.  Configuration (retention, caps,
+    storage backend) is saved alongside so a restore reproduces the same
+    index — :meth:`DynamicEdgeIndex.entries` serves the stored tuples
+    identically whether a target lives in a deque or a columnar ring.
+    """
+    arrays = dynamic_index_arrays(index)
     np.savez_compressed(
         Path(path),
-        targets=np.asarray(targets, dtype=np.int64),
-        timestamps=np.asarray(timestamps, dtype=np.float64),
-        sources=np.asarray(sources, dtype=np.int64),
-        actions=np.asarray(actions, dtype=np.int8),
+        **arrays,
         retention=np.float64(index.retention),
         max_edges_per_target=np.int64(index.max_edges_per_target or -1),
         backend=np.str_(index.backend),
         promote_threshold=np.int64(index.promote_threshold),
     )
-    return len(targets)
+    return len(arrays["targets"])
 
 
 def load_dynamic_index(
@@ -91,20 +132,13 @@ def load_dynamic_index(
             backend=backend,
             **kwargs,
         )
-        targets = data["targets"]
-        timestamps = data["timestamps"]
-        sources = data["sources"]
-        actions = data["actions"]
-        for i in range(len(targets)):
-            code = int(actions[i])
-            if code not in _CODE_TO_ACTION:
-                raise ValueError(
-                    f"checkpoint {path} contains unknown action code {code}"
-                )
-            index.insert(
-                int(sources[i]),
-                int(targets[i]),
-                float(timestamps[i]),
-                action=_CODE_TO_ACTION[code],
-            )
+        restore_dynamic_arrays(
+            index,
+            {
+                "targets": data["targets"],
+                "timestamps": data["timestamps"],
+                "sources": data["sources"],
+                "actions": data["actions"],
+            },
+        )
     return index

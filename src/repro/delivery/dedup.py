@@ -169,6 +169,27 @@ class DedupFilter:
         }
         self._since_prune = 0
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The seen-map as owned arrays (for incremental snapshots,
+        table backend only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        return self._table.state_arrays()
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Replace the seen-map with a :meth:`state_arrays` payload
+        (table backend only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        self._table = Int64KeyTable({"time": (np.float64, 0)})
+        self._table.load_state_arrays(arrays)
+
     def save_npz(self, path) -> None:
         """Snapshot the seen-map so a delivery-tier restart keeps its
         daily horizon (table backend only)."""

@@ -214,6 +214,33 @@ class FatigueFilter:
                 out[i] = True
         return out
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The per-user histories as owned arrays (for incremental
+        snapshots, table backend only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        return self._table.state_arrays()
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Replace the histories with a :meth:`state_arrays` payload
+        (table backend only)."""
+        require(
+            self.backend == "table",
+            "snapshots require backend='table' (the dict backend is the "
+            "in-memory reference)",
+        )
+        self._table = Int64KeyTable(
+            {
+                "times": (np.float64, self.max_per_window),
+                "head": (np.int32, 0),
+                "count": (np.int32, 0),
+            }
+        )
+        self._table.load_state_arrays(arrays)
+
     def save_npz(self, path) -> None:
         """Snapshot the per-user histories so a delivery-tier restart
         keeps charging against the same daily budgets (table backend

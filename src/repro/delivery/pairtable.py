@@ -293,6 +293,48 @@ class Int64KeyTable:
     # Snapshots (delivery-tier restarts)
     # ------------------------------------------------------------------
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The live entries as owned arrays (the in-memory snapshot form).
+
+        Same payload as :meth:`save_npz` writes to disk — occupied slots'
+        keys plus one ``column_<name>`` array per value column — so the
+        durability tier's snapshot store can delta these arrays without a
+        file round-trip.  Slot positions are an artifact of the current
+        capacity and are *not* preserved; a restore re-probes.
+        """
+        slots = self.filled_slots()
+        payload: dict[str, np.ndarray] = {"keys": self._keys[slots].copy()}
+        for name, column in self.columns.items():
+            payload[f"column_{name}"] = column[slots].copy()
+        return payload
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Insert a :meth:`state_arrays` payload into this (fresh) table.
+
+        Raises:
+            ValueError: when the payload's columns do not match the schema.
+        """
+        saved = {
+            name[len("column_"):]: values
+            for name, values in arrays.items()
+            if name.startswith("column_")
+        }
+        if set(saved) != set(self.columns):
+            raise ValueError(
+                f"state columns {sorted(saved)} do not match the "
+                f"declared schema {sorted(self.columns)}"
+            )
+        slots = self.insert(arrays["keys"].astype(np.uint64, copy=False))
+        for name, values in saved.items():
+            column = self.columns[name]
+            if column[slots].shape != values.shape or column.dtype != values.dtype:
+                raise ValueError(
+                    f"state column {name!r} has shape {values.shape} / "
+                    f"dtype {values.dtype}, schema expects "
+                    f"{column[slots].shape} / {column.dtype}"
+                )
+            column[slots] = values
+
     def save_npz(self, path: str | Path) -> None:
         """Serialize the live entries to an ``.npz`` snapshot.
 
@@ -302,11 +344,7 @@ class Int64KeyTable:
         *not* preserved — a reload re-probes).  Uncompressed on purpose;
         reload speed is the point and the columns barely compress.
         """
-        slots = self.filled_slots()
-        payload: dict[str, np.ndarray] = {"keys": self._keys[slots]}
-        for name, column in self.columns.items():
-            payload[f"column_{name}"] = column[slots]
-        np.savez(_with_npz_suffix(Path(path)), **payload)
+        np.savez(_with_npz_suffix(Path(path)), **self.state_arrays())
 
     @classmethod
     def from_snapshot(
@@ -330,27 +368,8 @@ class Int64KeyTable:
             path = _with_npz_suffix(path)
         table = cls(value_columns)
         with np.load(path) as data:
-            keys = data["keys"]
-            saved = {
-                name[len("column_"):]: data[name]
-                for name in data.files
-                if name.startswith("column_")
-            }
-        if set(saved) != set(value_columns):
-            raise ValueError(
-                f"snapshot columns {sorted(saved)} do not match the "
-                f"declared schema {sorted(value_columns)}"
-            )
-        slots = table.insert(keys.astype(np.uint64, copy=False))
-        for name, values in saved.items():
-            column = table.columns[name]
-            if column[slots].shape != values.shape or column.dtype != values.dtype:
-                raise ValueError(
-                    f"snapshot column {name!r} has shape {values.shape} / "
-                    f"dtype {values.dtype}, schema expects "
-                    f"{column[slots].shape} / {column.dtype}"
-                )
-            column[slots] = values
+            arrays = {name: data[name] for name in data.files}
+        table.load_state_arrays(arrays)
         return table
 
     # ------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Durable state tier: write-ahead event log, incremental snapshots,
+replay-to-now recovery.
+
+The system is a long-lived online service — motif state accumulates for
+hours over the dynamic graph, so losing S/D/pair-table state on a crash
+means a cold multi-hour rebuild.  This package makes the accumulated
+state survivable:
+
+* :mod:`repro.durability.wal` — a segmented write-ahead log of ingested
+  :class:`~repro.core.batch.EventBatch` frames (CRC-per-record,
+  fsync-batched, torn-tail truncation on reopen).
+* :mod:`repro.durability.snapshot` — periodic incremental snapshots of
+  every state arena (D edges, dedup pair table, delivered ledger,
+  serving rows) as deltas against the previous snapshot, with a manifest
+  recording the WAL high-water mark each snapshot covers.
+* :mod:`repro.durability.recover` — load the latest snapshot, replay the
+  WAL tail through the normal batched ingest path, and hand back a live
+  cluster + delivery funnel equivalent to the crashed one (modulo the
+  un-flushed WAL tail).
+* :mod:`repro.durability.manager` — the live-side glue: the consumer's
+  WAL tap, the quiescent-point snapshot trigger, and the stats feed for
+  :class:`~repro.ops.monitor.ClusterMonitor` gauges.
+"""
+
+from repro.durability.manager import DurabilityManager, prepare_root
+from repro.durability.recover import RecoveryResult, recover
+from repro.durability.snapshot import SnapshotStore
+from repro.durability.wal import WalRecord, WriteAheadLog, iter_wal
+
+__all__ = [
+    "DurabilityManager",
+    "RecoveryResult",
+    "SnapshotStore",
+    "WalRecord",
+    "WriteAheadLog",
+    "iter_wal",
+    "prepare_root",
+    "recover",
+]

@@ -1,0 +1,210 @@
+"""Incremental snapshots of every state arena, with a WAL high-water mark.
+
+A snapshot is a set of *components* (``cluster_d``, ``dedup``,
+``ledger``, ``events``, ``serving`` …), each a dict of named numpy
+arrays — exactly what the ``state_arrays()`` hooks on the dynamic index,
+pair tables, and serving cache produce.  Rather than dumping every array
+in full each interval, the store deltas each array against the previous
+snapshot:
+
+* ``same``   — bitwise identical to the base snapshot's array: nothing
+  is written, the manifest just points back.
+* ``append`` — a 1-D array whose old contents are a prefix of the new
+  (the delivered ledger and the logged-event-timestamp arena are
+  append-only by construction): only the suffix is written.
+* ``full``   — everything else.
+
+Each snapshot directory holds one ``.npy`` per written array plus a
+``manifest.json`` recording the delta kind per array, the snapshot's
+**WAL high-water mark** (the last event-log sequence number whose
+effects the snapshot contains — recovery replays strictly after it),
+and the virtual time it was taken.  Loading resolves ``same``/``append``
+entries recursively through base manifests, so a load never depends on
+in-memory state.  Saves are atomic: arrays and manifest land in a
+``tmp-`` directory that is renamed into place, so a crash mid-snapshot
+leaves only ignorable debris, never a half-readable snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+Components = dict[str, dict[str, np.ndarray]]
+
+_TMP_PREFIX = "tmp-"
+
+
+def _snap_name(index: int) -> str:
+    return f"snap-{index:08d}"
+
+
+def _array_file(component: str, name: str) -> str:
+    return f"{component}__{name}.npy"
+
+
+class SnapshotStore:
+    """Atomic, delta-encoded snapshots under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Debris from a save interrupted by a crash is meaningless — the
+        # rename never happened, so nothing references it.
+        for leftover in self.root.glob(f"{_TMP_PREFIX}*"):
+            shutil.rmtree(leftover, ignore_errors=True)
+        #: Arrays of the most recent snapshot, for cheap delta checks.
+        self._base: Components | None = None
+        self._base_id: str | None = None
+        self.last_full_bytes = 0
+        self.last_delta_bytes = 0
+
+    # -- listing --------------------------------------------------------
+
+    def list_ids(self) -> list[str]:
+        """Snapshot ids on disk, oldest first."""
+        return sorted(
+            path.name
+            for path in self.root.iterdir()
+            if path.is_dir() and path.name.startswith("snap-")
+        )
+
+    def read_manifest(self, snapshot_id: str) -> dict:
+        with open(self.root / snapshot_id / "manifest.json") as handle:
+            return json.load(handle)
+
+    def latest_manifest(self) -> dict | None:
+        ids = self.list_ids()
+        return self.read_manifest(ids[-1]) if ids else None
+
+    # -- save -------------------------------------------------------------
+
+    def save(
+        self,
+        components: Components,
+        *,
+        wal_seq: int,
+        created_at: float,
+    ) -> str:
+        """Write one snapshot; returns its id.
+
+        *wal_seq* is the high-water mark: the snapshot must contain the
+        effects of every WAL record with ``seq <= wal_seq`` and nothing
+        after.  Arrays are delta-encoded against the previous snapshot
+        (loaded from disk if this store object is fresh).
+        """
+        if self._base is None and self.list_ids():
+            manifest, arrays = self.load_latest()
+            self._base = arrays
+            self._base_id = manifest["id"]
+        ids = self.list_ids()
+        index = int(ids[-1][len("snap-"):]) + 1 if ids else 0
+        snapshot_id = _snap_name(index)
+        tmp = self.root / f"{_TMP_PREFIX}{snapshot_id}"
+        tmp.mkdir()
+        manifest: dict = {
+            "id": snapshot_id,
+            "base": self._base_id,
+            "wal_seq": int(wal_seq),
+            "created_at": float(created_at),
+            "components": {},
+        }
+        full_bytes = 0
+        delta_bytes = 0
+        base = self._base or {}
+        for component, arrays in components.items():
+            entries: dict[str, dict] = {}
+            base_arrays = base.get(component, {})
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                full_bytes += array.nbytes
+                entry: dict = {
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                }
+                old = base_arrays.get(name) if self._base_id else None
+                if (
+                    old is not None
+                    and old.dtype == array.dtype
+                    and old.shape == array.shape
+                    and np.array_equal(old, array)
+                ):
+                    entry["kind"] = "same"
+                elif (
+                    old is not None
+                    and old.dtype == array.dtype
+                    and array.ndim == 1
+                    and old.ndim == 1
+                    and len(array) >= len(old)
+                    and np.array_equal(array[: len(old)], old)
+                ):
+                    entry["kind"] = "append"
+                    entry["base_len"] = len(old)
+                    suffix = array[len(old):]
+                    np.save(tmp / _array_file(component, name), suffix)
+                    delta_bytes += suffix.nbytes
+                else:
+                    entry["kind"] = "full"
+                    np.save(tmp / _array_file(component, name), array)
+                    delta_bytes += array.nbytes
+                entries[name] = entry
+            manifest["components"][component] = entries
+        with open(tmp / "manifest.json", "w") as handle:
+            json.dump(manifest, handle, indent=1)
+        tmp.rename(self.root / snapshot_id)
+        self._base = {
+            component: dict(arrays) for component, arrays in components.items()
+        }
+        self._base_id = snapshot_id
+        self.last_full_bytes = full_bytes
+        self.last_delta_bytes = delta_bytes
+        return snapshot_id
+
+    # -- load -------------------------------------------------------------
+
+    def _resolve(
+        self, manifest: dict, component: str, name: str, entry: dict
+    ) -> np.ndarray:
+        """One array's bytes, chasing ``same``/``append`` through bases."""
+        path = self.root / manifest["id"] / _array_file(component, name)
+        kind = entry["kind"]
+        if kind == "full":
+            return np.load(path)
+        base_manifest = self.read_manifest(manifest["base"])
+        base_entry = base_manifest["components"][component][name]
+        base_array = self._resolve(base_manifest, component, name, base_entry)
+        if kind == "same":
+            return base_array
+        if kind == "append":
+            suffix = np.load(path)
+            return np.concatenate([base_array, suffix])
+        raise ValueError(f"unknown delta kind {kind!r} in {manifest['id']}")
+
+    def load(self, snapshot_id: str) -> tuple[dict, Components]:
+        """Materialize one snapshot: ``(manifest, components)``."""
+        manifest = self.read_manifest(snapshot_id)
+        components: Components = {}
+        for component, entries in manifest["components"].items():
+            arrays: dict[str, np.ndarray] = {}
+            for name, entry in entries.items():
+                array = self._resolve(manifest, component, name, entry)
+                expected = tuple(entry["shape"])
+                if array.shape != expected or array.dtype.str != entry["dtype"]:
+                    raise ValueError(
+                        f"snapshot {snapshot_id} array {component}.{name} "
+                        f"resolved to {array.dtype}{array.shape}, manifest "
+                        f"says {entry['dtype']}{expected}"
+                    )
+                arrays[name] = array
+            components[component] = arrays
+        return manifest, components
+
+    def load_latest(self) -> tuple[dict, Components]:
+        """The newest snapshot (raises when the store is empty)."""
+        ids = self.list_ids()
+        if not ids:
+            raise FileNotFoundError(f"no snapshots under {self.root}")
+        return self.load(ids[-1])

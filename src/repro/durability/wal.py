@@ -1,0 +1,298 @@
+"""Segmented write-ahead log of ingested event batches.
+
+Every batch the streaming consumer flushes into the cluster is first
+appended here, so a crashed deployment can be replayed to now from the
+last snapshot.  The on-disk format reuses the :mod:`repro.core.wire`
+slab frame codec — one :data:`~repro.core.wire.FRAME_EVENT_BATCH` frame
+per record, carrying the batch's four columns plus the flush timestamp
+(frame ``now``) and the record's monotone sequence number (frame
+``aux``) — wrapped in a tiny record envelope::
+
+    u32 payload-length | u32 crc32(payload) | payload (one frame)
+
+Records append to segment files named ``wal-<firstseq>.log`` inside the
+WAL directory; a segment rotates once it exceeds ``segment_bytes``, so
+:meth:`WriteAheadLog.truncate_before` can garbage-collect whole
+segments once a snapshot's high-water mark passes them.
+
+Durability semantics — the contract the crash suite pins:
+
+* Appends land in a userspace file buffer; :meth:`~WriteAheadLog.flush`
+  hands them to the OS (surviving SIGKILL of the process) and
+  :meth:`~WriteAheadLog.sync` additionally ``fsync``\\ s (surviving power
+  loss).  Every ``fsync_every`` appends trigger an automatic sync.
+* A crash can therefore lose an un-flushed *suffix* of records, and the
+  flush boundary can land mid-record — a **torn tail**.  Both replay
+  (:func:`iter_wal`) and append-reopen scan to the last record whose
+  CRC verifies, warn, and truncate there; nothing past a bad CRC is
+  ever replayed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import warnings
+import zlib
+from pathlib import Path
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from repro.core.batch import EventBatch
+from repro.core.wire import (
+    FRAME_EVENT_BATCH,
+    encode_event_batch,
+    event_batch_from_frame,
+    read_frame,
+    write_frame,
+)
+
+#: Record envelope: payload length + CRC32 of the payload bytes.
+_RECORD_HEADER = struct.Struct("<II")
+
+#: A frame smaller than its own fixed header can only be garbage.
+_MIN_PAYLOAD = 32
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+
+class WalRecord(NamedTuple):
+    """One replayable append: sequence number, flush time, the batch."""
+
+    seq: int
+    now: float
+    batch: EventBatch
+
+
+def _segment_path(directory: Path, first_seq: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{first_seq:020d}{_SEGMENT_SUFFIX}"
+
+
+def _list_segments(directory: Path) -> list[tuple[int, Path]]:
+    """``(first_seq, path)`` for every segment, in sequence order."""
+    out: list[tuple[int, Path]] = []
+    for path in directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"):
+        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            out.append((int(stem), path))
+        except ValueError:
+            continue
+    out.sort()
+    return out
+
+
+def _scan_segment(data: bytes) -> tuple[list[WalRecord], int, str | None]:
+    """Parse *data* into records up to the first invalid one.
+
+    Returns ``(records, valid_bytes, error)`` where *valid_bytes* is the
+    offset just past the last record whose CRC verified and *error*
+    describes why the scan stopped short (None when the segment parsed
+    to its end).
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    n = len(data)
+    while offset < n:
+        if offset + _RECORD_HEADER.size > n:
+            return records, offset, "torn record header"
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        start = offset + _RECORD_HEADER.size
+        end = start + length
+        if length < _MIN_PAYLOAD or end > n:
+            return records, offset, "torn record payload"
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, offset, "CRC mismatch"
+        kind, cols, _blobs, now, _latency, aux = read_frame(
+            np.frombuffer(payload, dtype=np.uint8), copy=True
+        )
+        if kind != FRAME_EVENT_BATCH or now is None:
+            return records, offset, f"unexpected frame kind {kind}"
+        records.append(WalRecord(aux, now, event_batch_from_frame(cols)))
+        offset = end
+    return records, offset, None
+
+
+def iter_wal(
+    directory: str | Path, start_seq: int = 0
+) -> Iterator[WalRecord]:
+    """Replay every intact record with ``seq >= start_seq``, in order.
+
+    Stops (with a :class:`RuntimeWarning`) at the first record that
+    fails its CRC or parses short — the torn tail a crash can leave —
+    so garbage is never replayed.  Read-only: the log is not modified.
+    """
+    directory = Path(directory)
+    for _first_seq, path in _list_segments(directory):
+        records, valid_bytes, error = _scan_segment(path.read_bytes())
+        for record in records:
+            if record.seq >= start_seq:
+                yield record
+        if error is not None:
+            warnings.warn(
+                f"WAL replay stopped at {path.name} offset {valid_bytes}: "
+                f"{error} (torn tail truncated)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+
+
+class WriteAheadLog:
+    """Appendable, replayable, segment-rotated event log."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_bytes: int = 4 << 20,
+        fsync_every: int = 64,
+    ) -> None:
+        if segment_bytes <= 0:
+            raise ValueError("segment_bytes must be positive")
+        if fsync_every <= 0:
+            raise ValueError("fsync_every must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.fsync_every = fsync_every
+        self._scratch = np.zeros(64 << 10, dtype=np.uint8)
+        self._file = None
+        self._segment_size = 0
+        self._unsynced = 0
+        #: Lifetime appends through this handle (not the on-disk total).
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.syncs = 0
+        self._next_seq = self._recover_tail()
+
+    # -- open/recover ---------------------------------------------------
+
+    def _recover_tail(self) -> int:
+        """Scan the last segment, truncate any torn tail, return next seq."""
+        segments = _list_segments(self.directory)
+        if not segments:
+            return 0
+        first_seq, path = segments[-1]
+        records, valid_bytes, error = _scan_segment(path.read_bytes())
+        if error is not None:
+            warnings.warn(
+                f"truncating torn WAL tail in {path.name} at offset "
+                f"{valid_bytes}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        if valid_bytes > 0:
+            # Keep appending into the (possibly truncated) last segment.
+            self._file = open(path, "ab")
+            self._segment_size = valid_bytes
+        else:
+            path.unlink(missing_ok=True)
+        return records[-1].seq + 1 if records else first_seq
+
+    # -- append path ----------------------------------------------------
+
+    def _encode(self, batch: EventBatch, now: float, seq: int) -> bytes:
+        """One record payload (a frame), growing the scratch slab to fit."""
+        while True:
+            length = write_frame(
+                self._scratch,
+                FRAME_EVENT_BATCH,
+                cols=encode_event_batch(batch),
+                now=now,
+                aux=seq,
+            )
+            if length is not None:
+                return self._scratch[:length].tobytes()
+            self._scratch = np.zeros(len(self._scratch) * 2, dtype=np.uint8)
+
+    def _rotate(self, first_seq: int) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+        path = _segment_path(self.directory, first_seq)
+        self._file = open(path, "ab")
+        self._segment_size = 0
+
+    def append(self, batch: EventBatch, now: float) -> int:
+        """Log one flushed batch; returns its sequence number."""
+        if self._file is None or self._segment_size >= self.segment_bytes:
+            self._rotate(self._next_seq)
+        seq = self._next_seq
+        payload = self._encode(batch, now, seq)
+        header = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload))
+        self._file.write(header)
+        self._file.write(payload)
+        written = len(header) + len(payload)
+        self._segment_size += written
+        self.bytes_appended += written
+        self._next_seq += 1
+        self.records_appended += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_every:
+            self.sync()
+        return seq
+
+    def flush(self) -> None:
+        """Hand buffered appends to the OS (SIGKILL-safe, no fsync)."""
+        if self._file is not None:
+            self._file.flush()
+
+    def sync(self) -> None:
+        """Flush and ``fsync`` — records so far survive power loss."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.syncs += 1
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and release the active segment (idempotent)."""
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+    # -- GC -------------------------------------------------------------
+
+    def truncate_before(self, seq: int) -> int:
+        """Delete whole segments fully covered by records ``< seq``.
+
+        Called after a snapshot commits with high-water mark ``seq - 1``:
+        those records can never be replayed again.  Only removes segments
+        whose *successor* starts at or below *seq* (the boundary segment
+        and the active tail always survive).  Returns segments removed.
+        """
+        segments = _list_segments(self.directory)
+        removed = 0
+        for (_first, path), (next_first, _next_path) in zip(
+            segments, segments[1:]
+        ):
+            if next_first <= seq:
+                path.unlink()
+                removed += 1
+            else:
+                break
+        return removed
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number appended (-1 when empty)."""
+        return self._next_seq - 1
+
+    @property
+    def unsynced_records(self) -> int:
+        """Appends since the last fsync (the power-loss exposure)."""
+        return self._unsynced
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

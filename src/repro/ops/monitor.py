@@ -25,6 +25,7 @@ from repro.cluster.cluster import Cluster
 from repro.ops.metrics import MetricsRegistry
 
 if TYPE_CHECKING:
+    from repro.durability.manager import DurabilityManager
     from repro.serving.cache import ServingCache
 
 
@@ -88,6 +89,12 @@ class ClusterMonitor:
     ``serving_cache_users``, and ``serving_bytes_per_user`` — the three
     numbers that say whether the materialized top-k is keeping up with
     the query population and what each cached user costs in RAM.
+
+    An optional *durability* manager adds the durable tier's gauges —
+    most importantly ``durability_snapshot_lag_records`` (WAL records a
+    crash right now would have to replay) and
+    ``durability_wal_unsynced`` (records an abrupt power loss would
+    lose) — the two numbers that bound recovery time and data loss.
     """
 
     def __init__(
@@ -95,10 +102,12 @@ class ClusterMonitor:
         cluster: Cluster,
         registry: MetricsRegistry | None = None,
         serving: "ServingCache | None" = None,
+        durability: "DurabilityManager | None" = None,
     ) -> None:
         self.cluster = cluster
         self.registry = registry or MetricsRegistry()
         self.serving = serving
+        self.durability = durability
         #: Replica count last seen per partition, so a dead worker's
         #: per-replica gauges can be zeroed instead of freezing at their
         #: last healthy values (a frozen replica_available=1 on a dead
@@ -169,7 +178,16 @@ class ClusterMonitor:
         )
         self._publish_wire_stats()
         self._publish_serving_stats()
+        self._publish_durability_stats()
         return report
+
+    def _publish_durability_stats(self) -> None:
+        """Publish the durable tier's gauges when a manager is wired."""
+        durability = self.durability
+        if durability is None:
+            return
+        for key, value in durability.stats().items():
+            self.registry.gauge(f"durability_{key}").set(value)
 
     def _publish_serving_stats(self) -> None:
         """Publish the pull tier's gauges when a serving cache is wired."""

@@ -393,6 +393,52 @@ class ServingCache:
             ]
         return out
 
+    # ------------------------------------------------------------------
+    # Durable-state hooks (snapshot capture + recovery rebuild)
+    # ------------------------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Materialized rows as owned arrays (for incremental snapshots).
+
+        Row order follows slot order, which is a capacity artifact —
+        consumers must treat the payload as an unordered keyed set.
+        """
+        table = self._table
+        slots = table.filled_slots()
+        return {
+            "users": table.keys_at(slots).copy(),
+            "count": table.columns["count"][slots].copy(),
+            "candidate": table.columns["candidate"][slots].copy(),
+            "score": table.columns["score"][slots].copy(),
+            "created_at": table.columns["created_at"][slots].copy(),
+        }
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Merge a :meth:`state_arrays` payload into this cache.
+
+        Rows land whole (count + full slot matrices) under the same
+        seqlock discipline as a live update, so readers may run
+        concurrently.  The payload's ``k`` width must match this cache's.
+        """
+        users = arrays["users"]
+        if len(users) == 0:
+            return
+        if arrays["candidate"].shape[1] != self.k:
+            raise ValueError(
+                f"state payload has k={arrays['candidate'].shape[1]}, "
+                f"cache expects k={self.k}"
+            )
+        order = np.argsort(users.astype(np.int64))
+        slots = self._upsert_users(users.astype(np.int64)[order])
+        table = self._table
+        stamp = table.columns["stamp"]
+        stamp[slots] += 1
+        table.columns["count"][slots] = arrays["count"][order]
+        table.columns["candidate"][slots] = arrays["candidate"][order]
+        table.columns["score"][slots] = arrays["score"][order]
+        table.columns["created_at"][slots] = arrays["created_at"][order]
+        stamp[slots] += 1
+
 
 class ShardedServingCache:
     """Recipient-hash-sharded serving caches, one writer per shard.
@@ -540,3 +586,32 @@ class ShardedServingCache:
         for shard in self.shards:
             out.update(shard.dump())
         return out
+
+    # -- durable-state hooks --------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Every shard's rows concatenated (shard split is re-derived
+        from the user hash on load, so it is not persisted)."""
+        parts = [shard.state_arrays() for shard in self.shards]
+        return {
+            name: np.concatenate([part[name] for part in parts])
+            for name in parts[0]
+        }
+
+    def load_state(self, arrays: dict[str, np.ndarray]) -> None:
+        """Split a :meth:`state_arrays` payload by user hash and merge."""
+        users = arrays["users"]
+        if len(users) == 0:
+            return
+        if self.num_shards == 1:
+            self.shards[0].load_state(arrays)
+            return
+        shard_ids = (
+            splitmix64_array(users.astype(np.uint64))
+            % np.uint64(self.num_shards)
+        ).astype(np.int64)
+        for shard in np.unique(shard_ids).tolist():
+            mask = shard_ids == shard
+            self.shards[shard].load_state(
+                {name: values[mask] for name, values in arrays.items()}
+            )

@@ -104,6 +104,16 @@ class DetectionConsumer:
         #: Monotone flush counter; guards the max_wait timer against firing
         #: after its buffer was already flushed by the size trigger.
         self._flush_epoch = 0
+        #: Durability tap: called ``(batch, flushed_at)`` with every event
+        #: batch immediately *before* it enters the cluster, so the WAL
+        #: prefix is exactly the set of ingested batches (the per-event
+        #: path logs one-event batches; replay runs them through the
+        #: equivalent batched ingest).
+        self.wal_tap = None
+        #: Candidate batches detected but still in flight to the push
+        #: queue (the virtual detection+rpc delay) — part of the
+        #: topology's quiescence check for snapshots.
+        self._inflight_publishes = 0
         self.events_consumed = 0
         self.events_shed = 0
         self.candidates_produced = 0
@@ -183,6 +193,8 @@ class DetectionConsumer:
                 )
             return
 
+        if self.wal_tap is not None:
+            self.wal_tap(EventBatch.from_events([event]), delivered_at)
         started = time.perf_counter()
         recommendations, rpc_latency = self._cluster.broker.process_event(
             event, now=delivered_at
@@ -207,9 +219,10 @@ class DetectionConsumer:
         # The broker hands the batch to the push queue only after the
         # detection work (and slowest partition ack) completes, so both
         # contribute their measured/virtual time to the end-to-end path.
+        self._inflight_publishes += 1
         self._sim.schedule_after(
             detection_seconds + rpc_latency,
-            lambda: self._output.publish(batch),
+            lambda: self._publish(batch),
         )
 
     # ------------------------------------------------------------------
@@ -221,6 +234,16 @@ class DetectionConsumer:
         """Events buffered and not yet flushed to the cluster."""
         return len(self._buffer)
 
+    @property
+    def inflight_publishes(self) -> int:
+        """Candidate batches scheduled but not yet on the push queue."""
+        return self._inflight_publishes
+
+    def _publish(self, batch: CandidateBatch) -> None:
+        """Detection-delay timer callback: hand off to the push queue."""
+        self._inflight_publishes -= 1
+        self._output.publish(batch)
+
     def _flush_if_pending(self, epoch: int) -> None:
         """max_wait timer callback; a stale epoch means already flushed."""
         if epoch == self._flush_epoch and self._buffer:
@@ -231,6 +254,8 @@ class DetectionConsumer:
         buffered, self._buffer = self._buffer, []
         self._flush_epoch += 1
         batch = EventBatch.from_events([event for event, _ in buffered])
+        if self.wal_tap is not None:
+            self.wal_tap(batch, flushed_at)
         started = time.perf_counter()
         grouped, rpc_latency = self._cluster.broker.process_batch(
             batch, now=flushed_at
@@ -261,9 +286,10 @@ class DetectionConsumer:
             # detection and the shared fan-out ack before its candidates
             # reach the push queue — batching trades latency for
             # throughput and the accounting keeps that honest.
+            self._inflight_publishes += 1
             self._sim.schedule_after(
                 detection_seconds + rpc_latency,
-                lambda b=candidate_batch: self._output.publish(b),
+                lambda b=candidate_batch: self._publish(b),
             )
 
 

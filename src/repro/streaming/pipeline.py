@@ -53,6 +53,7 @@ from repro.util.validation import require
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
+    from repro.durability.manager import DurabilityManager
     from repro.serving.cache import ServingCache
 
 
@@ -131,6 +132,8 @@ class StreamingTopology:
         query_qps: float | None = None,
         query_users: int | None = None,
         query_k: int | None = None,
+        durability: "DurabilityManager | None" = None,
+        snapshot_interval: float | None = None,
     ) -> None:
         """Build the topology.
 
@@ -184,6 +187,18 @@ class StreamingTopology:
             query_users: user-id space for the query load (required with
                 ``query_qps``).
             query_k: entries requested per query (default: the cache's k).
+            durability: enable the durable state tier — a
+                :class:`~repro.durability.manager.DurabilityManager`
+                whose WAL taps the detection consumer (every batch is
+                logged immediately before it enters the cluster) and
+                whose snapshots fire from a virtual-time tick.
+            snapshot_interval: virtual seconds between snapshot
+                attempts (requires *durability*; ``None`` = WAL only,
+                no automatic snapshots).  A tick landing while
+                candidates are in flight between the consumer and the
+                funnel retries shortly after — snapshots are only taken
+                at quiescent points so the captured arenas exactly match
+                the manifest's WAL high-water mark.
         """
         self.sim = DiscreteEventSimulator()
         self.breakdown = LatencyBreakdown()
@@ -274,6 +289,21 @@ class StreamingTopology:
                 seed=seed,
             )
 
+        self.durability = durability
+        self._snapshot_interval = snapshot_interval
+        if snapshot_interval is not None:
+            require(
+                durability is not None,
+                "snapshot_interval needs a durability manager",
+            )
+            require(
+                snapshot_interval > 0,
+                f"snapshot_interval must be positive, got {snapshot_interval}",
+            )
+        if durability is not None:
+            durability.cluster = cluster
+            self.consumer.wal_tap = durability.log_batch
+
         self.admission = admission
         self.controller: AdaptiveController | None = None
         if controller_config is not None:
@@ -317,7 +347,15 @@ class StreamingTopology:
             # the drain would never finish.
             horizon = max(event.created_at for event in events) + 1.0
             self.query_load.schedule_until(horizon)
+        if self.durability is not None and self._snapshot_interval is not None:
+            self.sim.schedule_after(
+                self._snapshot_interval, self._snapshot_tick
+            )
         self.sim.run()
+        if self.durability is not None:
+            # Everything ingested is now OS-buffered: the full log
+            # survives a SIGKILL landing after the drain.
+            self.durability.wal.flush()
         return TopologyReport(
             breakdown=self.breakdown,
             notifications=list(self._notifications),
@@ -329,6 +367,45 @@ class StreamingTopology:
         self, event: EdgeEvent, published_at: float, delivered_at: float
     ) -> None:
         self.breakdown.record("queue:fanout", delivered_at - published_at)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def snapshot_quiescent(self) -> bool:
+        """True when every WAL-logged batch has fully reached the funnel.
+
+        Events still upstream of the consumer (queue hops, the
+        micro-batch buffer) are *not yet logged*, so they don't block a
+        snapshot; candidates between the cluster and the funnel are the
+        effects of logged records the arenas haven't absorbed yet, so
+        they do.
+        """
+        return (
+            self.consumer.inflight_publishes == 0
+            and self.push.in_flight == 0
+            and self.coalescer.pending_batches == 0
+        )
+
+    def _snapshot_tick(self) -> None:
+        assert self.durability is not None
+        assert self._snapshot_interval is not None
+        delay = self._snapshot_interval
+        if self.snapshot_quiescent():
+            self.durability.snapshot(
+                self.sim.clock.now(),
+                delivery=self.delivery,
+                notifications=self._notifications,
+                serving=self.serving,
+            )
+        else:
+            # In-flight candidates drain within a few virtual
+            # milliseconds; retry shortly instead of skipping a whole
+            # interval.
+            delay = min(delay, 0.05)
+        # Reschedule only while other work remains (see _controller_tick).
+        if self.sim.pending() > 0:
+            self.sim.schedule_after(delay, self._snapshot_tick)
 
     # ------------------------------------------------------------------
     # Control plane

@@ -1,0 +1,153 @@
+"""Live snapshot hot-reload and D checkpoint control messages, fleet-wide.
+
+``Cluster.reload_snapshot`` historically only worked on the in-process
+transport (worker-hosted partitions silently had no path for the new S
+shards).  It now routes per-partition ``reload_static`` control messages
+over whatever transport the fleet runs on, so these tests pin the paper's
+"loaded into the system periodically" operation on a *live* worker fleet:
+after an in-place reload, the running deployment must serve exactly what
+a fresh deployment built from the new snapshot (with the same D) serves.
+
+``checkpoint``/``load_dynamic`` — the durability tier's D capture and
+restore — get the same treatment: a checkpoint taken over any transport
+restores bitwise into any other.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import DetectionParams, EdgeEvent
+from repro.gen import TwitterGraphConfig, generate_follow_graph
+
+PARAMS = DetectionParams(k=2, tau=600.0)
+
+TRANSPORTS = ["inprocess", "process", "shm"]
+
+
+def _needs_shm(transport):
+    if transport == "shm" and not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm")
+
+
+def _snapshots():
+    old = generate_follow_graph(
+        TwitterGraphConfig(num_users=220, mean_followings=12.0, seed=11)
+    )
+    new = generate_follow_graph(
+        TwitterGraphConfig(num_users=220, mean_followings=12.0, seed=29)
+    )
+    return old, new
+
+
+def _stream(seed, n, start=0.0):
+    rng = np.random.default_rng(seed)
+    return [
+        EdgeEvent(
+            start + 0.25 * i,
+            int(rng.integers(0, 180)),
+            int(rng.integers(150, 220)),
+        )
+        for i in range(n)
+    ]
+
+
+def _triples(recommendations):
+    return sorted(
+        (rec.recipient, rec.candidate, rec.created_at)
+        for rec in recommendations
+    )
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_live_fleet_serves_new_snapshot_after_inplace_reload(transport):
+    """Hot reload on a live (possibly worker-hosted) fleet ≡ fresh build."""
+    _needs_shm(transport)
+    old_snap, new_snap = _snapshots()
+    prefix = _stream(seed=1, n=120)
+    suffix = _stream(seed=2, n=120, start=40.0)
+
+    live = Cluster.build(
+        old_snap,
+        PARAMS,
+        ClusterConfig(num_partitions=3, transport=transport),
+    )
+    try:
+        for event in prefix:
+            live.process_event(event)
+        checkpoint = live.checkpoint_dynamic()
+        assert checkpoint is not None
+        # The operation under test: swap S in place, no restart, D kept.
+        assert live.reload_snapshot(new_snap) == 3
+        live_recs = [
+            triple
+            for event in suffix
+            for triple in _triples(live.process_event(event))
+        ]
+    finally:
+        live.close()
+
+    reference = Cluster.build(
+        new_snap, PARAMS, ClusterConfig(num_partitions=3)
+    )
+    restored_edges = reference.load_dynamic(checkpoint)
+    assert restored_edges == len(checkpoint["targets"])
+    ref_recs = [
+        triple
+        for event in suffix
+        for triple in _triples(reference.process_event(event))
+    ]
+    assert live_recs == ref_recs
+    assert live_recs  # the new graph must actually produce detections
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_checkpoint_restores_bitwise_across_transports(transport):
+    """D checkpoint arrays round-trip exactly through load_dynamic."""
+    _needs_shm(transport)
+    old_snap, _ = _snapshots()
+    source = Cluster.build(
+        old_snap,
+        PARAMS,
+        ClusterConfig(num_partitions=2, transport=transport),
+    )
+    try:
+        for event in _stream(seed=7, n=150):
+            source.process_event(event)
+        checkpoint = source.checkpoint_dynamic()
+    finally:
+        source.close()
+    assert checkpoint is not None and len(checkpoint["targets"]) > 0
+
+    target = Cluster.build(old_snap, PARAMS, ClusterConfig(num_partitions=2))
+    target.load_dynamic(checkpoint)
+    again = target.checkpoint_dynamic()
+    assert set(again) == set(checkpoint)
+    for name in checkpoint:
+        np.testing.assert_array_equal(again[name], checkpoint[name])
+
+
+def test_checkpoint_reaches_every_replica():
+    """load_dynamic restores all replicas, not just the queried one."""
+    old_snap, _ = _snapshots()
+    cluster = Cluster.build(
+        old_snap,
+        PARAMS,
+        ClusterConfig(num_partitions=2, replication_factor=2),
+    )
+    for event in _stream(seed=5, n=60):
+        cluster.process_event(event)
+    checkpoint = cluster.checkpoint_dynamic()
+
+    restored = Cluster.build(
+        old_snap,
+        PARAMS,
+        ClusterConfig(num_partitions=2, replication_factor=2),
+    )
+    restored.load_dynamic(checkpoint)
+    for replica_set in restored.replica_sets:
+        for replica in replica_set.replicas:
+            index = replica.engine.dynamic_index
+            assert index.num_edges == len(checkpoint["targets"])

@@ -1,0 +1,154 @@
+"""Incremental snapshot store: delta encoding must be invisible on load.
+
+The store's whole contract is that ``same``/``append``/``full`` delta
+encoding is a storage optimization only: loading any snapshot — through
+arbitrarily long base chains, from a fresh store object, after a crash
+left tmp debris — returns bitwise the arrays that were saved.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durability.snapshot import SnapshotStore
+
+
+def _assert_components_equal(got, expected):
+    assert set(got) == set(expected)
+    for component in expected:
+        assert set(got[component]) == set(expected[component])
+        for name, array in expected[component].items():
+            loaded = got[component][name]
+            assert loaded.dtype == np.asarray(array).dtype
+            np.testing.assert_array_equal(loaded, array)
+
+
+arrays_strategy = st.fixed_dictionaries(
+    {
+        "ledger": st.lists(
+            st.integers(-(2**31), 2**31), min_size=0, max_size=20
+        ).map(lambda xs: np.asarray(xs, dtype=np.int64)),
+        "matrix": st.lists(
+            st.floats(-1e9, 1e9, allow_nan=False), min_size=4, max_size=4
+        ).map(lambda xs: np.asarray(xs, dtype=np.float64).reshape(2, 2)),
+    }
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(states=st.lists(arrays_strategy, min_size=1, max_size=6))
+def test_every_snapshot_in_a_chain_loads_exactly(tmp_path_factory, states):
+    """Each snapshot in a randomized chain loads bitwise, chained or not."""
+    root = tmp_path_factory.mktemp("snaps")
+    store = SnapshotStore(root)
+    ids = [
+        store.save({"state": arrays}, wal_seq=i, created_at=float(i))
+        for i, arrays in enumerate(states)
+    ]
+    # A *fresh* store object (recovery's view) resolves every id too.
+    for reader in (store, SnapshotStore(root)):
+        for snapshot_id, arrays in zip(ids, states):
+            manifest, components = reader.load(snapshot_id)
+            assert manifest["id"] == snapshot_id
+            _assert_components_equal(components, {"state": arrays})
+
+
+def test_append_only_arrays_store_only_the_suffix(tmp_path):
+    store = SnapshotStore(tmp_path)
+    first = np.arange(1000, dtype=np.int64)
+    store.save({"ledger": {"rows": first}}, wal_seq=0, created_at=0.0)
+    grown = np.arange(1010, dtype=np.int64)
+    snapshot_id = store.save(
+        {"ledger": {"rows": grown}}, wal_seq=1, created_at=1.0
+    )
+    manifest = store.read_manifest(snapshot_id)
+    entry = manifest["components"]["ledger"]["rows"]
+    assert entry["kind"] == "append"
+    assert entry["base_len"] == 1000
+    # Only the 10-element suffix hit the disk.
+    assert store.last_delta_bytes == 10 * 8
+    assert store.last_full_bytes == 1010 * 8
+    _, components = store.load(snapshot_id)
+    np.testing.assert_array_equal(components["ledger"]["rows"], grown)
+
+
+def test_unchanged_arrays_write_nothing(tmp_path):
+    store = SnapshotStore(tmp_path)
+    arrays = {"table": np.arange(512, dtype=np.float64)}
+    store.save({"state": arrays}, wal_seq=0, created_at=0.0)
+    snapshot_id = store.save({"state": arrays}, wal_seq=5, created_at=5.0)
+    manifest = store.read_manifest(snapshot_id)
+    assert manifest["components"]["state"]["table"]["kind"] == "same"
+    assert store.last_delta_bytes == 0
+    _, components = store.load(snapshot_id)
+    np.testing.assert_array_equal(components["state"]["table"], arrays["table"])
+
+
+def test_same_chain_resolves_through_many_bases(tmp_path):
+    """A long run of unchanged snapshots still loads from the one copy."""
+    store = SnapshotStore(tmp_path)
+    base = np.arange(64, dtype=np.int64)
+    last = None
+    for i in range(6):
+        last = store.save({"s": {"a": base}}, wal_seq=i, created_at=float(i))
+    _, components = store.load(last)
+    np.testing.assert_array_equal(components["s"]["a"], base)
+    manifest = store.read_manifest(last)
+    assert manifest["components"]["s"]["a"]["kind"] == "same"
+
+
+def test_shape_or_dtype_change_falls_back_to_full(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save(
+        {"s": {"a": np.arange(8, dtype=np.int64)}}, wal_seq=0, created_at=0.0
+    )
+    snapshot_id = store.save(
+        {"s": {"a": np.arange(8, dtype=np.float64)}}, wal_seq=1, created_at=1.0
+    )
+    assert (
+        store.read_manifest(snapshot_id)["components"]["s"]["a"]["kind"]
+        == "full"
+    )
+
+
+def test_wal_high_water_mark_round_trips(tmp_path):
+    store = SnapshotStore(tmp_path)
+    store.save({"s": {"a": np.zeros(1)}}, wal_seq=41, created_at=7.5)
+    manifest = store.latest_manifest()
+    assert manifest["wal_seq"] == 41
+    assert manifest["created_at"] == 7.5
+
+
+def test_tmp_debris_is_ignored_and_cleaned(tmp_path):
+    """A crash mid-save leaves tmp-*; it must never shadow a snapshot."""
+    store = SnapshotStore(tmp_path)
+    store.save({"s": {"a": np.arange(4)}}, wal_seq=0, created_at=0.0)
+    debris = tmp_path / "tmp-snap-00000099"
+    debris.mkdir()
+    (debris / "manifest.json").write_text("{not json")
+    reopened = SnapshotStore(tmp_path)
+    assert not debris.exists()
+    assert reopened.list_ids() == ["snap-00000000"]
+    reopened.load_latest()
+
+
+def test_load_latest_empty_store_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        SnapshotStore(tmp_path).load_latest()
+
+
+def test_manifest_mismatch_detected(tmp_path):
+    """A corrupted manifest shape claim fails loudly, not silently."""
+    store = SnapshotStore(tmp_path)
+    snapshot_id = store.save(
+        {"s": {"a": np.arange(4, dtype=np.int64)}}, wal_seq=0, created_at=0.0
+    )
+    manifest_path = tmp_path / snapshot_id / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["components"]["s"]["a"]["shape"] = [5]
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="manifest"):
+        SnapshotStore(tmp_path).load(snapshot_id)
