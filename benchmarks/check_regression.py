@@ -39,6 +39,7 @@ LOWER_IS_BETTER = (
     "wire_overhead",  # wall over in-process wall at the same P: smaller wins
     "frontier_",  # E20 adaptive-over-static ratios: smaller = more dominant
     "degradation",  # E21 live-over-idle read p99: smaller = less perturbed
+    "cross_process_read",  # E23 attached-arena reads: smaller wins
     "bytes_per",  # E21 serving footprint / E22 WAL bytes per event
     "wal_overhead",  # E22 logged-over-unlogged ingest wall: smaller wins
     "snapshot_delta",  # E22 incremental-over-full snapshot bytes

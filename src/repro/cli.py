@@ -45,7 +45,11 @@ from repro.gen import (
     generate_follow_graph,
     generate_follow_graph_chunked,
 )
-from repro.serving import ServingFrontend, ShardedServingCache
+from repro.serving import (
+    ServingCacheConfig,
+    ServingFrontend,
+    ShardedServingCache,
+)
 from repro.graph import (
     D_BACKENDS,
     S_BACKENDS,
@@ -216,7 +220,28 @@ def build_arg_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="serving-cache shards (splitmix64 by user, the delivery "
-        "keying); only meaningful with --query-qps",
+        "keying); only meaningful with --query-qps (ignored under "
+        "--serving-mode worker, where serving shards are the delivery "
+        "shards)",
+    )
+    simulate.add_argument(
+        "--serving-mode",
+        choices=("parent", "worker"),
+        default="parent",
+        help="where serving-cache writes happen: parent = the delivery "
+        "coalescer's flush tap merges in this process; worker = each "
+        "delivery shard worker merges its own slice into a shared-memory "
+        "arena where the funnel runs, and this process reads the arenas "
+        "zero-copy (requires --query-qps; serving shards = delivery "
+        "shards)",
+    )
+    simulate.add_argument(
+        "--serving-ttl",
+        type=float,
+        default=None,
+        help="serving-cache TTL in virtual seconds: users whose newest "
+        "entry is older than this are evicted before the cache grows "
+        "(omit = keep everything)",
     )
     simulate.add_argument(
         "--wal-dir",
@@ -540,7 +565,27 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         ),
     )
     require_positive(args.delivery_shards, "--delivery-shards")
-    if args.delivery_shards > 1:
+    serving_k = args.ranked_k if args.ranked else 2
+    if args.serving_ttl is not None:
+        require_positive(args.serving_ttl, "--serving-ttl")
+    if args.serving_mode == "worker" and args.query_qps is None:
+        print(
+            "error: --serving-mode worker requires --query-qps",
+            file=sys.stderr,
+        )
+        cluster.close()
+        return 2
+    if args.serving_mode == "worker":
+        # The shard workers own the cache writers: always go through the
+        # sharded pipeline (even at 1 shard) so the arenas, reader, and
+        # reclamation sweep exist.
+        delivery = ShardedDeliveryPipeline(
+            args.delivery_shards,
+            pipeline_factory=_delivery_shard_pipeline,
+            transport=args.transport,
+            serving=ServingCacheConfig(k=serving_k, ttl=args.serving_ttl),
+        )
+    elif args.delivery_shards > 1:
         delivery = ShardedDeliveryPipeline(
             args.delivery_shards,
             pipeline_factory=_delivery_shard_pipeline,
@@ -561,10 +606,14 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
     serving = None
     if args.query_qps is not None:
         require_positive(args.query_qps, "--query-qps")
-        serving = ShardedServingCache(
-            num_shards=args.serving_shards,
-            k=args.ranked_k if args.ranked else 2,
-        )
+        if args.serving_mode == "worker":
+            serving = delivery.serving  # the attach-by-spec read surface
+        else:
+            serving = ShardedServingCache(
+                num_shards=args.serving_shards,
+                k=serving_k,
+                ttl=args.serving_ttl,
+            )
     durability = None
     if args.snapshot_interval is not None and args.wal_dir is None:
         print("error: --snapshot-interval requires --wal-dir", file=sys.stderr)
@@ -583,6 +632,15 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
                 "transport": args.transport,
                 "batch_size": args.batch_size,
                 "seed": args.seed,
+                # Recovery rebuilds the serving cache with this shape —
+                # worker mode shards by delivery shard, parent mode by
+                # --serving-shards.
+                "serving_shards": (
+                    args.delivery_shards
+                    if args.serving_mode == "worker"
+                    else args.serving_shards
+                ),
+                "serving_k": serving_k,
             },
         )
         durability = DurabilityManager(
@@ -603,6 +661,7 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         ranked_k=args.ranked_k if args.ranked else None,
         controller_config=controller_config,
         serving=serving,
+        serving_mode=args.serving_mode,
         query_qps=args.query_qps,
         query_users=snapshot.num_users if serving is not None else None,
         durability=durability,

@@ -42,12 +42,17 @@ stamp is checked on the read side — on the x86-TSO machines this repo
 benches on the handoff is safe without fences; the torn-frame check is
 the belt over those braces.
 
-Cleanup discipline: segments are created (and therefore owned) by the
-parent process only.  Workers *attach* by name and close their mapping
-on exit; the parent unlinks every segment in ``close()`` — including the
-slabs of workers that died mid-batch (dead-worker slab reclamation) —
-and a module-level ``atexit`` sweep unlinks anything a crashed caller
-left behind, so ``/dev/shm`` never accumulates orphans.
+Cleanup discipline: ring segments are created (and therefore owned) by
+the parent process only.  Workers *attach* by name and close their
+mapping on exit; the parent unlinks every segment in ``close()`` —
+including the slabs of workers that died mid-batch (dead-worker slab
+reclamation) — and a module-level ``atexit`` sweep unlinks anything a
+crashed caller left behind, so ``/dev/shm`` never accumulates orphans.
+The serving arenas (:class:`ShmArena`) extend the discipline to
+*worker-created* segments: a worker that allocates a growth segment
+derives its name deterministically from a parent-owned control segment,
+so the parent can reclaim it by name (:func:`unlink_segment`) even after
+a ``kill -9`` left no owner alive.
 """
 
 from __future__ import annotations
@@ -64,16 +69,19 @@ import numpy as np
 from repro.util.validation import require, require_positive
 
 __all__ = [
+    "ARENA_HEADER_BYTES",
     "DEFAULT_SLOTS",
     "DEFAULT_SLOT_BYTES",
     "RING_HEADER_BYTES",
     "SLOT_HEADER_BYTES",
     "TornFrameError",
+    "ShmArena",
     "ShmRing",
     "RingPairSpec",
     "shm_available",
     "live_segment_names",
     "sweep_segments",
+    "unlink_segment",
 ]
 
 #: Slots per ring lane.  Bounds the pipelining depth a transport can
@@ -164,6 +172,34 @@ def sweep_segments(names: "list[str] | None" = None) -> int:
         except (FileNotFoundError, OSError):
             pass
     return reclaimed
+
+
+def unlink_segment(name: str) -> bool:
+    """Close + unlink one segment by *name*, owned by this process or not.
+
+    The serving-arena reclamation primitive: arena growth segments are
+    created by *worker* processes under names derived from a parent-owned
+    control segment, so after a ``kill -9`` the parent reclaims them by
+    name without ever having held a handle.  Tolerant and idempotent —
+    a name that is already gone returns False silently.  Unlinking never
+    invalidates existing mappings (POSIX removes the name only), so
+    readers attached to the segment keep working.
+    """
+    segment = _OWNED_SEGMENTS.pop(name, None)
+    if segment is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError, ValueError):
+            return False
+    try:
+        segment.close()
+    except (OSError, BufferError):
+        pass
+    try:
+        segment.unlink()
+        return True
+    except (FileNotFoundError, OSError):
+        return False
 
 
 atexit.register(sweep_segments)
@@ -479,3 +515,155 @@ class RingPair:
 
     #: Parent-side name for :meth:`close`: reclaims the slabs (unlink).
     destroy = close
+
+
+#: Control-word area at the front of every arena segment: eight ``u64``
+#: words whose meaning the arena's protocol defines (the serving arena
+#: uses them for its structural seqlock, generation counter, and
+#: writer-published gauges).
+ARENA_HEADER_BYTES = 64
+
+#: Arena array fields: ``(name, dtype, shape)`` triples.  Offsets are
+#: assigned sequentially after the header, each 8-aligned, so any two
+#: processes carving the same field list see the same layout.
+ArenaFields = "list[tuple[str, np.dtype, tuple[int, ...]]]"
+
+
+def _arena_layout(fields) -> tuple[int, list[tuple[str, np.dtype, tuple, int]]]:
+    """(total segment bytes, [(name, dtype, shape, byte offset)])."""
+    offset = ARENA_HEADER_BYTES
+    placed = []
+    for name, dtype, shape in fields:
+        dtype = np.dtype(dtype)
+        offset = (offset + 7) & ~7
+        placed.append((name, dtype, tuple(shape), offset))
+        offset += int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    return offset, placed
+
+
+class ShmArena:
+    """One shm segment carving a ``u64`` header plus named numpy arrays.
+
+    The building block under the in-worker serving caches: a writer
+    process :meth:`create`\\ s a segment whose layout is a pure function
+    of its field list, and any other process :meth:`attach`\\ es the same
+    fields (or :meth:`attach_dynamic` when the shapes themselves live in
+    the header) and sees the very same bytes as numpy views — no copies,
+    no pickling.  Fresh POSIX shm is zero-filled, which the serving
+    table's probe loops rely on (an unwritten slot reads as empty).
+
+    Concurrency is the *caller's* protocol: this class only maps memory.
+    Ownership follows creation — a created segment lands in the module
+    sweep list (unlinked at ``close()``/``atexit``), an attached one is
+    never unlinked by :meth:`close`.
+    """
+
+    __slots__ = ("name", "_shm", "_mem", "header", "arrays", "_owner")
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, fields, owner: bool
+    ) -> None:
+        self.name = segment.name
+        self._shm = segment
+        self._mem = np.frombuffer(segment.buf, dtype=np.uint8)
+        self.header = self._mem[:ARENA_HEADER_BYTES].view(np.uint64)
+        self._owner = owner
+        self.arrays: dict[str, np.ndarray] = {}
+        for field_name, dtype, shape, offset in _arena_layout(fields)[1]:
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            self.arrays[field_name] = (
+                self._mem[offset : offset + nbytes].view(dtype).reshape(shape)
+            )
+
+    @staticmethod
+    def segment_bytes(fields) -> int:
+        """Total segment size for the given field list."""
+        return _arena_layout(fields)[0]
+
+    @classmethod
+    def create(cls, fields, name: str | None = None) -> "ShmArena":
+        """Allocate a fresh, zero-filled arena segment (creator owns it)."""
+        name = name or _next_segment_name()
+        segment = shared_memory.SharedMemory(
+            create=True, size=cls.segment_bytes(fields), name=name
+        )
+        _OWNED_SEGMENTS[name] = segment
+        return cls(segment, fields, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, fields) -> "ShmArena":
+        """Map an existing arena with a known field list (never unlinks)."""
+        return cls(shared_memory.SharedMemory(name=name), fields, owner=False)
+
+    @classmethod
+    def attach_dynamic(cls, name: str, fields_from_header) -> "ShmArena":
+        """Attach when the field shapes live in the segment's own header.
+
+        *fields_from_header* receives the ``u64`` header view and returns
+        the field list — the serving arena stores (capacity, k) in its
+        data header, so a reader can attach any generation knowing only
+        its name.
+        """
+        segment = shared_memory.SharedMemory(name=name)
+        header = (
+            np.frombuffer(segment.buf, dtype=np.uint8)[:ARENA_HEADER_BYTES]
+            .view(np.uint64)
+        )
+        fields = fields_from_header(header)
+        del header
+        return cls(segment, fields, owner=False)
+
+    def nbytes(self) -> int:
+        """Mapped bytes (the full segment)."""
+        return 0 if self._mem is None else int(self._mem.nbytes)
+
+    def release(self) -> None:
+        """Drop this handle's views without closing mapping or name.
+
+        For creators that only needed to allocate + zero-init: ownership
+        stays in the module sweep list (the name is reclaimed later by
+        ``sweep_segments``/``unlink_segment``), while other handles keep
+        attaching by name.
+        """
+        self.header = None
+        self.arrays = {}
+        self._mem = None
+
+    def try_close_mapping(self) -> bool:
+        """Release views and close the mapping if nothing else exports it.
+
+        For retiring an old generation whose *name* is already unlinked:
+        the mapping can only be unmapped once every external numpy view
+        into it has died (``mmap`` refuses while exported pointers
+        exist).  Returns True once the mapping is closed; the caller
+        retries later on False — never letting the segment reach GC with
+        live views, which would spray ``BufferError`` from ``__del__``.
+        """
+        self.release()
+        try:
+            self._shm.close()
+            return True
+        except BufferError:
+            return False
+        except OSError:
+            return True  # already closed
+
+    def close(self) -> None:
+        """Drop this mapping (and unlink when owner).  Idempotent."""
+        self.release()
+        if self._owner:
+            sweep_segments([self.name])
+        else:
+            try:
+                self._shm.close()
+            except (OSError, BufferError):
+                pass
+
+    def __del__(self) -> None:
+        # Drop our views before the SharedMemory slot is torn down —
+        # otherwise its __del__ hits the mmap while our exports are
+        # still alive and sprays an ignored BufferError.
+        try:
+            self.release()
+        except Exception:
+            pass

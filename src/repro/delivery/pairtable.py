@@ -105,30 +105,45 @@ class Int64KeyTable:
             column, ``width > 0`` a ``(capacity, width)`` matrix (e.g. a
             per-entry timestamp ring).
         capacity: initial slot count; must be a power of two.
+        allocator: optional backing hook, ``allocator(capacity, specs) ->
+            (keys, filled, columns)`` returning *zero-initialized* arrays
+            of the schema's shapes.  The serving cache uses it to carve
+            the table out of a shared-memory arena so another process can
+            probe the same slots; the default heap-numpy backing stays
+            untouched for the funnel's pair tables.  Called once at
+            construction and again on every rebuild, so an arena-backed
+            table publishes a fresh generation per rebuild.
 
     The table only ever removes entries wholesale, during
-    :meth:`reserve`'s rebuild — there are no tombstones, so the linear
-    probe invariant (no empty slot between a key's home and its slot)
-    always holds.
+    :meth:`reserve`'s rebuild or an explicit :meth:`compact` — there are
+    no tombstones, so the linear probe invariant (no empty slot between a
+    key's home and its slot) always holds.
     """
 
     def __init__(
         self,
         value_columns: dict[str, tuple[np.dtype, int]],
         capacity: int = _DEFAULT_CAPACITY,
+        allocator: Callable | None = None,
     ) -> None:
         require(
             capacity >= 2 and capacity & (capacity - 1) == 0,
             f"capacity must be a power of two >= 2, got {capacity}",
         )
         self._specs = dict(value_columns)
+        self._allocator = allocator
         self._allocate(capacity)
 
     def _allocate(self, capacity: int) -> None:
         self._capacity = capacity
+        self._size = 0
+        if self._allocator is not None:
+            self._keys, self._filled, self.columns = self._allocator(
+                capacity, self._specs
+            )
+            return
         self._keys = np.zeros(capacity, dtype=np.uint64)
         self._filled = np.zeros(capacity, dtype=bool)
-        self._size = 0
         self.columns: dict[str, np.ndarray] = {
             name: np.zeros(
                 capacity if width == 0 else (capacity, width), dtype=dtype
@@ -278,6 +293,22 @@ class Int64KeyTable:
             capacity *= 2
         self._rebuild(kept_slots, capacity)
         return True
+
+    def compact(self, keep: np.ndarray) -> int:
+        """Drop live entries where *keep* is False; returns entries dropped.
+
+        The eager form of :meth:`reserve`'s lazy compaction hook: a
+        non-growing rebuild at the current capacity, for callers that
+        want the space back *now* (TTL eviction of dormant serving rows)
+        rather than at the next growth.  A no-op (no rebuild, columns
+        stay valid) when every live entry survives.
+        """
+        survivors = self._filled & keep
+        dropped = self._size - int(survivors.sum())
+        if dropped == 0:
+            return 0
+        self._rebuild(np.flatnonzero(survivors), self._capacity)
+        return dropped
 
     def _rebuild(self, kept_slots: np.ndarray, capacity: int) -> None:
         old_keys = self._keys[kept_slots]

@@ -36,7 +36,7 @@ Three transports, mirroring the cluster side:
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -67,6 +67,14 @@ from repro.core.wire import (
 )
 from repro.delivery.notifier import PushNotification
 from repro.delivery.pipeline import DeliveryPipeline
+
+if TYPE_CHECKING:  # runtime imports are lazy: serving.cache imports from
+    # repro.delivery, so a module-level import here would be circular
+    from repro.serving.cache import (
+        ServingCacheConfig,
+        ShardedServingCache,
+        ShardedServingCacheReader,
+    )
 from repro.util.hashing import splitmix64, splitmix64_array
 from repro.util.procpool import (
     WorkerHandle,
@@ -123,32 +131,54 @@ def split_batch_by_shard(
     ]
 
 
-def _delivery_worker_main(pipeline, requests, replies) -> None:
+def _delivery_worker_main(state, requests, replies) -> None:
     """One delivery shard worker: drain requests until a stop message.
 
     Every reply carries the shard's current (funnel stages, delivered
     total) so the parent's aggregate accounting stays current as of the
     last reply even if this worker later dies — accumulated history must
     never vanish from ``funnel_totals()`` retroactively.
+
+    With a serving arena spec the worker is also its shard's serving
+    writer: every incoming slice merges into the shard-local shm cache
+    *before* the funnel (the same pre-funnel content the parent-mode
+    coalescer tap sees), so the parent reads recommendations without ever
+    decoding or re-merging a reply.
     """
+    pipeline, serving_spec = state
+    serving = None
+    if serving_spec is not None:
+        from repro.serving.cache import ServingCache
+
+        serving = ServingCache.attach_writer(serving_spec)
 
     def stats() -> tuple[dict[str, int], int]:
         return (dict(pipeline.funnel.stages), pipeline.notifier.delivered_total)
 
-    while True:
-        message = requests.get()
-        kind = message[0]
-        if kind == "batch":
-            batch = decode_recommendation_batch(message[1])
-            delivered = pipeline.offer_batch(batch, message[2])
-            replies.put(("ok", delivered, stats()))
-        elif kind == "offer":
-            replies.put(("ok", pipeline.offer(message[1], message[2]), stats()))
-        elif kind == "stats":
-            replies.put(("ok", stats()))
-        elif kind == "stop":
-            replies.put(("ok", None))
-            return
+    try:
+        while True:
+            message = requests.get()
+            kind = message[0]
+            if kind == "batch":
+                batch = decode_recommendation_batch(message[1])
+                if serving is not None:
+                    serving.ingest_batch(batch, message[2])
+                delivered = pipeline.offer_batch(batch, message[2])
+                replies.put(("ok", delivered, stats()))
+            elif kind == "offer":
+                if serving is not None:
+                    serving.ingest_released([message[1]], message[2])
+                replies.put(
+                    ("ok", pipeline.offer(message[1], message[2]), stats())
+                )
+            elif kind == "stats":
+                replies.put(("ok", stats()))
+            elif kind == "stop":
+                replies.put(("ok", None))
+                return
+    finally:
+        if serving is not None:
+            serving.close()
 
 
 def _shm_delivery_worker_main(state, requests, replies) -> None:
@@ -161,14 +191,21 @@ def _shm_delivery_worker_main(state, requests, replies) -> None:
     ``FRAME_NOTIFICATIONS`` frames.  Either direction falls back to the
     pickle wire behind a marker when a frame overflows its slot.
     """
-    pipeline, spec = state
+    pipeline, spec, serving_spec = state
     wire = RingPair.attach(spec)
+    serving = None
+    if serving_spec is not None:
+        from repro.serving.cache import ServingCache
+
+        serving = ServingCache.attach_writer(serving_spec)
     parent_alive = multiprocessing.parent_process().is_alive
 
     def stats() -> tuple[dict[str, int], int]:
         return (dict(pipeline.funnel.stages), pipeline.notifier.delivered_total)
 
     def reply_batch(batch: RecommendationBatch, now: float) -> bool:
+        if serving is not None:
+            serving.ingest_batch(batch, now)
         delivered = pipeline.offer_batch(batch, now)
         reply_mem = wire.reply.acquire_slot(is_peer_alive=parent_alive)
         if reply_mem is None:
@@ -212,6 +249,8 @@ def _shm_delivery_worker_main(state, requests, replies) -> None:
                 ):
                     return
             elif mkind == "offer":
+                if serving is not None:
+                    serving.ingest_released([message[1]], message[2])
                 if not reply_pickle(
                     ("ok", pipeline.offer(message[1], message[2]), stats())
                 ):
@@ -222,6 +261,8 @@ def _shm_delivery_worker_main(state, requests, replies) -> None:
             elif mkind == "stop":
                 return
     finally:
+        if serving is not None:
+            serving.close()
         wire.close()
 
 
@@ -251,6 +292,20 @@ class ShardedDeliveryPipeline:
             when the cache is fed post-funnel (delivered pushes rather
             than ranked winners).  Runs in the parent, so a sharded
             serving cache tapped here still has one writer per shard.
+            Mutually exclusive with ``serving``.
+        serving: a :class:`~repro.serving.cache.ServingCacheConfig` that
+            makes each shard host its *own* serving-cache writer where
+            the funnel runs — over shared-memory arenas under the worker
+            transports (the parent attaches the read-only
+            :class:`~repro.serving.cache.ShardedServingCacheReader`
+            exposed as :attr:`serving`), or a plain
+            :class:`~repro.serving.cache.ShardedServingCache` in
+            process under ``"inprocess"``.  Each shard ingests its batch
+            slice *before* its funnel — exactly the pre-funnel content
+            the parent-mode coalescer tap would merge — so the served
+            multiset is identical to the parent-tap posture while the
+            merge cost rides the shard parallelism and reads cross the
+            process boundary zero-copy.
     """
 
     def __init__(
@@ -263,22 +318,41 @@ class ShardedDeliveryPipeline:
         shm_slot_bytes: int = DEFAULT_SLOT_BYTES,
         serving_tap: Callable[[list[PushNotification], float], None]
         | None = None,
+        serving: ServingCacheConfig | None = None,
     ) -> None:
         require_positive(num_shards, "num_shards")
         require(
             transport in DELIVERY_TRANSPORTS,
             f"transport must be one of {DELIVERY_TRANSPORTS}, got {transport!r}",
         )
-        if transport == "shm":
+        if transport == "shm" or (serving is not None and transport != "inprocess"):
             require(
                 shm_available(),
                 "shared memory is unavailable on this host (no /dev/shm?); "
                 "use transport='process' instead",
             )
+        require(
+            serving is None or serving_tap is None,
+            "serving (in-worker cache writers) and serving_tap (parent-side "
+            "merge) are mutually exclusive",
+        )
         factory = pipeline_factory or _default_pipeline_factory
         self.num_shards = num_shards
         self.transport = transport
         self.serving_tap = serving_tap
+        #: The serving surface for this pipeline's mode: None without a
+        #: serving config; a ShardedServingCache under "inprocess"; a
+        #: ShardedServingCacheReader (attach-by-spec, zero-copy reads of
+        #: the workers' arenas) under the worker transports.
+        self.serving: ShardedServingCache | ShardedServingCacheReader | None = (
+            None
+        )
+        if serving is not None:
+            from repro.serving.cache import (
+                ShardedServingCache,
+                ShardedServingCacheReader,
+                create_serving_arena,
+            )
         #: Raw candidates lost to dead shard workers — counted in
         #: candidates on every loss path (observability, never silent).
         self.notifications_lost_shards = 0
@@ -295,13 +369,35 @@ class ShardedDeliveryPipeline:
                 factory(shard) for shard in range(num_shards)
             ]
             self._workers: list[WorkerHandle] = []
+            if serving is not None:
+                self.serving = ShardedServingCache(
+                    num_shards=num_shards,
+                    k=serving.k,
+                    half_life=serving.half_life,
+                    capacity=serving.capacity,
+                    ttl=serving.ttl,
+                )
             return
         self._pipelines = None
         context = multiprocessing.get_context(
             start_method or default_start_method()
         )
         self._workers = []
+        serving_specs = []
         for shard in range(num_shards):
+            serving_spec = None
+            if serving is not None:
+                # The parent owns only the 64-byte control segment; the
+                # worker creates (and republishes on growth) the data
+                # segments under names derived from it.
+                serving_spec = create_serving_arena(
+                    k=serving.k,
+                    half_life=serving.half_life,
+                    capacity=serving.capacity,
+                    ttl=serving.ttl,
+                )
+                serving_specs.append(serving_spec)
+                self._segment_names.append(serving_spec.control_name)
             # spawn_worker hands the shard's funnel over in a one-shot
             # holder cleared right after start(): the parent must not
             # retain N funnels' worth of state it never reads.
@@ -314,7 +410,7 @@ class ShardedDeliveryPipeline:
                         context,
                         shard,
                         _shm_delivery_worker_main,
-                        (factory(shard), wire.spec),
+                        (factory(shard), wire.spec, serving_spec),
                         name=f"repro-delivery-{shard}",
                     )
                 except Exception:
@@ -326,10 +422,14 @@ class ShardedDeliveryPipeline:
                     context,
                     shard,
                     _delivery_worker_main,
-                    factory(shard),
+                    (factory(shard), serving_spec),
                     name=f"repro-delivery-{shard}",
                 )
             self._workers.append(worker)
+        if serving is not None:
+            self.serving = ShardedServingCacheReader.attach(serving_specs)
+            for worker, reader in zip(self._workers, self.serving.shards):
+                worker.arena = reader
 
     # ------------------------------------------------------------------
     # Shard routing
@@ -425,6 +525,8 @@ class ShardedDeliveryPipeline:
         """Route one candidate to its recipient's shard."""
         shard = self.shard_of(rec.recipient)
         if self._pipelines is not None:
+            if self.serving is not None:
+                self.serving.shards[shard].ingest_released([rec], now)
             notification = self._pipelines[shard].offer(rec, now)
             if notification is not None and self.serving_tap is not None:
                 self.serving_tap([notification], now)
@@ -433,6 +535,8 @@ class ShardedDeliveryPipeline:
         if worker.dead or not self._post_message(worker, ("offer", rec, now)):
             self.notifications_lost_shards += 1
             return None
+        if self.serving is not None:
+            self.serving.shards[shard].posted_updates += 1
         raw = self._receive(worker)
         if raw is None:
             self.notifications_lost_shards += 1
@@ -465,8 +569,12 @@ class ShardedDeliveryPipeline:
         shards = split_batch_by_shard(batch, self.num_shards)
         if self._pipelines is not None:
             delivered: list[PushNotification] = []
-            for pipeline, shard_batch in zip(self._pipelines, shards):
+            for shard, (pipeline, shard_batch) in enumerate(
+                zip(self._pipelines, shards)
+            ):
                 if len(shard_batch):
+                    if self.serving is not None:
+                        self.serving.shards[shard].ingest_batch(shard_batch, now)
                     delivered.extend(pipeline.offer_batch(shard_batch, now))
             if delivered and self.serving_tap is not None:
                 self.serving_tap(delivered, now)
@@ -484,6 +592,8 @@ class ShardedDeliveryPipeline:
             ):
                 self.notifications_lost_shards += len(shard_batch)
                 continue
+            if self.serving is not None:
+                self.serving.shards[worker.key].posted_updates += 1
             submitted.append((worker, len(shard_batch)))
         delivered = []
         for worker, shard_candidates in submitted:
@@ -549,13 +659,21 @@ class ShardedDeliveryPipeline:
     def close(self) -> None:
         """Stop, join, and reap shard workers (idempotent).
 
-        ``stop_workers`` destroys each shard's rings after its join; the
-        explicit sweep backstops segments whose worker never spawned.
+        ``stop_workers`` pins the serving readers' final generation
+        before each stop and destroys each shard's rings after its join;
+        the serving reclamation then unlinks any data generation a
+        crashed writer left behind (deterministic names — no handle
+        needed), and the final sweep backstops control/ring segments
+        whose worker never spawned.  Readers keep answering from their
+        pinned mappings after all of it.
         """
         if self._closed:
             return
         self._closed = True
         stop_workers(self._workers)
+        serving = getattr(self, "serving", None)
+        if serving is not None and self._pipelines is None:
+            serving.reclaim_segments()
         sweep_segments(self._segment_names)
 
     def __enter__(self) -> "ShardedDeliveryPipeline":

@@ -198,6 +198,11 @@ class DurabilityManager:
         if notifications is not None:
             components["ledger"] = ledger_arrays(notifications)
         if serving is not None and hasattr(serving, "state_arrays"):
+            # Duck-typed on purpose: the heap cache, the sharded wrapper,
+            # and the worker-resident reader (in-worker serving mode, a
+            # consistent seqlock copy of the shm arenas another process
+            # writes) all expose the same payload schema, so snapshots
+            # taken in any serving mode restore into any other.
             components["serving"] = serving.state_arrays()
         snapshot_id = self.store.save(
             components, wal_seq=wal_seq, created_at=now

@@ -84,11 +84,17 @@ class ClusterMonitor:
     """Polls a cluster and publishes per-replica metrics.
 
     An optional *serving* cache (the pull tier's
-    :class:`~repro.serving.cache.ServingCache` or its sharded wrapper)
-    adds the read side's gauges to every poll: ``serving_hit_rate``,
-    ``serving_cache_users``, and ``serving_bytes_per_user`` — the three
-    numbers that say whether the materialized top-k is keeping up with
-    the query population and what each cached user costs in RAM.
+    :class:`~repro.serving.cache.ServingCache`, its sharded wrapper, or
+    the worker-resident reader) adds the read side's gauges to every
+    poll: ``serving_hit_rate``, ``serving_cache_users``, and
+    ``serving_bytes_per_user`` — the three numbers that say whether the
+    materialized top-k is keeping up with the query population and what
+    each cached user costs in RAM.  Sharded surfaces add
+    ``serving_shard_<i>_users``/``_evictions`` per shard, and the
+    in-worker reader adds each shard's writer-published
+    ``_writer_lag_updates``/``_generation``/``_attaches`` — lag between
+    what the parent posted and what the shard's writer has merged, and
+    how often table growth forced readers to re-attach.
 
     An optional *durability* manager adds the durable tier's gauges —
     most importantly ``durability_snapshot_lag_records`` (WAL records a
@@ -190,7 +196,18 @@ class ClusterMonitor:
             self.registry.gauge(f"durability_{key}").set(value)
 
     def _publish_serving_stats(self) -> None:
-        """Publish the pull tier's gauges when a serving cache is wired."""
+        """Publish the pull tier's gauges when a serving cache is wired.
+
+        The aggregates must hold up when shard caches grow at different
+        rates: users and bytes are summed across shards and the ratio
+        taken last (total bytes / total users), never averaged per shard
+        — a hot shard three doublings ahead of a cold one would otherwise
+        be washed out of ``serving_bytes_per_user``.  Sharded surfaces
+        additionally publish per-shard gauges, and worker-resident caches
+        (:class:`~repro.serving.cache.ShardedServingCacheReader`) surface
+        each shard's writer-published lag/generation/attach counters —
+        the control-lane visibility that replaces reply decoding.
+        """
         serving = self.serving
         if serving is None:
             return
@@ -201,6 +218,21 @@ class ClusterMonitor:
         self.registry.gauge("serving_bytes_per_user").set(
             serving.bytes_per_user()
         )
+        shard_stats = getattr(serving, "shard_stats", None)
+        if not callable(shard_stats):
+            return
+        for shard, stats in enumerate(shard_stats()):
+            for key in (
+                "users",
+                "evictions",
+                "writer_lag_updates",
+                "generation",
+                "attaches",
+            ):
+                if key in stats:
+                    self.registry.gauge(f"serving_shard_{shard}_{key}").set(
+                        stats[key]
+                    )
 
     def _publish_wire_stats(self) -> None:
         """Publish shm wire gauges when the transport exposes them."""

@@ -8,15 +8,25 @@ query-load generator the mixed-workload runs use).
 
 from repro.serving.cache import (
     ServedRecommendation,
+    ServingArenaSpec,
     ServingCache,
+    ServingCacheConfig,
+    ServingCacheReader,
     ShardedServingCache,
+    ShardedServingCacheReader,
+    create_serving_arena,
 )
 from repro.serving.frontend import QueryLoadGenerator, ServingFrontend
 
 __all__ = [
     "QueryLoadGenerator",
     "ServedRecommendation",
+    "ServingArenaSpec",
     "ServingCache",
+    "ServingCacheConfig",
+    "ServingCacheReader",
     "ServingFrontend",
     "ShardedServingCache",
+    "ShardedServingCacheReader",
+    "create_serving_arena",
 ]

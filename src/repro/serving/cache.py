@@ -17,6 +17,8 @@ slot matrices::
     score      float64[capacity, k]      corroboration x freshness at
                                          the entry's last refresh
     created_at float64[capacity, k]      triggering-edge times
+    witnesses  int64 [capacity, k]       corroboration count behind the
+                                         score (read-time re-decay input)
     count      int64 [capacity]          live entries in this user's row
     stamp      uint64[capacity]          per-slot seqlock stamp
 
@@ -31,18 +33,34 @@ the seqlock discipline of :mod:`repro.cluster.shm`:
 * the writer brackets every *value* publish with a per-slot ``stamp``
   increment pair (odd while the row is mid-write, even once published);
 * *structural* changes — inserting new users, growing/rebuilding the
-  table — are bracketed by the table-wide :attr:`ServingCache.version`
-  counter instead (odd while slots may move);
+  table, TTL compaction — are bracketed by the table-wide
+  :attr:`ServingCache.version` counter instead (odd while slots may
+  move);
 * a reader samples ``version``, probes, samples the slot ``stamp``,
   copies the row, then re-checks both stamps — any mismatch or odd value
   means a concurrent write and the read retries.  Steady-state updates
   to *other* users never perturb a reader (their slot stamps are
   untouched and ``version`` only moves on structural changes).
 
-``tests/test_serving_cache.py`` enforces both the merge semantics
-(Hypothesis equivalence against a dict-of-dicts fold of the same flush
-batches) and the torn-read contract (a writer thread hammering updates
-while readers assert every observed row is internally consistent).
+**Backing** is pluggable.  The default is heap numpy (writer and readers
+share one address space: threads).  With a shared-memory arena
+(:func:`create_serving_arena` + :meth:`ServingCache.attach_writer`) the
+*same* table lives in ``multiprocessing.shared_memory`` segments: the
+delivery-shard worker process is the single writer, merging flush output
+right where the funnel runs, and the parent (or any process holding the
+picklable :class:`ServingArenaSpec`) reads the very same bytes through
+:class:`ServingCacheReader` — no reply decoding, no parent-side merge,
+no copies on the read path.  Structural rebuilds publish a *new* data
+segment (deterministic name ``<control>_g<generation>``) and bump the
+generation word in the parent-owned control segment; readers re-attach
+by name when the generation moves, and the version seqlock rejects any
+read that straddled the handoff.
+
+``tests/test_serving_cache.py`` enforces the merge semantics (Hypothesis
+equivalence against a dict-of-dicts fold of the same flush batches) and
+the in-process torn-read contract; ``tests/test_serving_shm.py`` runs
+the same torn-read discipline across a real process boundary while the
+writer grows through generations.
 """
 
 from __future__ import annotations
@@ -52,6 +70,7 @@ from typing import Iterable, NamedTuple
 
 import numpy as np
 
+from repro.cluster.shm import ShmArena, unlink_segment
 from repro.core.recommendation import Recommendation, RecommendationBatch
 from repro.delivery.notifier import PushNotification
 from repro.delivery.pairtable import Int64KeyTable
@@ -59,23 +78,237 @@ from repro.delivery.scoring import decayed_scores
 from repro.util.hashing import splitmix64, splitmix64_array
 from repro.util.validation import require_positive
 
-__all__ = ["ServedRecommendation", "ServingCache", "ShardedServingCache"]
+__all__ = [
+    "ServedRecommendation",
+    "ServingArenaSpec",
+    "ServingCache",
+    "ServingCacheConfig",
+    "ServingCacheReader",
+    "ShardedServingCache",
+    "ShardedServingCacheReader",
+    "create_serving_arena",
+]
 
 #: Consistent-read attempts before declaring the writer wedged.  Each
 #: retry yields the GIL, so even a pathological writer storm resolves in
 #: a handful of laps; hitting the cap means the writer died mid-write.
 _READ_RETRIES = 1_000
 
+# Control-segment word indices (the arena's eight u64 header words).
+_CW_VERSION = 0  # table-wide structural seqlock (odd while slots move)
+_CW_GENERATION = 1  # current data-segment generation (0 = none yet)
+_CW_USERS = 2  # writer-published len(table)
+_CW_UPDATES = 3  # writer-published update_columns count
+_CW_ROWS = 4  # writer-published rows ingested
+_CW_LAST_NOW = 5  # float64 bits: virtual time of the last merge
+_CW_EVICTIONS = 6  # writer-published TTL evictions
+
 
 class ServedRecommendation(NamedTuple):
     """One entry of a user's materialized top-k row."""
 
     candidate: int
-    #: Corroboration x freshness score as of the entry's last refresh
-    #: (scores are *not* re-decayed at read time; the write path refreshes
-    #: them every flush window, which bounds staleness by the window).
+    #: Corroboration x freshness score as of the entry's last refresh.
+    #: Pass ``now=`` to ``get_recommendations`` to re-decay through the
+    #: shared kernel at read time instead.
     score: float
     created_at: float
+
+
+class ServingArenaSpec(NamedTuple):
+    """Picklable handle for one serving shard's shared-memory arena.
+
+    Carries the control-segment name plus the cache shape; data segments
+    derive their names as ``<control_name>_g<generation>``, so the spec
+    alone is enough to attach any future generation.
+    """
+
+    control_name: str
+    k: int
+    half_life: float = 1_800.0
+    capacity: int = 1024
+    ttl: float | None = None
+
+
+class ServingCacheConfig(NamedTuple):
+    """Shape of a serving cache a delivery pipeline builds per shard."""
+
+    k: int = 2
+    half_life: float = 1_800.0
+    capacity: int = 1024
+    ttl: float | None = None
+
+
+def _column_specs(k: int) -> dict[str, tuple[np.dtype, int]]:
+    """The user table's value-column schema (one source of truth: the
+    writer's table and the reader's carve must agree byte for byte)."""
+    return {
+        "candidate": (np.int64, k),
+        "score": (np.float64, k),
+        "created_at": (np.float64, k),
+        "witnesses": (np.int64, k),
+        "count": (np.int64, 0),
+        "stamp": (np.uint64, 0),
+    }
+
+
+def _data_fields(capacity: int, k: int) -> list:
+    """Arena field list for one data generation of the given shape."""
+    fields = [
+        ("keys", np.uint64, (capacity,)),
+        ("filled", np.bool_, (capacity,)),
+    ]
+    for name, (dtype, width) in _column_specs(k).items():
+        shape = (capacity,) if width == 0 else (capacity, width)
+        fields.append((name, dtype, shape))
+    return fields
+
+
+def _data_segment_name(control_name: str, generation: int) -> str:
+    return f"{control_name}_g{generation}"
+
+
+def create_serving_arena(
+    k: int = 2,
+    half_life: float = 1_800.0,
+    capacity: int = 1024,
+    ttl: float | None = None,
+) -> ServingArenaSpec:
+    """Create one serving shard's *control* segment (parent side).
+
+    The control segment holds only the eight header words (version,
+    generation, writer gauges); the data segments are created by the
+    writer process itself, one per table generation, under names derived
+    from the control name.  The creator owns the control segment — it is
+    reclaimed by ``sweep_segments`` with the rest of the transport's
+    slabs — while data segments are reclaimed through
+    :meth:`ServingCacheReader.reclaim_segments` (deterministic names, so
+    even a ``kill -9``'d writer leaks nothing).
+    """
+    require_positive(k, "k")
+    require_positive(half_life, "half_life")
+    control = ShmArena.create([])
+    control.release()  # ownership stays in the sweep list; attach by name
+    return ServingArenaSpec(control.name, k, half_life, capacity, ttl)
+
+
+class _ServingArenaWriter:
+    """Writer-side arena backing: one data segment per table generation.
+
+    Plugs into :class:`Int64KeyTable`'s ``allocator`` hook: every
+    (re)build carves keys/filled/columns out of a fresh data segment,
+    stamps (capacity, k) into its header, publishes the new generation
+    number in the control segment, and unlinks the previous generation.
+    Unlinking is safe mid-rebuild: POSIX removes only the name, so the
+    writer's in-flight scatter (and any attached reader) keeps a valid
+    mapping, and the table-wide version seqlock already forces readers to
+    retry across the whole handoff.
+    """
+
+    __slots__ = ("spec", "control", "generation", "_data", "_retired")
+
+    def __init__(self, spec: ServingArenaSpec) -> None:
+        self.spec = spec
+        self.control = ShmArena.attach(spec.control_name, [])
+        self.generation = int(self.control.header[_CW_GENERATION])
+        self._data: ShmArena | None = None
+        #: Unlinked old generations whose mappings can't unmap yet — the
+        #: mid-rebuild table still views them.  Reaped on later allocates
+        #: (by then the table's views moved on) and at :meth:`close`.
+        self._retired: list[ShmArena] = []
+
+    @property
+    def version(self) -> np.ndarray:
+        """The control segment's version word as a one-element view."""
+        return self.control.header[_CW_VERSION : _CW_VERSION + 1]
+
+    def allocate(self, capacity: int, specs: dict) -> tuple:
+        """Int64KeyTable allocator: carve the next generation's arrays."""
+        generation = self.generation + 1
+        data = ShmArena.create(
+            _data_fields(capacity, self.spec.k),
+            name=_data_segment_name(self.spec.control_name, generation),
+        )
+        data.header[0] = capacity
+        data.header[1] = self.spec.k
+        previous = self._data
+        self._data = data
+        self.generation = generation
+        self.control.header[_CW_GENERATION] = generation
+        if previous is not None:
+            unlink_segment(previous.name)  # name gone; mappings persist
+            self._retired.append(previous)
+        self._retired = [
+            arena for arena in self._retired if not arena.try_close_mapping()
+        ]
+        arrays = dict(data.arrays)
+        return arrays.pop("keys"), arrays.pop("filled"), arrays
+
+    def publish_stats(
+        self,
+        users: int,
+        updates: int,
+        rows: int,
+        evictions: int,
+        last_now: float,
+    ) -> None:
+        header = self.control.header
+        header[_CW_USERS] = users
+        header[_CW_UPDATES] = updates
+        header[_CW_ROWS] = rows
+        header[_CW_EVICTIONS] = evictions
+        header[_CW_LAST_NOW : _CW_LAST_NOW + 1].view(np.float64)[0] = last_now
+
+    def close(self) -> None:
+        """Graceful writer shutdown: reclaim the live data segment.
+
+        Readers that attached before this keep their mappings (that is
+        what :meth:`ServingCacheReader.pin` is for); the parent's
+        close-path sweep re-reclaims by name as the kill -9 backstop.
+        """
+        for arena in self._retired:
+            arena.try_close_mapping()
+        self._retired = []
+        if self._data is not None:
+            self._data.close()  # owner: unlinks
+            self._data = None
+        self.control.close()
+
+
+def _assemble_row(
+    candidates: list,
+    scores: list,
+    created: list,
+    witnesses: list,
+    now: float | None,
+    limit: int,
+    half_life: float,
+) -> list[ServedRecommendation]:
+    """Materialize a consistent row copy into served entries.
+
+    With *now*, scores are recomputed through the shared
+    :func:`~repro.delivery.scoring.decayed_scores` kernel and the row
+    re-ranked by (score desc, candidate asc) — bitwise the ordering
+    delivery would produce for the same (witnesses, created_at) at *now*
+    — before the limit cut.  Without *now*, the stored ranking (already
+    (score desc, candidate asc) as of the last refresh) is returned.
+    """
+    if now is not None and candidates:
+        refreshed = decayed_scores(
+            np.array(witnesses, dtype=np.int64),
+            np.array(created, dtype=np.float64),
+            now,
+            half_life,
+        )
+        order = np.lexsort((np.array(candidates, dtype=np.int64), -refreshed))
+        return [
+            ServedRecommendation(candidates[i], float(refreshed[i]), created[i])
+            for i in order[:limit].tolist()
+        ]
+    return [
+        ServedRecommendation(c, s, t)
+        for c, s, t in zip(candidates[:limit], scores[:limit], created[:limit])
+    ]
 
 
 class ServingCache:
@@ -84,8 +317,16 @@ class ServingCache:
     Args:
         k: materialized entries per user (the largest ``k`` a point query
             can ask for).
-        half_life: freshness half-life used when scoring boxed offers.
+        half_life: freshness half-life used when scoring boxed offers and
+            re-decaying at read time.
         capacity: initial user-table slot count (power of two; grows).
+        ttl: when set, users whose *newest* entry is older than ``now -
+            ttl`` are dormant: their slots are vacated before any table
+            growth (reclaiming capacity first) and by explicit
+            :meth:`evict_dormant` sweeps.  Needs ``now`` on the ingest
+            path — the adapters pass it through.
+        arena: internal — a :class:`_ServingArenaWriter` backing the
+            table with shared memory (use :meth:`attach_writer`).
 
     Merge semantics (what :meth:`update_columns` folds in, and what the
     dict-of-dicts reference in the tests replays): within one update,
@@ -97,30 +338,78 @@ class ServingCache:
     """
 
     def __init__(
-        self, k: int = 2, half_life: float = 1_800.0, capacity: int = 1024
+        self,
+        k: int = 2,
+        half_life: float = 1_800.0,
+        capacity: int = 1024,
+        ttl: float | None = None,
+        arena: _ServingArenaWriter | None = None,
     ) -> None:
         require_positive(k, "k")
         require_positive(half_life, "half_life")
+        if ttl is not None:
+            require_positive(ttl, "ttl")
         self.k = k
         self.half_life = half_life
+        self.ttl = ttl
+        self._arena = arena
         self._table = Int64KeyTable(
-            {
-                "candidate": (np.int64, k),
-                "score": (np.float64, k),
-                "created_at": (np.float64, k),
-                "count": (np.int64, 0),
-                "stamp": (np.uint64, 0),
-            },
+            _column_specs(k),
             capacity=capacity,
+            allocator=None if arena is None else arena.allocate,
         )
         #: Table-wide structural seqlock (odd while slots may move).  A
         #: one-element array, not a plain int, so readers and the writer
-        #: share one memory location under the threading model.
-        self._version = np.zeros(1, dtype=np.uint64)
+        #: share one memory location — the heap backing shares it across
+        #: threads, the arena backing across processes (it *is* the
+        #: control segment's version word there).
+        self._version = (
+            np.zeros(1, dtype=np.uint64) if arena is None else arena.version
+        )
         self.hits = 0
         self.misses = 0
         self.updates = 0
         self.rows_ingested = 0
+        self.evictions = 0
+        self._last_now = 0.0
+        self._publish()
+
+    @classmethod
+    def attach_writer(cls, spec: ServingArenaSpec) -> "ServingCache":
+        """Build the shard-worker-resident writer over a shm arena."""
+        return cls(
+            k=spec.k,
+            half_life=spec.half_life,
+            capacity=spec.capacity,
+            ttl=spec.ttl,
+            arena=_ServingArenaWriter(spec),
+        )
+
+    def close(self) -> None:
+        """Release arena segments (no-op for the heap backing).
+
+        Drops the table first — its column views are what keep the data
+        mapping exported — so the segments unmap cleanly.  The cache is
+        unusable afterwards (it only ever runs at writer shutdown).
+        """
+        if self._arena is not None:
+            self._table = None
+            self._version = np.zeros(1, dtype=np.uint64)
+            self._arena.close()
+            self._arena = None
+
+    def _publish(self, now: float | None = None) -> None:
+        """Mirror the writer gauges into the control segment (arena only)."""
+        if now is not None:
+            self._last_now = now
+        if self._arena is not None:
+            self._arena.publish_stats(
+                len(self._table),
+                self.updates,
+                self.rows_ingested,
+                self.evictions,
+                self._last_now,
+            )
 
     # ------------------------------------------------------------------
     # Write path (single writer)
@@ -132,21 +421,30 @@ class ServingCache:
         candidates: np.ndarray,
         scores: np.ndarray,
         created_at: np.ndarray,
+        witnesses: np.ndarray | None = None,
+        now: float | None = None,
     ) -> None:
         """Merge one flush window's winners into the materialized rows.
 
-        All four columns are positionally aligned.  One vectorized pass:
-        existing entries for the touched users are gathered, deduped
-        against the new rows ((user, candidate) latest-wins), re-ranked,
-        and the top-k scattered back under the seqlock stamps.
+        The first four columns are positionally aligned; *witnesses*
+        (optional, defaults to 1 — the same "unwitnessed scores as a
+        single witness" convention the scoring kernel clamps to) rides
+        along so read-time re-decay can reproduce each entry's score at
+        any later ``now``.  One vectorized pass: existing entries for the
+        touched users are gathered, deduped against the new rows ((user,
+        candidate) latest-wins), re-ranked, and the top-k scattered back
+        under the seqlock stamps.  *now* feeds TTL compaction and the
+        writer gauges.
         """
         n = len(recipients)
         if n == 0:
             return
         self.updates += 1
         self.rows_ingested += n
+        if witnesses is None:
+            witnesses = np.ones(n, dtype=np.int64)
         users = np.unique(recipients)
-        slots = self._upsert_users(users)
+        slots = self._upsert_users(users, now)
         table = self._table
         counts = table.columns["count"][slots]
 
@@ -164,6 +462,9 @@ class ServingCache:
         )
         all_created = np.concatenate(
             [table.columns["created_at"][row_of, col_of], created_at]
+        )
+        all_wit = np.concatenate(
+            [table.columns["witnesses"][row_of, col_of], witnesses]
         )
 
         # Dedup (user, candidate), keeping the latest occurrence — new
@@ -183,6 +484,7 @@ class ServingCache:
         kept_cand = sorted_cand[first]
         kept_score = all_score[kept]
         kept_created = all_created[kept]
+        kept_wit = all_wit[kept]
 
         # Per-user top-k by (score desc, candidate asc) — the exact
         # ranking TopKPerUserBuffer.flush releases winners in.
@@ -197,6 +499,7 @@ class ServingCache:
         win_cand = kept_cand[ranking[win]]
         win_score = kept_score[ranking[win]]
         win_created = kept_created[ranking[win]]
+        win_wit = kept_wit[ranking[win]]
         win_rank = rank_in_run[win]
         user_index = np.searchsorted(users, win_users)
         win_slots = slots[user_index]
@@ -211,14 +514,20 @@ class ServingCache:
         table.columns["candidate"][win_slots, win_rank] = win_cand
         table.columns["score"][win_slots, win_rank] = win_score
         table.columns["created_at"][win_slots, win_rank] = win_created
+        table.columns["witnesses"][win_slots, win_rank] = win_wit
         stamp[slots] += 1
+        self._publish(now)
 
-    def _upsert_users(self, users: np.ndarray) -> np.ndarray:
+    def _upsert_users(
+        self, users: np.ndarray, now: float | None = None
+    ) -> np.ndarray:
         """Slots for sorted distinct *users*, inserting the missing ones.
 
         Structural work (growing the table, inserting keys) runs inside
         the table-wide version seqlock — slots may move, so readers must
-        not trust a probe that straddles it.
+        not trust a probe that straddles it.  When a growth rebuild runs
+        and a TTL is configured, dormant users are compacted away first
+        (the lazy ``keep`` hook), reclaiming capacity before it doubles.
         """
         table = self._table
         keys = users.astype(np.uint64)
@@ -228,12 +537,57 @@ class ServingCache:
         if need:
             version = self._version
             version[0] += 1  # odd: slots may move / appear
-            if table.reserve(need):
+            if table.reserve(need, keep=self._dormancy_keep(now)):
                 slots = table.lookup(keys)
                 missing = slots < 0
             slots[missing] = table.insert(keys[missing])
             version[0] += 1  # even: structure stable again
         return slots
+
+    def _dormancy_mask(self, now: float) -> np.ndarray:
+        """Per-slot keep mask: True where the newest entry beats the TTL.
+
+        A user is dormant when *every* entry (and therefore the newest)
+        is older than ``now - ttl``; empty rows are dormant by definition.
+        """
+        table = self._table
+        counts = table.columns["count"]
+        created = table.columns["created_at"]
+        live = np.arange(self.k, dtype=np.int64)[None, :] < counts[:, None]
+        newest = np.where(live, created, -np.inf).max(axis=1)
+        return newest >= now - self.ttl
+
+    def _dormancy_keep(self, now: float | None):
+        """The lazy ``keep`` callback for ``reserve`` (None when unarmed)."""
+        if self.ttl is None or now is None:
+            return None
+
+        def keep() -> np.ndarray:
+            mask = self._dormancy_mask(now)
+            live = self._table.filled_slots()
+            self.evictions += int(len(live) - mask[live].sum())
+            return mask
+
+        return keep
+
+    def evict_dormant(self, now: float) -> int:
+        """Vacate every user whose newest entry is older than the TTL.
+
+        The eager sweep (the grow path evicts lazily): a non-growing
+        compaction inside the table-wide version seqlock, so concurrent
+        readers follow the normal structural-retry contract.  Returns the
+        number of users evicted; a no-op without a configured ``ttl``.
+        """
+        if self.ttl is None:
+            return 0
+        keep = self._dormancy_mask(now)
+        version = self._version
+        version[0] += 1
+        dropped = self._table.compact(keep)
+        version[0] += 1
+        self.evictions += dropped
+        self._publish(now)
+        return dropped
 
     # ------------------------------------------------------------------
     # Ingest adapters (what the delivery-side taps call)
@@ -256,6 +610,8 @@ class ServingCache:
             candidates,
             decayed_scores(witnesses, created, now, self.half_life),
             created,
+            witnesses=witnesses,
+            now=now,
         )
 
     def ingest_batch(self, batch: RecommendationBatch, now: float) -> None:
@@ -271,6 +627,7 @@ class ServingCache:
         candidate_parts: list[np.ndarray] = []
         score_parts: list[np.ndarray] = []
         created_parts: list[np.ndarray] = []
+        witness_parts: list[np.ndarray] = []
         for group in batch.groups:
             size = len(group)
             if not size:
@@ -285,6 +642,7 @@ class ServingCache:
             )[0]
             score_parts.append(np.full(size, score, np.float64))
             created_parts.append(np.full(size, group.created_at, np.float64))
+            witness_parts.append(np.full(size, group.num_witnesses, np.int64))
         if not recipient_parts:
             return
         self.update_columns(
@@ -292,6 +650,8 @@ class ServingCache:
             np.concatenate(candidate_parts),
             np.concatenate(score_parts),
             np.concatenate(created_parts),
+            witnesses=np.concatenate(witness_parts),
+            now=now,
         )
 
     def ingest_notifications(
@@ -307,13 +667,16 @@ class ServingCache:
     # ------------------------------------------------------------------
 
     def get_recommendations(
-        self, user: int, k: int | None = None
+        self, user: int, k: int | None = None, now: float | None = None
     ) -> list[ServedRecommendation]:
         """The user's current top-(at most *k*) recommendations.
 
         Lock-free seqlock read: never blocks the writer, never returns a
         torn row.  An empty list is a miss (user not materialized) —
-        misses and hits feed :attr:`hit_rate`.
+        misses and hits feed :attr:`hit_rate`.  With *now*, the row's
+        scores are re-decayed through the shared kernel and re-ranked as
+        delivery would rank them at *now* (entries are otherwise frozen
+        at their last-refresh scores).
         """
         limit = self.k if k is None else min(k, self.k)
         table = self._table
@@ -334,20 +697,21 @@ class ServingCache:
             s1 = int(stamp[slot])
             if s1 & 1:
                 continue
-            count = min(int(table.columns["count"][slot]), limit)
+            count = int(table.columns["count"][slot])
             candidates = table.columns["candidate"][slot, :count].tolist()
             scores = table.columns["score"][slot, :count].tolist()
             created = table.columns["created_at"][slot, :count].tolist()
+            witnesses = table.columns["witnesses"][slot, :count].tolist()
             if int(stamp[slot]) != s1 or int(version[0]) != v1:
                 continue
             if count == 0:
                 self.misses += 1
                 return []
             self.hits += 1
-            return [
-                ServedRecommendation(c, s, t)
-                for c, s, t in zip(candidates, scores, created)
-            ]
+            return _assemble_row(
+                candidates, scores, created, witnesses, now, limit,
+                self.half_life,
+            )
         raise RuntimeError(
             f"serving read for user {user} did not stabilize after "
             f"{_READ_RETRIES} attempts (writer died mid-write?)"
@@ -401,7 +765,10 @@ class ServingCache:
         """Materialized rows as owned arrays (for incremental snapshots).
 
         Row order follows slot order, which is a capacity artifact —
-        consumers must treat the payload as an unordered keyed set.
+        consumers must treat the payload as an unordered keyed set.  The
+        payload schema is identical for heap- and arena-backed caches
+        (and for :class:`ServingCacheReader`), so snapshots taken in any
+        serving mode restore into any other.
         """
         table = self._table
         slots = table.filled_slots()
@@ -411,6 +778,7 @@ class ServingCache:
             "candidate": table.columns["candidate"][slots].copy(),
             "score": table.columns["score"][slots].copy(),
             "created_at": table.columns["created_at"][slots].copy(),
+            "witnesses": table.columns["witnesses"][slots].copy(),
         }
 
     def load_state(self, arrays: dict[str, np.ndarray]) -> None:
@@ -419,6 +787,8 @@ class ServingCache:
         Rows land whole (count + full slot matrices) under the same
         seqlock discipline as a live update, so readers may run
         concurrently.  The payload's ``k`` width must match this cache's.
+        Payloads from before the witnesses column default to one witness
+        per entry (the scoring kernel's clamp floor).
         """
         users = arrays["users"]
         if len(users) == 0:
@@ -428,6 +798,9 @@ class ServingCache:
                 f"state payload has k={arrays['candidate'].shape[1]}, "
                 f"cache expects k={self.k}"
             )
+        witnesses = arrays.get("witnesses")
+        if witnesses is None:
+            witnesses = np.ones_like(arrays["candidate"])
         order = np.argsort(users.astype(np.int64))
         slots = self._upsert_users(users.astype(np.int64)[order])
         table = self._table
@@ -437,7 +810,309 @@ class ServingCache:
         table.columns["candidate"][slots] = arrays["candidate"][order]
         table.columns["score"][slots] = arrays["score"][order]
         table.columns["created_at"][slots] = arrays["created_at"][order]
+        table.columns["witnesses"][slots] = witnesses[order]
         stamp[slots] += 1
+        self._publish()
+
+
+def _probe_slot(keys: np.ndarray, filled: np.ndarray, user: int) -> int:
+    """Reader-side linear probe over raw arena arrays.
+
+    Bit-identical to ``Int64KeyTable.find`` (same splitmix64 home slot,
+    same wraparound) but over attached views instead of a table object.
+    Returns -1 for a definitive miss and -2 for a view so torn the probe
+    chain never terminated (only possible mid-rebuild; the caller's
+    version recheck would reject the attempt anyway — this just bounds
+    the loop).
+    """
+    mask = len(keys) - 1
+    slot = splitmix64(user) & mask
+    for _ in range(len(keys)):
+        if not filled[slot]:
+            return -1
+        if keys[slot] == user:
+            return slot
+        slot = (slot + 1) & mask
+    return -2
+
+
+class ServingCacheReader:
+    """Read-only attach-by-spec view of a worker-resident serving cache.
+
+    Implements the query / stats / dump / snapshot surface of
+    :class:`ServingCache` over the shm arena another process writes.
+    Reads follow the same two-level seqlock contract plus one extra hop:
+    when the control segment's generation word moves (the writer
+    rebuilt), the reader re-attaches the new data segment by its
+    deterministic name (counted in :attr:`attaches`) and retries.  Not
+    thread-safe — one reader instance per reading thread/loop, exactly
+    like the writer is one per shard.
+    """
+
+    def __init__(self, spec: ServingArenaSpec) -> None:
+        self.spec = spec
+        self.k = spec.k
+        self.half_life = spec.half_life
+        self._control = ShmArena.attach(spec.control_name, [])
+        self._data: ShmArena | None = None
+        self._generation = 0
+        self.hits = 0
+        self.misses = 0
+        #: Data-segment (re)attaches — 1 + one per observed generation hop.
+        self.attaches = 0
+        #: Serving-bearing messages the parent posted to this shard's
+        #: worker; the monitor's writer-lag gauge compares it against the
+        #: worker's published update counter.
+        self.posted_updates = 0
+
+    @classmethod
+    def attach(cls, spec: ServingArenaSpec) -> "ServingCacheReader":
+        return cls(spec)
+
+    # -- generation tracking --------------------------------------------
+
+    def _ensure_data(self) -> "ShmArena | None":
+        """The data arena for the currently published generation.
+
+        None while the writer has not materialized a table yet (fresh
+        control, generation 0).  Raises FileNotFoundError when the
+        published generation's segment vanished under us (writer grew
+        again, or exited) — callers treat it as a retry.
+        """
+        generation = int(self._control.header[_CW_GENERATION])
+        if generation == self._generation:
+            return self._data
+        if generation == 0:
+            return None
+        data = ShmArena.attach_dynamic(
+            _data_segment_name(self.spec.control_name, generation),
+            lambda header: _data_fields(int(header[0]), int(header[1])),
+        )
+        if self._data is not None:
+            self._data.close()
+        self._data = data
+        self._generation = generation
+        self.attaches += 1
+        return data
+
+    def pin(self) -> None:
+        """Attach the current generation now (pre-shutdown refresh).
+
+        Called before the writer exits: POSIX keeps unlinked segments
+        alive for processes that mapped them, so pinning the final
+        generation keeps post-run reads (summaries, snapshots) working
+        after the writer's segments are reclaimed.
+        """
+        try:
+            self._ensure_data()
+        except FileNotFoundError:
+            pass
+
+    @property
+    def generation(self) -> int:
+        """The writer's currently published data generation."""
+        return int(self._control.header[_CW_GENERATION])
+
+    def reclaim_segments(self) -> None:
+        """Unlink every data generation this shard's writer may have left.
+
+        The parent's half of the reclamation sweep: generation names are
+        deterministic, so even a ``kill -9``'d writer's segments are
+        reclaimable without ever having owned a handle.  Generations the
+        writer already unlinked (growth, graceful close) skip silently;
+        ``generation + 1`` covers a writer killed between creating a new
+        segment and publishing its number.
+        """
+        for g in range(1, self.generation + 2):
+            unlink_segment(_data_segment_name(self.spec.control_name, g))
+
+    def close(self) -> None:
+        """Drop the reader's mappings (never unlinks)."""
+        if self._data is not None:
+            self._data.close()
+            self._data = None
+        self._control.close()
+
+    # -- query surface ---------------------------------------------------
+
+    def get_recommendations(
+        self, user: int, k: int | None = None, now: float | None = None
+    ) -> list[ServedRecommendation]:
+        """Cross-process seqlock point read; same contract as the cache."""
+        limit = self.k if k is None else min(k, self.k)
+        control = self._control.header
+        for attempt in range(_READ_RETRIES):
+            if attempt:
+                time.sleep(0)  # let the writer (another process) finish
+            v1 = int(control[_CW_VERSION])
+            if v1 & 1:
+                continue
+            try:
+                data = self._ensure_data()
+            except FileNotFoundError:
+                continue  # generation republished under our probe
+            if data is None:
+                if int(control[_CW_VERSION]) != v1:
+                    continue
+                self.misses += 1
+                return []
+            arrays = data.arrays
+            slot = _probe_slot(arrays["keys"], arrays["filled"], int(user))
+            if slot == -2:
+                continue
+            if slot < 0:
+                if int(control[_CW_VERSION]) != v1:
+                    continue
+                self.misses += 1
+                return []
+            stamp = arrays["stamp"]
+            s1 = int(stamp[slot])
+            if s1 & 1:
+                continue
+            count = int(arrays["count"][slot])
+            candidates = arrays["candidate"][slot, :count].tolist()
+            scores = arrays["score"][slot, :count].tolist()
+            created = arrays["created_at"][slot, :count].tolist()
+            witnesses = arrays["witnesses"][slot, :count].tolist()
+            if int(stamp[slot]) != s1 or int(control[_CW_VERSION]) != v1:
+                continue
+            if count == 0:
+                self.misses += 1
+                return []
+            self.hits += 1
+            return _assemble_row(
+                candidates, scores, created, witnesses, now, limit,
+                self.half_life,
+            )
+        raise RuntimeError(
+            f"cross-process serving read for user {user} did not stabilize "
+            f"after {_READ_RETRIES} attempts (shard writer died mid-write?)"
+        )
+
+    # -- consistent whole-table reads (dump / snapshots) -----------------
+
+    def _snapshot_rows(self) -> dict[str, np.ndarray]:
+        """A consistent copy of every materialized row.
+
+        Version-stable + per-slot-stamp-stable retry loop: steady-state
+        value updates do not move the version, so the stamps are what
+        reject a row torn mid-copy.  Intended for quiescent moments
+        (snapshots, post-run summaries); under a continuous writer it
+        retries like any other read.
+        """
+        empty = {
+            "users": np.zeros(0, dtype=np.uint64),
+            "count": np.zeros(0, dtype=np.int64),
+            "candidate": np.zeros((0, self.k), dtype=np.int64),
+            "score": np.zeros((0, self.k), dtype=np.float64),
+            "created_at": np.zeros((0, self.k), dtype=np.float64),
+            "witnesses": np.zeros((0, self.k), dtype=np.int64),
+        }
+        control = self._control.header
+        for attempt in range(_READ_RETRIES):
+            if attempt:
+                time.sleep(0)
+            v1 = int(control[_CW_VERSION])
+            if v1 & 1:
+                continue
+            try:
+                data = self._ensure_data()
+            except FileNotFoundError:
+                continue
+            if data is None:
+                if int(control[_CW_VERSION]) != v1:
+                    continue
+                return empty
+            arrays = data.arrays
+            slots = np.flatnonzero(arrays["filled"])
+            stamps_before = arrays["stamp"][slots].copy()
+            if (stamps_before & 1).any():
+                continue
+            payload = {
+                "users": arrays["keys"][slots].copy(),
+                "count": arrays["count"][slots].copy(),
+                "candidate": arrays["candidate"][slots].copy(),
+                "score": arrays["score"][slots].copy(),
+                "created_at": arrays["created_at"][slots].copy(),
+                "witnesses": arrays["witnesses"][slots].copy(),
+            }
+            if (arrays["stamp"][slots] != stamps_before).any():
+                continue
+            if int(control[_CW_VERSION]) != v1:
+                continue
+            return payload
+        raise RuntimeError(
+            "cross-process serving snapshot did not stabilize after "
+            f"{_READ_RETRIES} attempts (shard writer died mid-write?)"
+        )
+
+    def dump(self) -> dict[int, list[ServedRecommendation]]:
+        """Full shard contents (tests and multiset-equality checks)."""
+        rows = self._snapshot_rows()
+        out: dict[int, list[ServedRecommendation]] = {}
+        for i in range(len(rows["users"])):
+            count = int(rows["count"][i])
+            out[int(rows["users"][i])] = [
+                ServedRecommendation(
+                    int(rows["candidate"][i, j]),
+                    float(rows["score"][i, j]),
+                    float(rows["created_at"][i, j]),
+                )
+                for j in range(count)
+            ]
+        return out
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Snapshot payload, schema-identical to the writer cache's."""
+        return self._snapshot_rows()
+
+    # -- stats surface (monitor / frontend parity with ServingCache) ----
+
+    @property
+    def users_cached(self) -> int:
+        return int(self._control.header[_CW_USERS])
+
+    @property
+    def updates(self) -> int:
+        return int(self._control.header[_CW_UPDATES])
+
+    @property
+    def rows_ingested(self) -> int:
+        return int(self._control.header[_CW_ROWS])
+
+    @property
+    def evictions(self) -> int:
+        return int(self._control.header[_CW_EVICTIONS])
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def nbytes(self) -> int:
+        """Mapped bytes: the control segment plus the attached generation."""
+        data = self._data
+        return self._control.nbytes() + (0 if data is None else data.nbytes())
+
+    def bytes_per_user(self) -> float:
+        return self.nbytes() / max(self.users_cached, 1)
+
+    def writer_stats(self) -> dict[str, float]:
+        """Per-shard gauges the writer publishes through the control lane."""
+        header = self._control.header
+        updates = int(header[_CW_UPDATES])
+        return {
+            "users": float(int(header[_CW_USERS])),
+            "updates": float(updates),
+            "rows_ingested": float(int(header[_CW_ROWS])),
+            "evictions": float(int(header[_CW_EVICTIONS])),
+            "last_now": float(
+                header[_CW_LAST_NOW : _CW_LAST_NOW + 1].view(np.float64)[0]
+            ),
+            "generation": float(self.generation),
+            "attaches": float(self.attaches),
+            "writer_lag_updates": float(self.posted_updates - updates),
+        }
 
 
 class ShardedServingCache:
@@ -462,12 +1137,13 @@ class ShardedServingCache:
         k: int = 2,
         half_life: float = 1_800.0,
         capacity: int = 1024,
+        ttl: float | None = None,
     ) -> None:
         require_positive(num_shards, "num_shards")
         self.num_shards = num_shards
         self.k = k
         self.shards = [
-            ServingCache(k=k, half_life=half_life, capacity=capacity)
+            ServingCache(k=k, half_life=half_life, capacity=capacity, ttl=ttl)
             for _ in range(num_shards)
         ]
 
@@ -478,10 +1154,12 @@ class ShardedServingCache:
     # -- query surface --------------------------------------------------
 
     def get_recommendations(
-        self, user: int, k: int | None = None
+        self, user: int, k: int | None = None, now: float | None = None
     ) -> list[ServedRecommendation]:
         """Point lookup, routed to the owning shard."""
-        return self.shards[self.shard_of(user)].get_recommendations(user, k)
+        return self.shards[self.shard_of(user)].get_recommendations(
+            user, k, now=now
+        )
 
     # -- ingest surface -------------------------------------------------
 
@@ -491,11 +1169,14 @@ class ShardedServingCache:
         candidates: np.ndarray,
         scores: np.ndarray,
         created_at: np.ndarray,
+        witnesses: np.ndarray | None = None,
+        now: float | None = None,
     ) -> None:
         """Split aligned winner columns by recipient hash and merge."""
         if self.num_shards == 1:
             self.shards[0].update_columns(
-                recipients, candidates, scores, created_at
+                recipients, candidates, scores, created_at,
+                witnesses=witnesses, now=now,
             )
             return
         shard_ids = (
@@ -509,6 +1190,8 @@ class ShardedServingCache:
                 candidates[mask],
                 scores[mask],
                 created_at[mask],
+                witnesses=None if witnesses is None else witnesses[mask],
+                now=now,
             )
 
     def ingest_released(
@@ -551,6 +1234,10 @@ class ShardedServingCache:
             [n.recommendation for n in notifications], now
         )
 
+    def evict_dormant(self, now: float) -> int:
+        """TTL sweep across every shard; returns users evicted."""
+        return sum(shard.evict_dormant(now) for shard in self.shards)
+
     # -- aggregated stats -----------------------------------------------
 
     @property
@@ -567,6 +1254,18 @@ class ShardedServingCache:
         return sum(shard.misses for shard in self.shards)
 
     @property
+    def updates(self) -> int:
+        return sum(shard.updates for shard in self.shards)
+
+    @property
+    def rows_ingested(self) -> int:
+        return sum(shard.rows_ingested for shard in self.shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(shard.evictions for shard in self.shards)
+
+    @property
     def hit_rate(self) -> float:
         """Hit fraction aggregated over shards."""
         total = self.hits + self.misses
@@ -577,8 +1276,27 @@ class ShardedServingCache:
         return sum(shard.nbytes() for shard in self.shards)
 
     def bytes_per_user(self) -> float:
-        """Resident bytes per materialized user, across shards."""
+        """Resident bytes per materialized user, across shards.
+
+        Weighted correctly when shards grow at different rates: total
+        bytes over total users, *not* a mean of per-shard ratios (a
+        hot shard's growth would otherwise be averaged away by cold
+        shards sitting at their initial capacity).
+        """
         return self.nbytes() / max(self.users_cached, 1)
+
+    def shard_stats(self) -> list[dict[str, float]]:
+        """Per-shard gauge rows (the monitor's per-shard visibility)."""
+        return [
+            {
+                "users": float(shard.users_cached),
+                "updates": float(shard.updates),
+                "rows_ingested": float(shard.rows_ingested),
+                "evictions": float(shard.evictions),
+                "nbytes": float(shard.nbytes()),
+            }
+            for shard in self.shards
+        ]
 
     def dump(self) -> dict[int, list[ServedRecommendation]]:
         """Merged contents of every shard (tests only)."""
@@ -615,3 +1333,109 @@ class ShardedServingCache:
             self.shards[shard].load_state(
                 {name: values[mask] for name, values in arrays.items()}
             )
+
+
+class ShardedServingCacheReader:
+    """Routed read-only view over every shard's worker-resident cache.
+
+    The parent-side counterpart of in-worker serving: one
+    :class:`ServingCacheReader` per delivery shard, routed by the same
+    splitmix64 hash the delivery split uses, presenting the aggregated
+    query/stats/snapshot surface of :class:`ShardedServingCache` so the
+    frontend, query load generator, monitor, and durability manager all
+    consume it unchanged.
+    """
+
+    def __init__(self, readers: list[ServingCacheReader]) -> None:
+        require_positive(len(readers), "readers")
+        self.shards = readers
+        self.num_shards = len(readers)
+        self.k = readers[0].k
+
+    @classmethod
+    def attach(cls, specs: Iterable[ServingArenaSpec]) -> "ShardedServingCacheReader":
+        return cls([ServingCacheReader(spec) for spec in specs])
+
+    @property
+    def specs(self) -> list[ServingArenaSpec]:
+        return [reader.spec for reader in self.shards]
+
+    def shard_of(self, user: int) -> int:
+        return splitmix64(user) % self.num_shards
+
+    def get_recommendations(
+        self, user: int, k: int | None = None, now: float | None = None
+    ) -> list[ServedRecommendation]:
+        return self.shards[self.shard_of(user)].get_recommendations(
+            user, k, now=now
+        )
+
+    def pin(self) -> None:
+        """Attach every shard's current generation (pre-shutdown)."""
+        for reader in self.shards:
+            reader.pin()
+
+    def reclaim_segments(self) -> None:
+        """Unlink every shard's possible data generations (close path)."""
+        for reader in self.shards:
+            reader.reclaim_segments()
+
+    def close(self) -> None:
+        for reader in self.shards:
+            reader.close()
+
+    # -- aggregated stats (ShardedServingCache parity) -------------------
+
+    @property
+    def users_cached(self) -> int:
+        return sum(reader.users_cached for reader in self.shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(reader.hits for reader in self.shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(reader.misses for reader in self.shards)
+
+    @property
+    def updates(self) -> int:
+        return sum(reader.updates for reader in self.shards)
+
+    @property
+    def rows_ingested(self) -> int:
+        return sum(reader.rows_ingested for reader in self.shards)
+
+    @property
+    def evictions(self) -> int:
+        return sum(reader.evictions for reader in self.shards)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def nbytes(self) -> int:
+        return sum(reader.nbytes() for reader in self.shards)
+
+    def bytes_per_user(self) -> float:
+        return self.nbytes() / max(self.users_cached, 1)
+
+    def shard_stats(self) -> list[dict[str, float]]:
+        """Per-shard writer gauges (lag, generation, attaches, ...)."""
+        return [reader.writer_stats() for reader in self.shards]
+
+    def dump(self) -> dict[int, list[ServedRecommendation]]:
+        out: dict[int, list[ServedRecommendation]] = {}
+        for reader in self.shards:
+            out.update(reader.dump())
+        return out
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Every shard's rows concatenated — snapshot-schema-identical to
+        the writer caches', so worker-mode snapshots restore anywhere."""
+        parts = [reader.state_arrays() for reader in self.shards]
+        return {
+            name: np.concatenate([part[name] for part in parts])
+            for name in parts[0]
+        }

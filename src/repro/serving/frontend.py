@@ -64,6 +64,20 @@ class ServingFrontend:
         self.queries_served = 0
         self._server: asyncio.AbstractServer | None = None
 
+    @classmethod
+    def attach(cls, specs) -> "ServingFrontend":
+        """A frontend over worker-resident shard caches, by spec alone.
+
+        *specs* is the ``ShardedDeliveryPipeline.serving.specs`` list (or
+        any iterable of :class:`~repro.serving.cache.ServingArenaSpec`) —
+        enough to serve reads zero-copy from another process's arenas
+        without holding the pipeline or topology object at all, which is
+        how a separate edge-server process would mount the cache.
+        """
+        from repro.serving.cache import ShardedServingCacheReader
+
+        return cls(ShardedServingCacheReader.attach(specs))
+
     async def get_recommendations(
         self, user: int, k: int | None = None
     ) -> "list[ServedRecommendation]":
@@ -74,12 +88,16 @@ class ServingFrontend:
     def stats(self) -> dict[str, float]:
         """Cache gauges, JSON-ready (the ``STATS`` verb and the monitor)."""
         cache = self.cache
-        return {
+        data = {
             "users_cached": float(cache.users_cached),
             "hit_rate": cache.hit_rate,
             "bytes_per_user": cache.bytes_per_user(),
             "queries_served": float(self.queries_served),
         }
+        shard_stats = getattr(cache, "shard_stats", None)
+        if callable(shard_stats):  # sharded surface: per-shard visibility
+            data["shards"] = float(len(shard_stats()))
+        return data
 
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

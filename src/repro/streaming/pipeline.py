@@ -129,6 +129,7 @@ class StreamingTopology:
         ranked_k: int | None = None,
         controller_config: ControllerConfig | None = None,
         serving: "ServingCache | None" = None,
+        serving_mode: str = "parent",
         query_qps: float | None = None,
         query_users: int | None = None,
         query_k: int | None = None,
@@ -179,6 +180,15 @@ class StreamingTopology:
                 wrapper) fed by the delivery coalescer's flush tap, so
                 every flush window's funnel input also materializes into
                 the per-user top-k that point queries read.
+            serving_mode: ``"parent"`` (default) wires *serving* into
+                the coalescer's flush tap — cache writes happen here, in
+                the parent.  ``"worker"`` means the delivery pipeline's
+                shard workers already own the cache writers (a
+                :class:`~repro.delivery.sharded.ShardedDeliveryPipeline`
+                built with ``serving=``), so the coalescer must *not*
+                write: *serving* is then the read-only attach-by-spec
+                surface (``delivery.serving``) that queries, gauges, and
+                snapshots consume.
             query_qps: with *serving*, schedule zipf point queries at
                 this rate (per virtual second) for the duration of the
                 replayed stream — the mixed read/write workload.  Read
@@ -266,9 +276,17 @@ class StreamingTopology:
             ranker=(
                 TopKPerUserBuffer(k=ranked_k) if ranked_k is not None else None
             ),
-            serving=serving,
+            # In worker mode the shard processes are the cache writers
+            # (they ingest each batch slice pre-funnel); tapping here too
+            # would double-write every row from the parent.
+            serving=serving if serving_mode == "parent" else None,
+        )
+        require(
+            serving_mode in ("parent", "worker"),
+            f"serving_mode must be 'parent' or 'worker', got {serving_mode!r}",
         )
         self.serving = serving
+        self.serving_mode = serving_mode
         self.query_load: QueryLoadGenerator | None = None
         if query_qps is not None:
             require(

@@ -51,7 +51,9 @@ def default_start_method() -> str:
 class WorkerHandle:
     """Parent-side handle on one worker process."""
 
-    __slots__ = ("key", "process", "requests", "replies", "dead", "wire")
+    __slots__ = (
+        "key", "process", "requests", "replies", "dead", "wire", "arena",
+    )
 
     def __init__(self, key, process, requests, replies) -> None:
         #: Caller-chosen identity (partition id, shard index, ...).
@@ -68,6 +70,12 @@ class WorkerHandle:
         #: destroys the segments after the join — dead-worker slab
         #: reclamation, so a crashed worker never leaks ``/dev/shm``.
         self.wire = None
+        #: Optional parent-side reader of a serving arena the worker
+        #: writes (:class:`repro.serving.cache.ServingCacheReader`).
+        #: ``stop_workers`` pins its current generation *before* posting
+        #: the stop, so the mapping outlives the worker's unlink and
+        #: post-shutdown reads (summaries, snapshots) stay valid.
+        self.arena = None
 
 
 def _worker_bootstrap(target, holder, requests, replies) -> None:
@@ -153,6 +161,11 @@ def stop_workers(workers: list[WorkerHandle]) -> None:
     abnormal exits reclaim the slabs too.
     """
     for worker in workers:
+        if worker.arena is not None:
+            try:  # keep the final generation mapped past the unlink
+                worker.arena.pin()
+            except Exception:
+                pass
         if worker.dead or not worker.process.is_alive():
             continue
         try:

@@ -260,3 +260,32 @@ class TestShardedShmWire:
             name for name in names if os.path.exists(f"/dev/shm/{name}")
         ]
         assert leaked == []
+
+    def test_serving_arena_segments_reclaimed_with_wire(self):
+        import glob
+        import os
+
+        from repro.serving import ServingCacheConfig
+
+        sharded = ShardedDeliveryPipeline(
+            2,
+            pipeline_factory=_production_trio,
+            transport="shm",
+            # Tiny capacity: the workers grow their tables, creating data
+            # generations the parent never held a handle to.
+            serving=ServingCacheConfig(k=2, capacity=8),
+        )
+        controls = [s.control_name for s in sharded.serving.specs]
+        assert all(name in sharded._segment_names for name in controls)
+        batch = _random_batches(seed=9, windows=1)[0]
+        sharded.offer_batch(batch, now=43_200.0)
+        # Replies gate on the worker's ingest, so the contents are there.
+        assert sharded.serving.users_cached > 0
+        sharded.close()
+        leaked = [
+            path
+            for name in controls
+            for path in glob.glob(f"/dev/shm/{name}*")
+            if os.path.exists(path)
+        ]
+        assert leaked == []

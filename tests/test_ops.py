@@ -338,3 +338,90 @@ class TestServingGauges:
         monitor = ClusterMonitor(cluster)
         monitor.poll()
         assert "serving_hit_rate" not in monitor.registry.snapshot()
+
+    def test_sharded_gauges_weight_unevenly_grown_shards(
+        self, figure1_snapshot
+    ):
+        import numpy as np
+
+        from repro.serving import ShardedServingCache
+
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        sharded = ShardedServingCache(num_shards=2, k=2, capacity=8)
+        # Skew the population: hundreds of users on one shard (several
+        # capacity doublings), a handful on the other (still at 8 slots).
+        hot = [u for u in range(4_000) if sharded.shard_of(u) == 0][:500]
+        cold = [u for u in range(4_000) if sharded.shard_of(u) == 1][:1]
+        users = np.array(hot + cold, dtype=np.int64)
+        sharded.update_columns(
+            users,
+            np.ones(len(users), np.int64),
+            np.ones(len(users)),
+            np.zeros(len(users)),
+        )
+        assert sharded.shards[0].nbytes() > sharded.shards[1].nbytes()
+        monitor = ClusterMonitor(cluster, serving=sharded)
+        monitor.poll()
+        snap = monitor.registry.snapshot()
+        assert snap["serving_cache_users"] == 501.0
+        # Sum-then-ratio weighting: total bytes over total users, which
+        # the hot shard dominates — not a mean of per-shard ratios (the
+        # near-empty cold shard's capacity amortizes over one user, so
+        # its per-shard ratio would drag the average far off).
+        total_ratio = sharded.nbytes() / 501
+        mean_of_ratios = sum(
+            s.nbytes() / s.users_cached for s in sharded.shards
+        ) / 2
+        assert snap["serving_bytes_per_user"] == pytest.approx(total_ratio)
+        assert abs(snap["serving_bytes_per_user"] - mean_of_ratios) > (
+            0.5 * total_ratio
+        )
+        # Per-shard visibility rides along.
+        assert snap["serving_shard_0_users"] == 500.0
+        assert snap["serving_shard_1_users"] == 1.0
+        assert snap["serving_shard_0_evictions"] == 0.0
+
+    def test_worker_reader_gauges_surface_writer_lag(self, figure1_snapshot):
+        import numpy as np
+
+        from repro.cluster import shm_available
+        from repro.cluster.shm import sweep_segments
+        from repro.serving import (
+            ServingCache,
+            ServingCacheReader,
+            ShardedServingCacheReader,
+            create_serving_arena,
+        )
+
+        if not shm_available():
+            pytest.skip("POSIX shared memory unavailable on this host")
+        cluster = Cluster.build(
+            figure1_snapshot, PARAMS, ClusterConfig(num_partitions=2)
+        )
+        spec = create_serving_arena(k=2, capacity=8)
+        writer = ServingCache.attach_writer(spec)
+        reader = ShardedServingCacheReader([ServingCacheReader(spec)])
+        try:
+            writer.update_columns(
+                np.array([1, 2], dtype=np.int64),
+                np.array([10, 20], dtype=np.int64),
+                np.array([1.0, 2.0]),
+                np.array([0.0, 0.0]),
+            )
+            # Parent posted 3 serving-bearing messages; the worker has
+            # merged 1 — the monitor must surface the lag of 2.
+            reader.shards[0].posted_updates = 3
+            monitor = ClusterMonitor(cluster, serving=reader)
+            monitor.poll()
+            snap = monitor.registry.snapshot()
+            assert snap["serving_cache_users"] == 2.0
+            assert snap["serving_shard_0_users"] == 2.0
+            assert snap["serving_shard_0_writer_lag_updates"] == 2.0
+            assert snap["serving_shard_0_generation"] >= 1.0
+            assert snap["serving_shard_0_attaches"] >= 0.0
+        finally:
+            reader.close()
+            writer.close()
+            sweep_segments([spec.control_name])

@@ -214,6 +214,191 @@ class TestShardedServingCache:
             ShardedServingCache(num_shards=0)
 
 
+class TestTTLEviction:
+    @staticmethod
+    def _reference_evict(dump, now, ttl):
+        """The spec: filter-then-rebuild on the user's *newest* entry."""
+        return {
+            user: rows
+            for user, rows in dump.items()
+            if rows and max(r.created_at for r in rows) >= now - ttl
+        }
+
+    def test_evict_dormant_matches_filter_then_rebuild(self):
+        rng = np.random.default_rng(3)
+        cache = ServingCache(k=2, ttl=100.0)
+        update(
+            cache,
+            [
+                (u, int(rng.integers(0, 20)), float(rng.integers(1, 9)),
+                 float(rng.integers(0, 300)))
+                for u in range(120)
+                for _ in range(int(rng.integers(1, 4)))
+            ],
+        )
+        before = cache.dump()
+        now = 250.0
+        dropped = cache.evict_dormant(now)
+        expected = self._reference_evict(before, now, 100.0)
+        assert cache.dump() == expected
+        assert dropped == len(before) - len(expected)
+        assert dropped > 0  # created_at spans [0, 300): some are dormant
+        assert cache.evictions == dropped
+
+    def test_newest_entry_governs_dormancy(self):
+        cache = ServingCache(k=2, ttl=100.0)
+        # One stale entry plus one fresh entry: the user stays, whole row
+        # intact — dormancy is per user, not per entry.
+        update(cache, [(1, 10, 2.0, 0.0), (1, 11, 1.0, 190.0)])
+        update(cache, [(2, 20, 1.0, 0.0)])
+        assert cache.evict_dormant(now=200.0) == 1
+        assert sorted(cache.dump()) == [1]
+        assert len(cache.dump()[1]) == 2
+
+    def test_evicted_user_is_a_miss_then_reinsertable(self):
+        cache = ServingCache(k=2, ttl=50.0)
+        update(cache, [(1, 10, 1.0, 0.0)])
+        cache.evict_dormant(now=100.0)
+        assert cache.get_recommendations(1) == []
+        update(cache, [(1, 12, 3.0, 100.0)])
+        assert [r.candidate for r in cache.get_recommendations(1)] == [12]
+
+    def test_grow_path_reclaims_dormant_slots_before_doubling(self):
+        cache = ServingCache(k=2, capacity=8, ttl=100.0)  # load cap: 4
+        cache.update_columns(
+            np.arange(4, dtype=np.int64),
+            np.full(4, 7, np.int64),
+            np.ones(4),
+            np.zeros(4),
+            now=0.0,
+        )
+        bytes_before = cache.nbytes()
+        # Four more users at now=1000: reserve() must rebuild — and the
+        # lazy keep hook vacates the four dormant users first, so the
+        # survivors fit without the capacity doubling.
+        cache.update_columns(
+            np.arange(100, 104, dtype=np.int64),
+            np.full(4, 8, np.int64),
+            np.ones(4),
+            np.full(4, 1_000.0),
+            now=1_000.0,
+        )
+        assert cache.evictions == 4
+        assert sorted(cache.dump()) == [100, 101, 102, 103]
+        assert cache.nbytes() == bytes_before
+
+    def test_evict_without_ttl_is_a_noop(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 1.0, 0.0)])
+        assert cache.evict_dormant(now=1e9) == 0
+        assert cache.users_cached == 1
+
+    def test_sharded_eviction_sums_shards(self):
+        sharded = ShardedServingCache(num_shards=3, k=2, ttl=10.0)
+        update(sharded, [(u, 1, 1.0, 0.0) for u in range(30)])
+        update(sharded, [(u, 1, 1.0, 100.0) for u in range(30, 40)])
+        assert sharded.evict_dormant(now=100.0) == 30
+        assert sharded.evictions == 30
+        assert sharded.users_cached == 10
+
+    def test_ttl_validated(self):
+        with pytest.raises(ValueError):
+            ServingCache(k=2, ttl=0.0)
+
+
+class TestReadTimeRedecay:
+    def test_scores_bitwise_match_shared_kernel(self):
+        cache = ServingCache(k=2, half_life=300.0)
+        rec = Recommendation(recipient=1, candidate=7, created_at=10.0, via=(1, 2, 3))
+        cache.ingest_released([rec], now=20.0)
+        later = 500.0
+        [served] = cache.get_recommendations(1, now=later)
+        expected = decayed_scores(
+            np.array([3], dtype=np.int64), np.array([10.0]), later, 300.0
+        )[0]
+        assert served.score == expected  # bitwise: same kernel, same inputs
+        assert served.candidate == 7 and served.created_at == 10.0
+
+    def test_redecay_corrects_cross_refresh_staleness(self):
+        # Two entries whose *stored* scores were frozen at different
+        # refresh times: A's stale score still ranks it first, but at any
+        # common now the fresher B wins — re-decay must flip the order.
+        cache = ServingCache(k=2, half_life=300.0)
+        cache.update_columns(
+            np.array([1, 1], dtype=np.int64),
+            np.array([10, 11], dtype=np.int64),
+            np.array([5.0, 4.0]),          # stale-high A, fresh B
+            np.array([0.0, 900.0]),
+            witnesses=np.array([5, 4], dtype=np.int64),
+        )
+        assert [r.candidate for r in cache.get_recommendations(1)] == [10, 11]
+        served = cache.get_recommendations(1, now=1_000.0)
+        assert [r.candidate for r in served] == [11, 10]
+        expected = decayed_scores(
+            np.array([4, 5], dtype=np.int64),
+            np.array([900.0, 0.0]),
+            1_000.0,
+            300.0,
+        )
+        assert [r.score for r in served] == expected.tolist()
+
+    def test_unwitnessed_entries_redecay_as_one_witness(self):
+        # update_columns without a witnesses column stores 1 per entry —
+        # the same clamp floor the kernel applies — so re-decay of rows
+        # that never carried corroboration is still well-defined.
+        cache = ServingCache(k=2, half_life=100.0)
+        update(cache, [(1, 10, 99.0, 50.0)])
+        [served] = cache.get_recommendations(1, now=150.0)
+        expected = decayed_scores(
+            np.array([1], dtype=np.int64), np.array([50.0]), 150.0, 100.0
+        )[0]
+        assert served.score == expected
+
+    def test_read_k_still_caps_after_rerank(self):
+        cache = ServingCache(k=3, half_life=300.0)
+        update(cache, [(1, 10, 3.0, 0.0), (1, 11, 2.0, 0.0), (1, 12, 1.0, 0.0)])
+        assert len(cache.get_recommendations(1, k=2, now=10.0)) == 2
+
+    def test_now_is_optional_and_preserves_stored_scores(self):
+        cache = ServingCache(k=2)
+        update(cache, [(1, 10, 3.5, 0.0)])
+        assert cache.get_recommendations(1) == [ServedRecommendation(10, 3.5, 0.0)]
+
+
+class TestWitnessPersistence:
+    def test_state_round_trip_preserves_redecay(self):
+        source = ServingCache(k=2, half_life=300.0)
+        recs = [
+            Recommendation(recipient=u, candidate=u % 5, created_at=float(u),
+                           via=tuple(range(1 + u % 4)))
+            for u in range(40)
+        ]
+        source.ingest_released(recs, now=50.0)
+        restored = ServingCache(k=2, half_life=300.0)
+        restored.load_state(source.state_arrays())
+        assert restored.dump() == source.dump()
+        for u in range(40):
+            assert restored.get_recommendations(
+                u, now=500.0
+            ) == source.get_recommendations(u, now=500.0)
+
+    def test_legacy_payload_without_witnesses_defaults_to_one(self):
+        source = ServingCache(k=2, half_life=300.0)
+        source.ingest_released(
+            [Recommendation(recipient=1, candidate=7, created_at=0.0, via=(1, 2, 3))],
+            now=10.0,
+        )
+        payload = source.state_arrays()
+        del payload["witnesses"]  # pre-witness-column snapshot
+        restored = ServingCache(k=2, half_life=300.0)
+        restored.load_state(payload)
+        [served] = restored.get_recommendations(1, now=100.0)
+        expected = decayed_scores(
+            np.array([1], dtype=np.int64), np.array([0.0]), 100.0, 300.0
+        )[0]
+        assert served.score == expected
+
+
 # ----------------------------------------------------------------------
 # Property: update_columns == a dict-of-dicts reference fold
 # ----------------------------------------------------------------------
